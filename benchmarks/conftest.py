@@ -1,0 +1,59 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper's
+evaluation section (see DESIGN.md's per-experiment index), checks the
+*shape* of the result against the published numbers, and prints the
+measured-versus-paper comparison so that EXPERIMENTS.md can be assembled
+from the benchmark log.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Environment knobs:
+
+* ``REPRO_BENCH_SEQUENCES`` -- overrides the Monte-Carlo sample sizes
+  (default keeps the whole suite in the a-few-minutes range; the paper
+  used 10^6-10^8 sequences).
+"""
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.circuit.fifo import SyncFIFO               # noqa: E402
+from repro.core.protected import ProtectedDesign       # noqa: E402
+
+
+def bench_sequences(default: int) -> int:
+    """Monte-Carlo sample size, overridable via REPRO_BENCH_SEQUENCES."""
+    override = os.environ.get("REPRO_BENCH_SEQUENCES")
+    if override:
+        return max(1, int(override))
+    return default
+
+
+@pytest.fixture(scope="session")
+def paper_fifo():
+    """The paper's 32x32 FIFO case-study circuit (1040 registers)."""
+    return SyncFIFO(32, 32, name="fifo32x32")
+
+
+@pytest.fixture(scope="session")
+def paper_protected_design(paper_fifo):
+    """The paper's FPGA validation configuration: 80 chains x 13 flops,
+    Hamming(7,4) correction plus CRC-16 verification."""
+    return ProtectedDesign(paper_fifo, codes=["hamming(7,4)", "crc16"],
+                           num_chains=80)
+
+
+def print_section(title: str, body: str) -> None:
+    """Print a titled block that survives pytest's output capture (-s)."""
+    bar = "=" * max(len(title), 8)
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

@@ -1,0 +1,67 @@
+"""Ablation benchmark: detection/correction options across the design space.
+
+The paper's Section V closes with the engineering guidance: "if large
+area overhead is not acceptable then the approach of CRC error detection
+with software recovery may be considered".  This ablation puts numbers
+on the whole option space on the 32x32 FIFO at the paper's W = 80
+configuration:
+
+* parity-per-slice (cheapest detection),
+* CRC-16 (the paper's detection option),
+* Hamming(7,4) (the paper's correction option),
+* SECDED(8,4) (correction plus double-error detection),
+* Hamming(7,4) + CRC-16 (the paper's FPGA validation stack).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_section
+from repro.circuit.fifo import SyncFIFO
+from repro.core.protected import ProtectedDesign
+
+
+OPTIONS = (
+    ("parity(4)", ["parity(4)"]),
+    ("crc16", ["crc16"]),
+    ("hamming(7,4)", ["hamming(7,4)"]),
+    ("secded(8,4)", ["secded(8,4)"]),
+    ("hamming(7,4)+crc16", ["hamming(7,4)", "crc16"]),
+)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_detection_correction_option_space(benchmark, paper_fifo):
+    def sweep():
+        rows = []
+        for label, codes in OPTIONS:
+            design = ProtectedDesign(paper_fifo, codes=codes, num_chains=80)
+            cost = design.cost_report()
+            corrects = any(getattr(c, "correctable_errors", 0) > 0
+                           for c in design.codes)
+            rows.append((label, cost.area_overhead_percent,
+                         cost.encode_cost.power_mw,
+                         cost.encode_cost.energy_nj, corrects))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    by_label = {row[0]: row for row in rows}
+
+    # Ordering of area overhead: per-slice parity storage already costs
+    # more than the single shared CRC register, and every detection
+    # option is far cheaper than per-slice Hamming correction.
+    assert by_label["parity(4)"][1] < by_label["hamming(7,4)"][1]
+    assert by_label["crc16"][1] < by_label["hamming(7,4)"][1]
+    assert by_label["hamming(7,4)"][1] < by_label["hamming(7,4)+crc16"][1]
+    # SECDED costs more than plain Hamming (extra parity bit per slice).
+    assert by_label["secded(8,4)"][1] > by_label["hamming(7,4)"][1]
+    # Correction ability flags.
+    assert not by_label["crc16"][4]
+    assert by_label["hamming(7,4)"][4]
+
+    lines = ["option               | ovh %  | power mW | energy nJ | corrects"]
+    lines.append("-" * len(lines[0]))
+    for label, ovh, power, energy, corrects in rows:
+        lines.append(f"{label:20s} | {ovh:6.1f} | {power:8.2f} "
+                     f"| {energy:9.2f} | {'yes' if corrects else 'no'}")
+    print_section("Ablation -- detection/correction option space at W=80",
+                  "\n".join(lines))

@@ -1,0 +1,61 @@
+"""Benchmark E8: regenerate the paper's Fig. 10 (correction capability).
+
+1000-flip-flop test sequences with 1--10 randomly injected errors,
+decoded by Hamming (7,4), (15,11), (31,26) and (63,57).  The paper's
+anchor points: Hamming(7,4) corrects 98.81 % of the bits at 2 errors and
+94.14 % at 10; Hamming(63,57) corrects 88.65 % and 52.96 %.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_sequences, print_section
+from repro.analysis import paper_data
+from repro.analysis.correction_capability import (
+    analytic_correction_probability,
+    fig10_curves,
+)
+from repro.analysis.tables import format_fig10_table
+from repro.codes.hamming import HammingCode
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_correction_capability(benchmark):
+    sequences = bench_sequences(4000)
+    curves = benchmark.pedantic(
+        lambda: fig10_curves(error_counts=tuple(range(1, 11)),
+                             num_bits=1000, sequences=sequences, seed=20100310),
+        rounds=1, iterations=1)
+
+    by_code = {code: {p.num_errors: p.corrected_percent for p in curve}
+               for code, curve in curves.items()}
+
+    # Every curve starts at 100 % (a single error is always corrected)
+    # and decreases monotonically (within Monte-Carlo noise).
+    for code, points in by_code.items():
+        assert points[1] == pytest.approx(100.0)
+        assert points[10] < points[2] + 1.0
+
+    # Ordering at every error count: shorter codewords correct more.
+    order = [(7, 4), (15, 11), (31, 26), (63, 57)]
+    for errors in range(2, 11):
+        rates = [by_code[code][errors] for code in order]
+        assert all(a >= b - 1.5 for a, b in zip(rates, rates[1:]))
+
+    # Paper anchor points, within Monte-Carlo tolerance.
+    assert by_code[(7, 4)][2] == pytest.approx(
+        paper_data.FIG10_REFERENCE[(7, 4)][2], abs=2.5)
+    assert by_code[(7, 4)][10] == pytest.approx(
+        paper_data.FIG10_REFERENCE[(7, 4)][10], abs=4.0)
+    assert by_code[(63, 57)][10] == pytest.approx(
+        paper_data.FIG10_REFERENCE[(63, 57)][10], abs=12.0)
+
+    # Monte Carlo agrees with the closed-form expectation.
+    for n, k in order:
+        analytic = analytic_correction_probability(HammingCode(n, k),
+                                                   1000, 10) * 100
+        assert by_code[(n, k)][10] == pytest.approx(analytic, abs=4.0)
+
+    print_section(
+        f"Fig. 10 -- corrected errors vs injected errors "
+        f"({sequences} sequences per point)",
+        format_fig10_table(curves))

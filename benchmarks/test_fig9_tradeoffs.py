@@ -1,0 +1,84 @@
+"""Benchmarks E6/E7: regenerate both panels of the paper's Fig. 9.
+
+Fig. 9(a): area overhead and coding power versus the number of scan
+chains, for CRC-16 and Hamming(7,4).
+Fig. 9(b): encode/decode latency and energy versus the number of scan
+chains, for both codes.
+
+The claims read off the figure in the paper:
+
+* both codes share the same latency curve (latency depends only on the
+  chain length);
+* Hamming's area overhead sits far above CRC's at every W;
+* Hamming's coding power and energy sit 20--40 % above CRC's;
+* increasing W cuts latency and energy dramatically for a small rise in
+  area and power.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_section
+from repro.analysis.tradeoff import PAPER_CHAIN_SWEEP, fig9_series
+
+
+def _format_series(series):
+    lines = ["chains | code          | ovh %  | power mW | latency ns | energy nJ"]
+    lines.append("-" * len(lines[0]))
+    for code, data in series.items():
+        for i, chains in enumerate(data["chains"]):
+            lines.append(
+                f"{int(chains):6d} | {code:13s} | {data['area_overhead_percent'][i]:6.1f} "
+                f"| {data['coding_power_mw'][i]:8.2f} | {data['latency_ns'][i]:10.0f} "
+                f"| {data['energy_nj'][i]:9.2f}")
+    return "\n".join(lines)
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9a_area_and_power_series(benchmark, paper_fifo):
+    series = benchmark.pedantic(
+        lambda: fig9_series(PAPER_CHAIN_SWEEP, circuit=paper_fifo),
+        rounds=1, iterations=1)
+    crc = series["crc16"]
+    ham = series["hamming(7,4)"]
+
+    # Fig. 9(a): Hamming's overhead curve lies far above CRC's.
+    for crc_ovh, ham_ovh in zip(crc["area_overhead_percent"],
+                                ham["area_overhead_percent"]):
+        assert ham_ovh > 5 * crc_ovh
+    # Both overhead curves increase with W.
+    assert crc["area_overhead_percent"] == sorted(
+        crc["area_overhead_percent"])
+    assert ham["area_overhead_percent"] == sorted(
+        ham["area_overhead_percent"])
+    # Power curves: Hamming 20-40 % above CRC, both nearly flat.
+    for crc_p, ham_p in zip(crc["coding_power_mw"], ham["coding_power_mw"]):
+        assert 1.1 < ham_p / crc_p < 1.6
+    assert max(crc["coding_power_mw"]) / min(crc["coding_power_mw"]) < 1.25
+
+    print_section("Fig. 9(a) -- area overhead and coding power vs W",
+                  _format_series(series))
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9b_latency_and_energy_series(benchmark, paper_fifo):
+    series = benchmark.pedantic(
+        lambda: fig9_series(PAPER_CHAIN_SWEEP, circuit=paper_fifo),
+        rounds=1, iterations=1)
+    crc = series["crc16"]
+    ham = series["hamming(7,4)"]
+
+    # Fig. 9(b): the latency curves of the two codes coincide.
+    assert crc["latency_ns"] == pytest.approx(ham["latency_ns"])
+    # Latency scales as 1/W: 4 chains -> 2600 ns, 80 chains -> 130 ns.
+    assert crc["latency_ns"][0] == pytest.approx(2600.0)
+    assert crc["latency_ns"][-1] == pytest.approx(130.0)
+    # Energy decreases by ~20x from W=4 to W=80 for both codes.
+    for data in (crc, ham):
+        assert data["energy_nj"] == sorted(data["energy_nj"], reverse=True)
+        assert data["energy_nj"][0] / data["energy_nj"][-1] > 10
+    # Hamming energy 20-40 % above CRC at every W.
+    for crc_e, ham_e in zip(crc["energy_nj"], ham["energy_nj"]):
+        assert 1.1 < ham_e / crc_e < 1.6
+
+    print_section("Fig. 9(b) -- latency and energy vs W",
+                  _format_series(series))

@@ -1,0 +1,81 @@
+"""Benchmark E9: the scan-chain reconfiguration speed-up (Section III).
+
+The paper's worked example: 128 flip-flops in 4 chains need 32 cycles
+per encode/decode pass; re-ordering them into 16 chains feeding 4
+parallel Hamming(7,4) monitoring blocks cuts that to 8 cycles -- a 4x
+speed-up -- while manufacturing test still sees 4 ports scanning 32
+bits each (Fig. 5(b)).
+
+The benchmark also measures the wall-clock cost of simulated encode
+passes at both configurations, confirming the cycle-count model at the
+behavioural level.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_section
+from repro.analysis import paper_data
+from repro.circuit.generators import make_random_state_circuit
+from repro.core.protected import ProtectedDesign
+from repro.core.scan_config import ScanChainConfig
+
+
+@pytest.mark.benchmark(group="scan-config")
+def test_section3_speedup_example(benchmark):
+    example = paper_data.SCAN_SPEEDUP_EXAMPLE
+    baseline = ScanChainConfig(num_registers=example["num_registers"],
+                               num_chains=example["baseline_chains"],
+                               monitor_width=4, test_width=4)
+    reconfigured = ScanChainConfig(num_registers=example["num_registers"],
+                                   num_chains=example["reconfigured_chains"],
+                                   monitor_width=4, test_width=4)
+
+    assert baseline.encode_cycles == example["baseline_cycles"]
+    assert reconfigured.encode_cycles == example["reconfigured_cycles"]
+    assert reconfigured.speedup_over(baseline) == pytest.approx(
+        example["speedup"])
+    # Test mode is unaffected: 4 ports, 32-bit-long concatenated chains.
+    assert reconfigured.test_cycles == baseline.encode_cycles
+
+    # Behavioural confirmation: run real encode passes on both
+    # configurations and compare cycle counts.
+    circuit = make_random_state_circuit(example["num_registers"], seed=1)
+    design_4 = ProtectedDesign(circuit, codes="hamming(7,4)", num_chains=4)
+    design_16 = ProtectedDesign(circuit, codes="hamming(7,4)", num_chains=16)
+
+    def encode_both():
+        cycles_4 = design_4.monitor_bank.encode_pass(design_4.chains)
+        cycles_16 = design_16.monitor_bank.encode_pass(design_16.chains)
+        return cycles_4, cycles_16
+
+    cycles_4, cycles_16 = benchmark(encode_both)
+    assert cycles_4 == 32
+    assert cycles_16 == 8
+
+    print_section(
+        "Section III -- scan-chain reconfiguration speed-up",
+        f"128 flops, 4 chains : {cycles_4} cycles/pass "
+        f"({baseline.encode_latency_ns:.0f} ns at 100 MHz)\n"
+        f"128 flops, 16 chains: {cycles_16} cycles/pass "
+        f"({reconfigured.encode_latency_ns:.0f} ns at 100 MHz)\n"
+        f"speed-up            : {cycles_4 / cycles_16:.1f}x "
+        f"(paper: {example['speedup']:.1f}x)\n"
+        f"test-mode cycles    : {reconfigured.test_cycles} "
+        f"(unchanged by the reconfiguration)")
+
+
+@pytest.mark.benchmark(group="scan-config")
+def test_paper_fifo_latency_identity(benchmark, paper_fifo):
+    """Latency = l x T across every Table I/II configuration."""
+
+    def compute():
+        configs = [ScanChainConfig.paper_fifo(num_chains=w)
+                   for w in (4, 8, 16, 40, 80)]
+        return [(c.num_chains, c.chain_length, c.encode_latency_ns)
+                for c in configs]
+
+    rows = benchmark(compute)
+    expected = {4: 2600, 8: 1300, 16: 650, 40: 260, 80: 130}
+    for chains, length, latency in rows:
+        assert latency == pytest.approx(expected[chains])
+        assert length * 10.0 == pytest.approx(latency)

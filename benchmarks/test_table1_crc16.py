@@ -1,0 +1,52 @@
+"""Benchmark E3: regenerate the paper's Table I (CRC-16 cost sweep).
+
+32x32 FIFO, CRC-16 monitoring, W in {4, 8, 16, 40, 80}.  Columns: chain
+length, area and overhead, encode/decode power, latency, encode/decode
+energy.  The shape checks assert the trends the paper draws from the
+table: latency and energy fall roughly as 1/W, area and power rise
+mildly with W, and the absolute overhead stays in the single-digit
+percent range.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_section
+from repro.analysis import paper_data
+from repro.analysis.tables import format_measured_vs_paper
+from repro.analysis.tradeoff import PAPER_CHAIN_SWEEP, table1_crc16
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_crc16_sweep(benchmark, paper_fifo):
+    reports = benchmark.pedantic(
+        lambda: table1_crc16(PAPER_CHAIN_SWEEP, circuit=paper_fifo),
+        rounds=1, iterations=1)
+
+    rows = [r.as_table_row() for r in reports]
+    by_w = {row["W"]: row for row in rows}
+
+    # Chain lengths match the paper exactly (pure geometry).
+    for paper_row in paper_data.TABLE1_CRC16:
+        assert by_w[paper_row["W"]]["l"] == paper_row["l"]
+        assert by_w[paper_row["W"]]["latency_ns"] == pytest.approx(
+            paper_row["latency_ns"])
+
+    # Area overhead is small (single digits %) and increases with W.
+    overheads = [row["area_overhead_percent"] for row in rows]
+    assert overheads == sorted(overheads)
+    assert overheads[-1] < 20.0
+
+    # Power increases only mildly with W (the paper: 4.99 -> 5.14 mW).
+    powers = [row["enc_power_mw"] for row in rows]
+    assert max(powers) / min(powers) < 1.25
+
+    # Energy decreases monotonically, by roughly the latency ratio.
+    energies = [row["enc_energy_nj"] for row in rows]
+    assert energies == sorted(energies, reverse=True)
+    assert energies[0] / energies[-1] == pytest.approx(
+        paper_data.TABLE1_CRC16[0]["enc_energy_nj"]
+        / paper_data.TABLE1_CRC16[-1]["enc_energy_nj"], rel=0.25)
+
+    print_section(
+        "Table I -- CRC-16 encode/decode cost vs scan-chain count",
+        format_measured_vs_paper(reports, paper_data.TABLE1_CRC16))

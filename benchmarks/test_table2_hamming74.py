@@ -1,0 +1,55 @@
+"""Benchmark E4: regenerate the paper's Table II (Hamming(7,4) sweep).
+
+Same sweep as Table I but with the correcting Hamming(7,4) monitor: the
+area overhead jumps to the 65--90 % range (parity storage for every
+4-bit slice), power is 20--40 % above CRC-16, latency is unchanged.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_section
+from repro.analysis import paper_data
+from repro.analysis.tables import format_measured_vs_paper
+from repro.analysis.tradeoff import (
+    PAPER_CHAIN_SWEEP,
+    table1_crc16,
+    table2_hamming74,
+)
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_hamming74_sweep(benchmark, paper_fifo):
+    reports = benchmark.pedantic(
+        lambda: table2_hamming74(PAPER_CHAIN_SWEEP, circuit=paper_fifo),
+        rounds=1, iterations=1)
+    crc_reports = table1_crc16(PAPER_CHAIN_SWEEP, circuit=paper_fifo)
+
+    rows = [r.as_table_row() for r in reports]
+
+    # Geometry identical to the paper.
+    for paper_row, row in zip(paper_data.TABLE2_HAMMING74, rows):
+        assert row["W"] == paper_row["W"]
+        assert row["l"] == paper_row["l"]
+        assert row["latency_ns"] == pytest.approx(paper_row["latency_ns"])
+
+    # Area overhead in the paper's 60-95 % band and increasing with W.
+    overheads = [row["area_overhead_percent"] for row in rows]
+    assert overheads == sorted(overheads)
+    assert 55.0 < overheads[0] < 80.0
+    assert 70.0 < overheads[-1] < 100.0
+
+    # Hamming overhead dwarfs CRC overhead at every W; latency matches.
+    for ham, crc in zip(rows, (r.as_table_row() for r in crc_reports)):
+        assert ham["area_overhead_percent"] > 5 * crc["area_overhead_percent"]
+        assert ham["latency_ns"] == pytest.approx(crc["latency_ns"])
+        # Coding power 20-40 % above CRC (paper Section V); allow slack.
+        ratio = ham["enc_power_mw"] / crc["enc_power_mw"]
+        assert 1.1 < ratio < 1.6
+
+    # Energy falls monotonically with W.
+    energies = [row["enc_energy_nj"] for row in rows]
+    assert energies == sorted(energies, reverse=True)
+
+    print_section(
+        "Table II -- Hamming(7,4) encode/decode cost vs scan-chain count",
+        format_measured_vs_paper(reports, paper_data.TABLE2_HAMMING74))

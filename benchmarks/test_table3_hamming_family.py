@@ -1,0 +1,46 @@
+"""Benchmark E5: regenerate the paper's Table III (Hamming code family).
+
+Hamming (7,4), (15,11), (31,26) and (63,57) on the 32x32 FIFO, each with
+the paper's chain count (a multiple of the code's data width).  The
+trade-off the table demonstrates: lowering the code redundancy cuts the
+area overhead (84.8 % down to 15.9 % in the paper) at the price of
+correction capability (14.3 % down to 1.59 % of the bits per codeword).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_section
+from repro.analysis import paper_data
+from repro.analysis.tables import format_family_table
+from repro.analysis.tradeoff import table3_hamming_family
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_hamming_family(benchmark, paper_fifo):
+    rows = benchmark.pedantic(
+        lambda: table3_hamming_family(circuit=paper_fifo),
+        rounds=1, iterations=1)
+
+    # Correction capability column is exact (1/n).
+    for row, paper_row in zip(rows, paper_data.TABLE3_HAMMING_FAMILY):
+        assert (row.n, row.k) == (paper_row["n"], paper_row["k"])
+        assert row.num_chains == paper_row["W"]
+        assert row.correction_capability_percent == pytest.approx(
+            paper_row["correction_capability_percent"], abs=0.05)
+
+    # Overhead decreases monotonically with decreasing redundancy, as
+    # does power; capability decreases alongside.
+    overheads = [row.area_overhead_percent for row in rows]
+    powers = [row.enc_power_mw for row in rows]
+    capabilities = [row.correction_capability_percent for row in rows]
+    assert overheads == sorted(overheads, reverse=True)
+    assert capabilities == sorted(capabilities, reverse=True)
+    assert powers[0] == max(powers)
+
+    # The headline reduction: (63,57) costs several times less area
+    # overhead than (7,4) (paper: 84.8 % -> 15.9 %).
+    assert overheads[0] / overheads[-1] > 2.0
+
+    print_section(
+        "Table III -- Hamming family: area/power vs correction capability",
+        format_family_table(rows, paper_data.TABLE3_HAMMING_FAMILY))

@@ -1,0 +1,13 @@
+"""Pytest path bootstrap.
+
+Allows ``pytest`` to run straight from a source checkout (tests and
+benchmarks import :mod:`repro` from ``src/``) even when the package has
+not been installed into the environment.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Design-space exploration with the reliability-aware synthesis flow.
+
+Reproduces the engineering story of the paper's Section V on the 32x32
+FIFO:
+
+1. sweep the number of scan chains for CRC-16 and Hamming(7,4)
+   monitoring and print the Table I / Table II style cost rows next to
+   the paper's published numbers;
+2. sweep the Hamming code family (Table III): redundancy versus area
+   overhead versus correction capability;
+3. drive the reliability-aware synthesizer (Fig. 4) from a textual
+   configuration file with an area cap and a latency target, and show
+   which configuration it picks.
+
+Run with::
+
+    python examples/design_space_exploration.py
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import FlowConfig, ReliabilityAwareSynthesizer, SyncFIFO
+from repro.analysis import paper_data
+from repro.analysis.tables import format_family_table, format_measured_vs_paper
+from repro.analysis.tradeoff import (
+    table1_crc16,
+    table2_hamming74,
+    table3_hamming_family,
+)
+from repro.flow.report import format_synthesis_report
+
+
+def main() -> None:
+    fifo = SyncFIFO(32, 32, name="fifo32x32")
+
+    # Part 1: the Table I / Table II sweeps.
+    print(format_measured_vs_paper(
+        table1_crc16(circuit=fifo), paper_data.TABLE1_CRC16,
+        title="Table I -- CRC-16 monitoring cost vs scan-chain count"))
+    print()
+    print(format_measured_vs_paper(
+        table2_hamming74(circuit=fifo), paper_data.TABLE2_HAMMING74,
+        title="Table II -- Hamming(7,4) monitoring cost vs scan-chain count"))
+    print()
+
+    # Part 2: the Hamming family (Table III).
+    print(format_family_table(
+        table3_hamming_family(circuit=fifo),
+        paper_data.TABLE3_HAMMING_FAMILY,
+        title="Table III -- Hamming family: redundancy vs overhead vs "
+              "correction capability"))
+    print()
+
+    # Part 3: file-driven reliability-aware synthesis (Fig. 4).
+    config_text = "\n".join([
+        "# quality configuration for the reliability-aware synthesizer",
+        "codes = hamming(7,4), crc16",
+        "num_chains = auto",
+        "candidate_chains = 4, 8, 16, 40, 80",
+        "test_width = 4",
+        "clock_mhz = 100",
+        "target = energy",
+        "max_latency_ns = 700",
+        "",
+    ])
+    with tempfile.NamedTemporaryFile("w", suffix=".cfg", delete=False) as fh:
+        fh.write(config_text)
+        config_path = fh.name
+    print("flow configuration file:")
+    print(config_text)
+
+    config = FlowConfig.load(config_path)
+    synthesizer = ReliabilityAwareSynthesizer(config)
+    result = synthesizer.synthesize(fifo)
+    print(format_synthesis_report(
+        result, title="reliability-aware synthesis result (energy target, "
+                      "latency cap 700 ns)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Rush-current physics and the case for state monitoring.
+
+The failure mechanism behind the paper: when the sleep transistors turn
+back on, the discharged domain capacitance draws a rush current whose
+step response (an RLC transient) produces a voltage droop on the shared
+supply rails -- and that droop can flip the always-on retention latches.
+
+This example:
+
+1. prints the wake-up current/droop waveform for the paper-scale FIFO
+   domain and shows how staggered switch turn-on (the mitigation of the
+   paper's references [7] and [8]) trades peak droop against wake-up
+   time;
+2. converts the droop into expected retention upsets for latches of
+   different robustness;
+3. runs droop-driven sleep/wake cycles on a protected and an
+   unprotected design to show that mitigation reduces, but only
+   monitoring *repairs*, the resulting corruption.
+
+Run with::
+
+    python examples/rush_current_analysis.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import ProtectedDesign
+from repro.circuit.generators import make_random_state_circuit
+from repro.power.retention import RetentionUpsetModel
+from repro.power.rush_current import RLCParameters, RushCurrentModel
+
+
+def main() -> None:
+    rlc = RLCParameters(vdd=1.2, resistance=2.0, inductance=1e-9,
+                        capacitance=1040 * 0.2e-12)
+
+    print("wake-up transient vs number of sleep-transistor turn-on stages")
+    print("stages | peak current A | peak droop V | settle time ns")
+    print("-" * 58)
+    for stages in (1, 2, 4, 8, 16):
+        model = RushCurrentModel(rlc, num_switch_stages=stages)
+        print(f"{stages:6d} | {model.peak_current():14.3f} "
+              f"| {model.peak_droop():12.3f} "
+              f"| {model.settle_time() * stages * 1e9:14.1f}")
+
+    print("\nexpected retention upsets per wake-up (1040 latches)")
+    print("latch margin V | 1 stage | 4 stages | 16 stages")
+    print("-" * 50)
+    for margin in (0.05, 0.10, 0.15, 0.25):
+        upset = RetentionUpsetModel(nominal_margin=margin)
+        row = [f"{margin:14.2f}"]
+        for stages in (1, 4, 16):
+            droop = RushCurrentModel(rlc, num_switch_stages=stages).peak_droop()
+            row.append(f"{upset.expected_upsets(1040, droop):8.1f}")
+        print(" | ".join(row))
+
+    print("\ndroop-driven sleep/wake cycles (weak latches, margin 0.10 V)")
+    upset_model = RetentionUpsetModel(nominal_margin=0.10, slope=0.02,
+                                      seed=99)
+    protected_circuit = make_random_state_circuit(512, seed=5,
+                                                  name="protected_block")
+    unprotected_circuit = make_random_state_circuit(512, seed=5,
+                                                    name="unprotected_block")
+    protected = ProtectedDesign(protected_circuit,
+                                codes=["hamming(7,4)", "crc16"],
+                                num_chains=32, rlc=rlc,
+                                upset_model=upset_model)
+    unprotected = ProtectedDesign(unprotected_circuit,
+                                  codes=["hamming(7,4)", "crc16"],
+                                  num_chains=32, rlc=rlc,
+                                  upset_model=RetentionUpsetModel(
+                                      nominal_margin=0.10, slope=0.02,
+                                      seed=99))
+
+    print("cycle | upsets | monitored: detected/intact | "
+          "unmonitored: silent corruption")
+    for cycle in range(5):
+        monitored = protected.sleep_wake_cycle()
+        baseline = unprotected.unprotected_sleep_wake_cycle()
+        print(f"{cycle:5d} | {monitored.injected_errors:6d} | "
+              f"{str(monitored.detected):>9s}/{str(monitored.state_intact):<6s}"
+              f"     | {baseline.silent_corruption}")
+
+    print("\ntakeaway: staggering shrinks the droop (fewer upsets), but any "
+          "upset that still occurs is silent without monitoring; the "
+          "scan-based monitor detects every corrupted wake-up and repairs "
+          "the single-bit ones.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+"""Published results from the paper, for side-by-side comparison.
+
+Every table/figure the reproduction regenerates has its published
+counterpart recorded here.  Absolute values come from the authors'
+Synopsys/STMicro 120 nm flow and are *not* expected to match the Python
+cost model exactly; the benchmark harness compares shapes (orderings,
+ratios, trends) and EXPERIMENTS.md records both sets of numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: Paper Table I: 32x32 FIFO, CRC-16, 120 nm, 100 MHz.
+#: Columns: W, l, area um^2, overhead %, enc mW, dec mW, t ns, enc nJ, dec nJ.
+TABLE1_CRC16: List[Dict[str, float]] = [
+    {"W": 4, "l": 260, "area_um2": 73658, "area_overhead_percent": 2.8,
+     "enc_power_mw": 4.99, "dec_power_mw": 4.99, "latency_ns": 2600,
+     "enc_energy_nj": 12.97, "dec_energy_nj": 12.97},
+    {"W": 8, "l": 130, "area_um2": 73928, "area_overhead_percent": 3.2,
+     "enc_power_mw": 4.96, "dec_power_mw": 4.97, "latency_ns": 1300,
+     "enc_energy_nj": 6.45, "dec_energy_nj": 6.46},
+    {"W": 16, "l": 65, "area_um2": 74614, "area_overhead_percent": 4.2,
+     "enc_power_mw": 4.96, "dec_power_mw": 4.98, "latency_ns": 650,
+     "enc_energy_nj": 3.22, "dec_energy_nj": 3.24},
+    {"W": 40, "l": 26, "area_um2": 75762, "area_overhead_percent": 5.8,
+     "enc_power_mw": 5.13, "dec_power_mw": 5.17, "latency_ns": 260,
+     "enc_energy_nj": 1.33, "dec_energy_nj": 1.34},
+    {"W": 80, "l": 13, "area_um2": 78208, "area_overhead_percent": 9.2,
+     "enc_power_mw": 5.14, "dec_power_mw": 5.25, "latency_ns": 130,
+     "enc_energy_nj": 0.67, "dec_energy_nj": 0.68},
+]
+
+#: Paper Table II: 32x32 FIFO, Hamming(7,4), 120 nm, 100 MHz.
+TABLE2_HAMMING74: List[Dict[str, float]] = [
+    {"W": 4, "l": 260, "area_um2": 120594, "area_overhead_percent": 68.4,
+     "enc_power_mw": 6.76, "dec_power_mw": 6.72, "latency_ns": 2600,
+     "enc_energy_nj": 17.58, "dec_energy_nj": 17.47},
+    {"W": 8, "l": 130, "area_um2": 121552, "area_overhead_percent": 69.7,
+     "enc_power_mw": 6.91, "dec_power_mw": 6.86, "latency_ns": 1300,
+     "enc_energy_nj": 8.98, "dec_energy_nj": 8.92},
+    {"W": 16, "l": 65, "area_um2": 123303, "area_overhead_percent": 72.1,
+     "enc_power_mw": 7.11, "dec_power_mw": 7.00, "latency_ns": 650,
+     "enc_energy_nj": 4.62, "dec_energy_nj": 4.55},
+    {"W": 40, "l": 26, "area_um2": 126811, "area_overhead_percent": 77.0,
+     "enc_power_mw": 7.72, "dec_power_mw": 7.45, "latency_ns": 260,
+     "enc_energy_nj": 2.00, "dec_energy_nj": 1.94},
+    {"W": 80, "l": 13, "area_um2": 134141, "area_overhead_percent": 87.3,
+     "enc_power_mw": 8.43, "dec_power_mw": 8.05, "latency_ns": 130,
+     "enc_energy_nj": 1.08, "dec_energy_nj": 1.05},
+]
+
+#: Paper Table III: 32x32 FIFO, Hamming code family.
+#: Columns: code (n, k), W, FIFO area, total area, overhead %, enc mW,
+#: dec mW, correction capability %.
+TABLE3_HAMMING_FAMILY: List[Dict[str, float]] = [
+    {"n": 7, "k": 4, "W": 56, "fifo_area_um2": 71628,
+     "total_area_um2": 132338, "area_overhead_percent": 84.8,
+     "enc_power_mw": 8.21, "dec_power_mw": 7.84,
+     "correction_capability_percent": 14.3},
+    {"n": 15, "k": 11, "W": 55, "fifo_area_um2": 71628,
+     "total_area_um2": 101681, "area_overhead_percent": 42.0,
+     "enc_power_mw": 6.52, "dec_power_mw": 6.34,
+     "correction_capability_percent": 6.67},
+    {"n": 31, "k": 26, "W": 52, "fifo_area_um2": 71628,
+     "total_area_um2": 88311, "area_overhead_percent": 23.2,
+     "enc_power_mw": 5.89, "dec_power_mw": 5.82,
+     "correction_capability_percent": 3.23},
+    {"n": 63, "k": 57, "W": 57, "fifo_area_um2": 71628,
+     "total_area_um2": 82987, "area_overhead_percent": 15.9,
+     "enc_power_mw": 5.64, "dec_power_mw": 5.62,
+     "correction_capability_percent": 1.59},
+]
+
+#: Paper Fig. 10 reference points: correction rate (%) of each Hamming
+#: code for 2 and 10 injected errors over a 1000-flip-flop sequence.
+FIG10_REFERENCE: Dict[Tuple[int, int], Dict[int, float]] = {
+    (7, 4): {2: 98.81, 10: 94.14},
+    (15, 11): {2: None, 10: None},     # curve shown, endpoints not quoted
+    (31, 26): {2: None, 10: None},     # curve shown, endpoints not quoted
+    (63, 57): {2: 88.65, 10: 52.96},
+}
+
+#: The FPGA validation campaign headline results (Section IV).
+VALIDATION_SUMMARY = {
+    "single_error": {"detection_rate": 1.0, "correction_rate": 1.0},
+    "multiple_error": {"detection_rate": 1.0, "correction_rate": 0.0},
+}
+
+#: The Fig. 5 / Section III worked example on scan-chain configuration.
+SCAN_SPEEDUP_EXAMPLE = {
+    "num_registers": 128,
+    "baseline_chains": 4,
+    "baseline_cycles": 32,
+    "reconfigured_chains": 16,
+    "reconfigured_cycles": 8,
+    "speedup": 4.0,
+}
+
+#: Base FIFO area reported by the paper (um^2) and the clock frequency.
+FIFO_BASE_AREA_UM2 = 71628.0
+CLOCK_MHZ = 100.0
+
+
+__all__ = [
+    "TABLE1_CRC16",
+    "TABLE2_HAMMING74",
+    "TABLE3_HAMMING_FAMILY",
+    "FIG10_REFERENCE",
+    "VALIDATION_SUMMARY",
+    "SCAN_SPEEDUP_EXAMPLE",
+    "FIFO_BASE_AREA_UM2",
+    "CLOCK_MHZ",
+]

@@ -1,0 +1,152 @@
+"""Sensitivity and break-even analyses around the paper's trade-offs.
+
+Two questions a user of the methodology asks that the paper only touches
+implicitly:
+
+1. **How robust are the conclusions to the cost model?**  The published
+   tables come from one 120 nm library.
+   :func:`library_scaling_sensitivity` re-runs the Table I/II comparison
+   under scaled library assumptions (area, switching energy, leakage)
+   and reports whether the qualitative orderings survive.
+
+2. **When is protected power gating worth it at all?**  Encode/decode
+   costs energy on every sleep cycle; gating saves leakage while
+   asleep.  :func:`sleep_break_even` computes the minimum sleep duration
+   for which gating plus monitoring still saves energy, per
+   configuration -- the "is it worth sleeping for this long?" curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuit.base import SequentialCircuit
+from repro.circuit.fifo import SyncFIFO
+from repro.core.protected import ProtectedDesign
+from repro.power.leakage import LeakageModel
+from repro.power.rush_current import RLCParameters, RushCurrentModel
+from repro.tech.library import StandardCellLibrary, default_library
+
+
+@dataclass(frozen=True)
+class SensitivityOutcome:
+    """Result of one scaled-library re-evaluation."""
+
+    scale_label: str
+    area_scale: float
+    energy_scale: float
+    crc_overhead_percent: float
+    hamming_overhead_percent: float
+    power_ratio: float
+
+    @property
+    def orderings_hold(self) -> bool:
+        """The paper's qualitative claims under this scaling.
+
+        Hamming costs (much) more area than CRC, and its coding power is
+        above CRC's but well below 2x.
+        """
+        return (self.hamming_overhead_percent
+                > 2 * self.crc_overhead_percent
+                and 1.0 < self.power_ratio < 2.0)
+
+
+def library_scaling_sensitivity(
+        scales: Sequence[Tuple[str, float, float]] = (
+            ("nominal", 1.0, 1.0),
+            ("dense-library", 0.7, 0.85),
+            ("fast-library", 1.2, 1.3),
+            ("low-power-library", 1.1, 0.6),
+        ),
+        circuit: Optional[SequentialCircuit] = None,
+        num_chains: int = 80) -> List[SensitivityOutcome]:
+    """Re-evaluate the CRC-vs-Hamming comparison under scaled libraries."""
+    circuit = circuit if circuit is not None else SyncFIFO(32, 32)
+    base = default_library()
+    outcomes: List[SensitivityOutcome] = []
+    for label, area_scale, energy_scale in scales:
+        library = base.scaled(f"st120nm-{label}", area_scale=area_scale,
+                              energy_scale=energy_scale)
+        crc = ProtectedDesign(circuit, codes="crc16", num_chains=num_chains,
+                              library=library).cost_report()
+        ham = ProtectedDesign(circuit, codes="hamming(7,4)",
+                              num_chains=num_chains,
+                              library=library).cost_report()
+        outcomes.append(SensitivityOutcome(
+            scale_label=label,
+            area_scale=area_scale,
+            energy_scale=energy_scale,
+            crc_overhead_percent=crc.area_overhead_percent,
+            hamming_overhead_percent=ham.area_overhead_percent,
+            power_ratio=(ham.encode_cost.power_mw
+                         / crc.encode_cost.power_mw)))
+    return outcomes
+
+
+@dataclass(frozen=True)
+class BreakEvenPoint:
+    """Break-even sleep duration of one configuration."""
+
+    num_chains: int
+    code: str
+    overhead_energy_nj: float
+    leakage_saved_mw: float
+    break_even_us: float
+
+
+def sleep_break_even(codes: Sequence[str] = ("crc16", "hamming(7,4)"),
+                     chain_counts: Sequence[int] = (4, 16, 80),
+                     circuit: Optional[SequentialCircuit] = None,
+                     library: Optional[StandardCellLibrary] = None
+                     ) -> List[BreakEvenPoint]:
+    """Minimum sleep duration for which gating + monitoring saves energy.
+
+    The per-cycle overhead is the encode pass plus the decode pass plus
+    the wake-up recharge energy; the per-second saving is the leakage
+    difference between staying awake and sleeping.
+    """
+    circuit = circuit if circuit is not None else SyncFIFO(32, 32)
+    library = library if library is not None else default_library()
+    leakage = LeakageModel(library)
+    points: List[BreakEvenPoint] = []
+    for code in codes:
+        for num_chains in chain_counts:
+            design = ProtectedDesign(circuit, codes=code,
+                                     num_chains=num_chains, library=library)
+            cost = design.cost_report()
+            rush = RushCurrentModel(design.domain.rlc)
+            overhead_j = (cost.encode_cost.energy_j + cost.decode_cost.energy_j
+                          + rush.wakeup_energy())
+            report = leakage.report(design.full_netlist())
+            saved_w = report.active_leakage - report.sleep_leakage
+            break_even_s = (overhead_j / saved_w) if saved_w > 0 else float("inf")
+            points.append(BreakEvenPoint(
+                num_chains=num_chains,
+                code=code,
+                overhead_energy_nj=overhead_j * 1e9,
+                leakage_saved_mw=saved_w * 1e3,
+                break_even_us=break_even_s * 1e6))
+    return points
+
+
+def format_break_even_table(points: Sequence[BreakEvenPoint]) -> str:
+    """Render break-even points as a text table."""
+    lines = ["code          |  W | overhead nJ | leak saved mW | break-even us"]
+    lines.append("-" * len(lines[0]))
+    for point in points:
+        lines.append(
+            f"{point.code:13s} | {point.num_chains:2d} "
+            f"| {point.overhead_energy_nj:11.2f} "
+            f"| {point.leakage_saved_mw:13.4f} "
+            f"| {point.break_even_us:13.2f}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "SensitivityOutcome",
+    "library_scaling_sensitivity",
+    "BreakEvenPoint",
+    "sleep_break_even",
+    "format_break_even_table",
+]

@@ -1,0 +1,111 @@
+"""Plain-text rendering of measured-versus-published results.
+
+Used by the benchmark harness and the examples to print the regenerated
+tables next to the paper's numbers, and by EXPERIMENTS.md generation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.analysis.correction_capability import CorrectionCapabilityResult
+from repro.analysis.tradeoff import HammingFamilyRow
+from repro.core.protected import CostReport
+
+
+def _format_table(headers: Sequence[str], rows: Sequence[Sequence[str]],
+                  title: str = "") -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_measured_vs_paper(measured: Sequence[CostReport],
+                             published: Sequence[Mapping[str, float]],
+                             title: str = "") -> str:
+    """Interleave measured table rows with the paper's published rows."""
+    headers = ["W", "l", "source", "area um2", "ovh %", "enc mW", "dec mW",
+               "t ns", "enc nJ", "dec nJ"]
+    rows: List[List[str]] = []
+    published_by_w = {int(row["W"]): row for row in published}
+    for report in measured:
+        row = report.as_table_row()
+        rows.append([
+            str(row["W"]), str(row["l"]), "measured",
+            f"{row['area_um2']:.0f}", f"{row['area_overhead_percent']:.1f}",
+            f"{row['enc_power_mw']:.2f}", f"{row['dec_power_mw']:.2f}",
+            f"{row['latency_ns']:.0f}", f"{row['enc_energy_nj']:.2f}",
+            f"{row['dec_energy_nj']:.2f}"])
+        paper_row = published_by_w.get(row["W"])
+        if paper_row is not None:
+            rows.append([
+                str(int(paper_row["W"])), str(int(paper_row["l"])), "paper",
+                f"{paper_row['area_um2']:.0f}",
+                f"{paper_row['area_overhead_percent']:.1f}",
+                f"{paper_row['enc_power_mw']:.2f}",
+                f"{paper_row['dec_power_mw']:.2f}",
+                f"{paper_row['latency_ns']:.0f}",
+                f"{paper_row['enc_energy_nj']:.2f}",
+                f"{paper_row['dec_energy_nj']:.2f}"])
+    return _format_table(headers, rows, title)
+
+
+def format_family_table(measured: Sequence[HammingFamilyRow],
+                        published: Sequence[Mapping[str, float]],
+                        title: str = "") -> str:
+    """Render Table III (measured and published) side by side."""
+    headers = ["code", "W", "source", "total um2", "ovh %", "enc mW",
+               "dec mW", "cap %"]
+    published_by_code = {(int(r["n"]), int(r["k"])): r for r in published}
+    rows: List[List[str]] = []
+    for row in measured:
+        rows.append([
+            f"({row.n},{row.k})", str(row.num_chains), "measured",
+            f"{row.total_area_um2:.0f}",
+            f"{row.area_overhead_percent:.1f}",
+            f"{row.enc_power_mw:.2f}", f"{row.dec_power_mw:.2f}",
+            f"{row.correction_capability_percent:.2f}"])
+        paper_row = published_by_code.get((row.n, row.k))
+        if paper_row is not None:
+            rows.append([
+                f"({row.n},{row.k})", str(int(paper_row["W"])), "paper",
+                f"{paper_row['total_area_um2']:.0f}",
+                f"{paper_row['area_overhead_percent']:.1f}",
+                f"{paper_row['enc_power_mw']:.2f}",
+                f"{paper_row['dec_power_mw']:.2f}",
+                f"{paper_row['correction_capability_percent']:.2f}"])
+    return _format_table(headers, rows, title)
+
+
+def format_fig10_table(curves: Mapping[Tuple[int, int],
+                                       Sequence[CorrectionCapabilityResult]],
+                       title: str = "") -> str:
+    """Render the Fig. 10 curves as a table (codes x error counts)."""
+    codes = sorted(curves.keys())
+    if not codes:
+        raise ValueError("no curves to format")
+    error_counts = [r.num_errors for r in curves[codes[0]]]
+    headers = ["errors"] + [f"({n},{k}) %" for n, k in codes]
+    rows: List[List[str]] = []
+    for index, num_errors in enumerate(error_counts):
+        row = [str(num_errors)]
+        for code in codes:
+            row.append(f"{curves[code][index].corrected_percent:.2f}")
+        rows.append(row)
+    return _format_table(headers, rows, title)
+
+
+__all__ = [
+    "format_measured_vs_paper",
+    "format_family_table",
+    "format_fig10_table",
+]

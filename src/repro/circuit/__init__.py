@@ -1,0 +1,75 @@
+"""Register-transfer level circuit substrate.
+
+This package provides the structural and behavioural building blocks the
+methodology operates on:
+
+* flip-flops -- plain D flip-flops, scan flip-flops and the
+  state-retention flip-flop of the paper's Fig. 1 (master powered by the
+  gated rail, always-on slave retention latch, ``RETAIN`` control);
+* gate primitives and a light netlist container used for cost
+  accounting and scan stitching;
+* scan-chain insertion (replace system flip-flops with scan flip-flops,
+  partition into chains, stitch scan-in/scan-out);
+* circuit generators, most importantly the 32x32 FIFO used as the
+  paper's case study, plus counters, shift registers and register files
+  used in the examples and tests.
+"""
+
+from repro.circuit.base import SequentialCircuit
+from repro.circuit.flipflop import (
+    DFlipFlop,
+    ScanFlipFlop,
+    RetentionFlipFlop,
+    PowerState,
+)
+from repro.circuit.gates import Gate, GateType, evaluate_gate
+from repro.circuit.netlist import (
+    Netlist,
+    CellInstance,
+    Port,
+    PortDirection,
+    netlist_from_counts,
+)
+from repro.circuit.scan import ScanChain, insert_scan_chains, balance_chains
+from repro.circuit.fifo import SyncFIFO, FIFOError
+from repro.circuit.generators import (
+    Counter,
+    ShiftRegister,
+    RegisterFile,
+    RandomStateCircuit,
+    make_counter,
+    make_shift_register,
+    make_register_file,
+    make_random_state_circuit,
+)
+from repro.circuit.state import StateSnapshot
+
+__all__ = [
+    "SequentialCircuit",
+    "DFlipFlop",
+    "ScanFlipFlop",
+    "RetentionFlipFlop",
+    "PowerState",
+    "Gate",
+    "GateType",
+    "evaluate_gate",
+    "Netlist",
+    "CellInstance",
+    "Port",
+    "PortDirection",
+    "netlist_from_counts",
+    "ScanChain",
+    "insert_scan_chains",
+    "balance_chains",
+    "SyncFIFO",
+    "FIFOError",
+    "Counter",
+    "ShiftRegister",
+    "RegisterFile",
+    "RandomStateCircuit",
+    "make_counter",
+    "make_shift_register",
+    "make_register_file",
+    "make_random_state_circuit",
+    "StateSnapshot",
+]

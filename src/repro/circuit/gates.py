@@ -1,0 +1,110 @@
+"""Combinational gate primitives.
+
+Gates serve two purposes in this reproduction:
+
+1. functional evaluation where small combinational clouds are needed
+   (the error-injection AND/XOR network of the paper's Fig. 6, the
+   correction XORs on the scan-in path);
+2. structural accounting -- the synthesis-flow emulation counts gate
+   instances and prices them with the 120 nm technology model to
+   reproduce the paper's area/power tables.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, Sequence
+
+
+class GateType(enum.Enum):
+    """Supported combinational cell types."""
+
+    INV = "inv"
+    BUF = "buf"
+    AND2 = "and2"
+    NAND2 = "nand2"
+    OR2 = "or2"
+    NOR2 = "nor2"
+    XOR2 = "xor2"
+    XNOR2 = "xnor2"
+    MUX2 = "mux2"
+    MUX3 = "mux3"
+    AND_OR_INV = "aoi22"
+
+
+def _reduce(op: Callable[[int, int], int], inputs: Sequence[int]) -> int:
+    acc = int(inputs[0]) & 1
+    for x in inputs[1:]:
+        acc = op(acc, int(x) & 1) & 1
+    return acc
+
+
+_EVALUATORS: Dict[GateType, Callable[[Sequence[int]], int]] = {
+    GateType.INV: lambda ins: 1 - (int(ins[0]) & 1),
+    GateType.BUF: lambda ins: int(ins[0]) & 1,
+    GateType.AND2: lambda ins: _reduce(lambda a, b: a & b, ins),
+    GateType.NAND2: lambda ins: 1 - _reduce(lambda a, b: a & b, ins),
+    GateType.OR2: lambda ins: _reduce(lambda a, b: a | b, ins),
+    GateType.NOR2: lambda ins: 1 - _reduce(lambda a, b: a | b, ins),
+    GateType.XOR2: lambda ins: _reduce(lambda a, b: a ^ b, ins),
+    GateType.XNOR2: lambda ins: 1 - _reduce(lambda a, b: a ^ b, ins),
+    # MUX2: inputs are (a, b, sel) -> b if sel else a
+    GateType.MUX2: lambda ins: (int(ins[1]) if int(ins[2]) else int(ins[0])) & 1,
+    # MUX3: inputs are (a, b, c, sel0, sel1) with sel encoding 0/1/2
+    GateType.MUX3: lambda ins: (
+        int(ins[(int(ins[3]) & 1) + 2 * (int(ins[4]) & 1)]) & 1),
+    GateType.AND_OR_INV: lambda ins: 1 - (
+        ((int(ins[0]) & int(ins[1])) | (int(ins[2]) & int(ins[3]))) & 1),
+}
+
+#: Minimum number of inputs each gate type expects.
+GATE_ARITY: Dict[GateType, int] = {
+    GateType.INV: 1,
+    GateType.BUF: 1,
+    GateType.AND2: 2,
+    GateType.NAND2: 2,
+    GateType.OR2: 2,
+    GateType.NOR2: 2,
+    GateType.XOR2: 2,
+    GateType.XNOR2: 2,
+    GateType.MUX2: 3,
+    GateType.MUX3: 5,
+    GateType.AND_OR_INV: 4,
+}
+
+
+class Gate:
+    """A combinational gate instance with a type and a name.
+
+    The gate is purely functional; connectivity is tracked by the
+    :class:`~repro.circuit.netlist.Netlist` when structural information
+    is needed.
+    """
+
+    __slots__ = ("name", "gate_type")
+
+    def __init__(self, gate_type: GateType, name: str = ""):
+        if not isinstance(gate_type, GateType):
+            raise TypeError(f"gate_type must be a GateType, got {gate_type!r}")
+        self.gate_type = gate_type
+        self.name = name
+
+    def evaluate(self, inputs: Sequence[int]) -> int:
+        """Evaluate the gate function on a sequence of 0/1 inputs."""
+        arity = GATE_ARITY[self.gate_type]
+        if len(inputs) < arity:
+            raise ValueError(
+                f"{self.gate_type.value} expects at least {arity} inputs, "
+                f"got {len(inputs)}")
+        return _EVALUATORS[self.gate_type](inputs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Gate({self.gate_type.value!r}, name={self.name!r})"
+
+
+def evaluate_gate(gate_type: GateType, inputs: Sequence[int]) -> int:
+    """Functional shortcut: evaluate ``gate_type`` on ``inputs``."""
+    return Gate(gate_type).evaluate(inputs)
+
+
+__all__ = ["GateType", "Gate", "GATE_ARITY", "evaluate_gate"]

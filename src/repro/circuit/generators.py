@@ -1,0 +1,204 @@
+"""Generators for small sequential circuits used in examples and tests.
+
+Besides the paper's 32x32 FIFO (see :mod:`repro.circuit.fifo`), the test
+suite and the examples use several simpler register-dominated circuits:
+binary counters, shift registers, register files and randomly
+initialised "state blobs" that stand in for arbitrary power-gated logic.
+All of them are :class:`~repro.circuit.base.SequentialCircuit`
+subclasses built on retention flip-flops, so the full methodology can be
+applied to any of them.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.circuit.base import SequentialCircuit
+from repro.circuit.flipflop import RetentionFlipFlop
+from repro.circuit.netlist import Netlist, PortDirection
+
+
+class _RegisterCircuit(SequentialCircuit):
+    """Shared plumbing for the generated circuits below."""
+
+    def __init__(self, name: str, registers: List[RetentionFlipFlop],
+                 netlist: Netlist):
+        self.name = name
+        self._registers = registers
+        self._netlist = netlist
+
+    @property
+    def registers(self) -> List[RetentionFlipFlop]:
+        """All state-bearing registers of the generated circuit."""
+        return self._registers
+
+    @property
+    def netlist(self) -> Netlist:
+        """Structural netlist of the generated circuit."""
+        return self._netlist
+
+
+class Counter(_RegisterCircuit):
+    """A binary up-counter with ``width`` bits of state."""
+
+    def __init__(self, width: int, name: str = "counter"):
+        if width <= 0:
+            raise ValueError("counter width must be positive")
+        self.width = width
+        registers = [RetentionFlipFlop(name=f"{name}.count[{i}]", init=0)
+                     for i in range(width)]
+        netlist = Netlist(name)
+        netlist.add_port("clk", PortDirection.INPUT)
+        netlist.add_port("count", PortDirection.OUTPUT, width)
+        netlist.add_cells("rsdff", width, group="core")
+        netlist.add_cells("xor2", width, group="core")
+        netlist.add_cells("and2", max(width - 1, 0), group="core")
+        super().__init__(name, registers, netlist)
+
+    @property
+    def value(self) -> int:
+        """Current counter value (LSB-first packing of register bits)."""
+        return sum((ff.q or 0) << i for i, ff in enumerate(self._registers))
+
+    def tick(self) -> int:
+        """Advance the counter by one; returns the new value."""
+        new_value = (self.value + 1) % (1 << self.width)
+        for i, ff in enumerate(self._registers):
+            ff.force((new_value >> i) & 1)
+        return new_value
+
+
+class ShiftRegister(_RegisterCircuit):
+    """A serial-in, serial-out shift register of ``length`` bits."""
+
+    def __init__(self, length: int, name: str = "shiftreg"):
+        if length <= 0:
+            raise ValueError("shift register length must be positive")
+        self.length = length
+        registers = [RetentionFlipFlop(name=f"{name}.sr[{i}]", init=0)
+                     for i in range(length)]
+        netlist = Netlist(name)
+        netlist.add_port("clk", PortDirection.INPUT)
+        netlist.add_port("sin", PortDirection.INPUT)
+        netlist.add_port("sout", PortDirection.OUTPUT)
+        netlist.add_cells("rsdff", length, group="core")
+        super().__init__(name, registers, netlist)
+
+    def shift(self, bit: int) -> Optional[int]:
+        """Shift one bit in; returns the bit that falls out."""
+        out = self._registers[-1].q
+        previous = [ff.q for ff in self._registers]
+        self._registers[0].force(int(bit) & 1)
+        for i in range(1, len(self._registers)):
+            self._registers[i].force(previous[i - 1])
+        return out
+
+
+class RegisterFile(_RegisterCircuit):
+    """A ``words x width`` register file with word-level read/write."""
+
+    def __init__(self, words: int, width: int, name: str = "regfile"):
+        if words <= 0 or width <= 0:
+            raise ValueError("register file dimensions must be positive")
+        self.words = words
+        self.width = width
+        self._rows = [
+            [RetentionFlipFlop(name=f"{name}.r{w}[{b}]", init=0)
+             for b in range(width)]
+            for w in range(words)
+        ]
+        registers = [ff for row in self._rows for ff in row]
+        netlist = Netlist(name)
+        netlist.add_port("clk", PortDirection.INPUT)
+        netlist.add_port("waddr", PortDirection.INPUT,
+                         max(1, (words - 1).bit_length()))
+        netlist.add_port("wdata", PortDirection.INPUT, width)
+        netlist.add_port("rdata", PortDirection.OUTPUT, width)
+        netlist.add_cells("rsdff", words * width, group="core")
+        netlist.add_cells("and2", words, group="core")
+        netlist.add_cells("mux2", width * max(words - 1, 1), group="core")
+        super().__init__(name, registers, netlist)
+
+    def write(self, address: int, value: int) -> None:
+        """Write an integer word at ``address``."""
+        if not (0 <= address < self.words):
+            raise IndexError(f"address {address} out of range")
+        for i, ff in enumerate(self._rows[address]):
+            ff.force((value >> i) & 1)
+
+    def read(self, address: int) -> int:
+        """Read the integer word at ``address``."""
+        if not (0 <= address < self.words):
+            raise IndexError(f"address {address} out of range")
+        return sum((ff.q or 0) << i
+                   for i, ff in enumerate(self._rows[address]))
+
+
+class RandomStateCircuit(_RegisterCircuit):
+    """An opaque block of ``num_registers`` randomly initialised flops.
+
+    Used to emulate "arbitrary power-gated logic" in sweeps where only
+    the register count matters (e.g. the Fig. 10 correction-capability
+    study over 1000 flip-flops).
+    """
+
+    def __init__(self, num_registers: int, seed: Optional[int] = None,
+                 comb_gates_per_ff: float = 2.0, name: str = "randblock"):
+        if num_registers <= 0:
+            raise ValueError("register count must be positive")
+        rng = random.Random(seed)
+        registers = [
+            RetentionFlipFlop(name=f"{name}.ff[{i}]", init=rng.randint(0, 1))
+            for i in range(num_registers)
+        ]
+        netlist = Netlist(name)
+        netlist.add_port("clk", PortDirection.INPUT)
+        netlist.add_cells("rsdff", num_registers, group="core")
+        comb = int(round(comb_gates_per_ff * num_registers))
+        netlist.add_cells("nand2", comb // 2, group="core")
+        netlist.add_cells("nor2", comb - comb // 2, group="core")
+        super().__init__(name, registers, netlist)
+        self.seed = seed
+
+    def randomize(self, seed: Optional[int] = None) -> None:
+        """Re-randomise every register value."""
+        rng = random.Random(seed if seed is not None else self.seed)
+        for ff in self._registers:
+            ff.force(rng.randint(0, 1))
+
+
+def make_counter(width: int = 16, name: str = "counter") -> Counter:
+    """Create a ``width``-bit binary counter circuit."""
+    return Counter(width, name=name)
+
+
+def make_shift_register(length: int = 64,
+                        name: str = "shiftreg") -> ShiftRegister:
+    """Create a ``length``-bit shift register circuit."""
+    return ShiftRegister(length, name=name)
+
+
+def make_register_file(words: int = 16, width: int = 32,
+                       name: str = "regfile") -> RegisterFile:
+    """Create a ``words x width`` register file circuit."""
+    return RegisterFile(words, width, name=name)
+
+
+def make_random_state_circuit(num_registers: int = 1000,
+                              seed: Optional[int] = None,
+                              name: str = "randblock") -> RandomStateCircuit:
+    """Create an opaque block of randomly initialised registers."""
+    return RandomStateCircuit(num_registers, seed=seed, name=name)
+
+
+__all__ = [
+    "Counter",
+    "ShiftRegister",
+    "RegisterFile",
+    "RandomStateCircuit",
+    "make_counter",
+    "make_shift_register",
+    "make_register_file",
+    "make_random_state_circuit",
+]

@@ -1,0 +1,178 @@
+"""Light-weight structural netlist container.
+
+The reproduction does not need full named-net connectivity (behaviour is
+modelled at cycle level by the circuit classes); what it does need is a
+faithful *inventory* of cell instances so that the synthesis-flow
+emulation can price a design with the 120 nm technology model and
+reproduce the paper's area and power tables.  The netlist therefore
+stores cell instances grouped by library cell name, plus the top-level
+ports, and provides counting/merging utilities.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+class PortDirection(enum.Enum):
+    """Direction of a top-level port."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+    INOUT = "inout"
+
+
+@dataclass(frozen=True)
+class Port:
+    """A top-level port of a netlist."""
+
+    name: str
+    direction: PortDirection
+    width: int = 1
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"port {self.name!r} must have positive width")
+
+
+@dataclass(frozen=True)
+class CellInstance:
+    """One instance of a library cell inside a netlist."""
+
+    name: str
+    cell: str
+    #: Free-form grouping label, e.g. "fifo", "monitor", "corrector",
+    #: "controller"; used to attribute area overhead to the protection
+    #: circuitry separately from the protected design.
+    group: str = "core"
+
+
+class Netlist:
+    """A bag of cell instances plus top-level ports.
+
+    Parameters
+    ----------
+    name:
+        Module name of the netlist (e.g. ``"fifo32x32"``).
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._cells: List[CellInstance] = []
+        self._ports: Dict[str, Port] = {}
+
+    # ------------------------------------------------------------------
+    # Ports
+    # ------------------------------------------------------------------
+    def add_port(self, name: str, direction: PortDirection,
+                 width: int = 1) -> Port:
+        """Declare a top-level port; re-declaring a name is an error."""
+        if name in self._ports:
+            raise ValueError(f"port {name!r} already declared")
+        port = Port(name, direction, width)
+        self._ports[name] = port
+        return port
+
+    @property
+    def ports(self) -> Tuple[Port, ...]:
+        """All declared ports, in declaration order."""
+        return tuple(self._ports.values())
+
+    def port(self, name: str) -> Port:
+        """Look up a port by name."""
+        return self._ports[name]
+
+    # ------------------------------------------------------------------
+    # Cells
+    # ------------------------------------------------------------------
+    def add_cell(self, cell: str, name: Optional[str] = None,
+                 group: str = "core") -> CellInstance:
+        """Add one instance of library cell ``cell``."""
+        inst_name = name if name is not None else f"{cell}_{len(self._cells)}"
+        inst = CellInstance(name=inst_name, cell=cell, group=group)
+        self._cells.append(inst)
+        return inst
+
+    def add_cells(self, cell: str, count: int, group: str = "core") -> None:
+        """Add ``count`` anonymous instances of ``cell``."""
+        if count < 0:
+            raise ValueError("cell count must be non-negative")
+        for _ in range(count):
+            self.add_cell(cell, group=group)
+
+    def __iter__(self) -> Iterator[CellInstance]:
+        return iter(self._cells)
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    @property
+    def cells(self) -> Tuple[CellInstance, ...]:
+        """All cell instances."""
+        return tuple(self._cells)
+
+    def cell_counts(self, group: Optional[str] = None) -> Dict[str, int]:
+        """Histogram of cell types, optionally restricted to one group."""
+        counter: Counter = Counter()
+        for inst in self._cells:
+            if group is None or inst.group == group:
+                counter[inst.cell] += 1
+        return dict(counter)
+
+    def groups(self) -> List[str]:
+        """All distinct group labels present in the netlist."""
+        return sorted({inst.group for inst in self._cells})
+
+    def count(self, cell: str, group: Optional[str] = None) -> int:
+        """Number of instances of ``cell`` (optionally in ``group``)."""
+        return sum(
+            1 for inst in self._cells
+            if inst.cell == cell and (group is None or inst.group == group))
+
+    # ------------------------------------------------------------------
+    # Composition
+    # ------------------------------------------------------------------
+    def merge(self, other: "Netlist", group: Optional[str] = None) -> None:
+        """Absorb another netlist's cells (ports are not merged).
+
+        When ``group`` is given, the absorbed cells are re-labelled with
+        that group, which is how the synthesis flow attributes monitor /
+        corrector / controller logic added around a core design.
+        """
+        for inst in other:
+            self._cells.append(CellInstance(
+                name=f"{other.name}/{inst.name}",
+                cell=inst.cell,
+                group=group if group is not None else inst.group))
+
+    def copy(self) -> "Netlist":
+        """Deep-enough copy (cell instances are immutable)."""
+        dup = Netlist(self.name)
+        dup._cells = list(self._cells)
+        dup._ports = dict(self._ports)
+        return dup
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Netlist({self.name!r}, cells={len(self._cells)}, "
+                f"ports={len(self._ports)})")
+
+
+def netlist_from_counts(name: str, counts: Dict[str, int],
+                        group: str = "core") -> Netlist:
+    """Build a netlist directly from a ``{cell: count}`` mapping."""
+    netlist = Netlist(name)
+    for cell, count in counts.items():
+        netlist.add_cells(cell, count, group=group)
+    return netlist
+
+
+__all__ = [
+    "PortDirection",
+    "Port",
+    "CellInstance",
+    "Netlist",
+    "netlist_from_counts",
+]

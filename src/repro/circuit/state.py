@@ -1,0 +1,76 @@
+"""State snapshots of sequential circuits.
+
+A :class:`StateSnapshot` is an immutable record of every register value
+of a design at a point in time.  It is the currency used by the
+validation campaign to decide whether a sleep/wake cycle preserved the
+architectural state, independently of whether the monitoring logic
+*reported* anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class StateSnapshot:
+    """Immutable register-state snapshot of a sequential circuit.
+
+    Attributes
+    ----------
+    values:
+        Register values in register order; ``None`` encodes the unknown
+        value X.
+    names:
+        Register names, aligned with ``values``.
+    """
+
+    values: Tuple[Optional[int], ...]
+    names: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.names and len(self.names) != len(self.values):
+            raise ValueError(
+                "names and values must have the same length when names "
+                "are provided")
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, index: int) -> Optional[int]:
+        return self.values[index]
+
+    @property
+    def has_unknowns(self) -> bool:
+        """True when any register holds the unknown value X."""
+        return any(v is None for v in self.values)
+
+    def diff(self, other: "StateSnapshot") -> Tuple[int, ...]:
+        """Indices at which two snapshots differ (unknowns always differ)."""
+        if len(other) != len(self):
+            raise ValueError("snapshots must have equal length to diff")
+        return tuple(
+            i for i, (a, b) in enumerate(zip(self.values, other.values))
+            if a != b)
+
+    def hamming_distance(self, other: "StateSnapshot") -> int:
+        """Number of differing register values."""
+        return len(self.diff(other))
+
+    def as_dict(self) -> Dict[str, Optional[int]]:
+        """Name-to-value mapping (names must be present)."""
+        if not self.names:
+            raise ValueError("snapshot has no register names")
+        return dict(zip(self.names, self.values))
+
+    def with_flips(self, positions: Tuple[int, ...]) -> "StateSnapshot":
+        """Return a copy with the bits at ``positions`` inverted."""
+        values = list(self.values)
+        for pos in positions:
+            if values[pos] is not None:
+                values[pos] ^= 1
+        return StateSnapshot(values=tuple(values), names=self.names)
+
+
+__all__ = ["StateSnapshot"]

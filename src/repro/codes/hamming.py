@@ -1,0 +1,253 @@
+"""Hamming(n, k) single-error-correcting block codes.
+
+The paper evaluates four members of the Hamming family --- (7,4),
+(15,11), (31,26) and (63,57) --- as the correction option of the state
+monitoring block (Tables II and III, Fig. 10).  Any code with
+``n = 2**r - 1`` and ``k = n - r`` for ``r >= 2`` is supported here.
+
+The implementation is *systematic*: :meth:`HammingCode.encode` returns
+the ``k`` data bits first, followed by ``r`` parity bits.  Internally
+the classic position-indexed construction is used (parity bits at
+power-of-two positions of the 1-based codeword), and a fixed permutation
+maps between the systematic layout used by the monitoring hardware and
+the positional layout used for syndrome computation.
+
+The decoder corrects any single-bit error (in data *or* parity) and, by
+construction of a perfect code, maps any multi-bit error either to a
+wrong "correction" or occasionally to a clean syndrome --- exactly the
+behaviour that makes clustered multi-bit bursts uncorrectable in the
+paper's second FPGA experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.codes.base import (
+    Bits,
+    BlockCode,
+    CodeError,
+    DecodeResult,
+    DecodeStatus,
+    as_bits,
+)
+
+#: The (n, k) pairs studied in the paper, in decreasing redundancy order.
+PAPER_HAMMING_CODES: Tuple[Tuple[int, int], ...] = (
+    (7, 4),
+    (15, 11),
+    (31, 26),
+    (63, 57),
+)
+
+
+def _is_power_of_two(x: int) -> bool:
+    return x > 0 and (x & (x - 1)) == 0
+
+
+class HammingCode(BlockCode):
+    """A Hamming single-error-correcting code with parameters ``(n, k)``.
+
+    Parameters
+    ----------
+    n:
+        Codeword length; must equal ``2**r - 1`` for some integer
+        ``r >= 2``.
+    k:
+        Data bits per codeword; must equal ``n - r``.
+
+    Examples
+    --------
+    >>> code = HammingCode(7, 4)
+    >>> cw = code.encode([1, 0, 1, 1])
+    >>> code.decode(cw).is_clean
+    True
+    >>> corrupted = list(cw); corrupted[2] ^= 1
+    >>> result = code.decode(corrupted)
+    >>> result.status.name, result.data
+    ('CORRECTED', (1, 0, 1, 1))
+    """
+
+    correctable_errors = 1
+
+    def __init__(self, n: int = 7, k: int = 4):
+        r = n - k
+        if r < 2:
+            raise CodeError(
+                f"Hamming codes need at least 2 parity bits, got r={r}")
+        if n != (1 << r) - 1:
+            raise CodeError(
+                f"invalid Hamming parameters ({n},{k}): "
+                f"n must equal 2**r - 1 = {(1 << r) - 1} for r = {r}")
+        self.n = n
+        self.k = k
+        # Positional layout: 1-based positions 1..n; parity bits live at
+        # power-of-two positions, data bits fill the rest in order.
+        self._data_positions: List[int] = [
+            p for p in range(1, n + 1) if not _is_power_of_two(p)]
+        self._parity_positions: List[int] = [
+            p for p in range(1, n + 1) if _is_power_of_two(p)]
+        # Map each positional index back to its slot in the systematic
+        # (data-first) layout, so decode can report corrections in terms
+        # of the layout the monitoring hardware actually uses.
+        self._position_to_systematic: Dict[int, int] = {}
+        for idx, pos in enumerate(self._data_positions):
+            self._position_to_systematic[pos] = idx
+        for idx, pos in enumerate(self._parity_positions):
+            self._position_to_systematic[pos] = self.k + idx
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def _parity_for_positions(self, positional: Dict[int, int]) -> List[int]:
+        """Compute the parity bits for a positional data assignment."""
+        parity = []
+        for p_idx, p_pos in enumerate(self._parity_positions):
+            mask = 1 << p_idx
+            acc = 0
+            for pos in range(1, self.n + 1):
+                if pos == p_pos:
+                    continue
+                if pos & mask:
+                    acc ^= positional.get(pos, 0)
+            parity.append(acc)
+        return parity
+
+    def encode(self, data: Iterable[int]) -> Bits:
+        """Encode ``k`` data bits into the systematic ``n``-bit codeword."""
+        data_t = as_bits(data)
+        if len(data_t) != self.k:
+            raise CodeError(
+                f"expected {self.k} data bits, got {len(data_t)}")
+        positional = {
+            pos: bit for pos, bit in zip(self._data_positions, data_t)}
+        parity = self._parity_for_positions(positional)
+        return data_t + tuple(parity)
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def syndrome(self, codeword: Iterable[int]) -> int:
+        """Compute the syndrome of a received systematic codeword.
+
+        A zero syndrome means "looks clean"; a non-zero syndrome is the
+        1-based *positional* index of the (assumed single) erroneous
+        bit.
+        """
+        cw = as_bits(codeword)
+        if len(cw) != self.n:
+            raise CodeError(
+                f"expected {self.n} codeword bits, got {len(cw)}")
+        positional: Dict[int, int] = {}
+        for idx, pos in enumerate(self._data_positions):
+            positional[pos] = cw[idx]
+        for idx, pos in enumerate(self._parity_positions):
+            positional[pos] = cw[self.k + idx]
+        syndrome = 0
+        for p_idx, p_pos in enumerate(self._parity_positions):
+            mask = 1 << p_idx
+            acc = 0
+            for pos in range(1, self.n + 1):
+                if pos & mask:
+                    acc ^= positional[pos]
+            if acc:
+                syndrome |= mask
+        return syndrome
+
+    def decode(self, codeword: Iterable[int]) -> DecodeResult:
+        """Decode a received codeword, correcting a single-bit error."""
+        cw = list(as_bits(codeword))
+        if len(cw) != self.n:
+            raise CodeError(
+                f"expected {self.n} codeword bits, got {len(cw)}")
+        syn = self.syndrome(cw)
+        if syn == 0:
+            return DecodeResult(
+                status=DecodeStatus.NO_ERROR,
+                data=tuple(cw[:self.k]),
+                syndrome=0)
+        if syn > self.n:
+            # Cannot happen for a true Hamming code (syndrome is r bits
+            # wide and n = 2**r - 1) but kept as a guard for subclasses.
+            return DecodeResult(
+                status=DecodeStatus.DETECTED,
+                data=tuple(cw[:self.k]),
+                syndrome=syn)
+        systematic_idx = self._position_to_systematic[syn]
+        cw[systematic_idx] ^= 1
+        return DecodeResult(
+            status=DecodeStatus.CORRECTED,
+            data=tuple(cw[:self.k]),
+            corrected_positions=(systematic_idx,),
+            syndrome=syn)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers used by the cost model and the RTL emitter
+    # ------------------------------------------------------------------
+    def parity_equations(self) -> List[List[int]]:
+        """Data-bit indices feeding each parity bit.
+
+        ``parity_equations()[j]`` lists the systematic data-bit indices
+        XORed together to form parity bit ``j``.  Used by the RTL
+        emitter to print the encoder's ``assign`` equations and by the
+        tests to cross-check the generated hardware against the
+        software encoder.
+        """
+        equations: List[List[int]] = []
+        for p_idx, _p_pos in enumerate(self._parity_positions):
+            mask = 1 << p_idx
+            equations.append([
+                data_idx
+                for data_idx, pos in enumerate(self._data_positions)
+                if pos & mask])
+        return equations
+
+    def encoder_xor_count(self) -> int:
+        """Number of 2-input XOR gates in a flat parallel encoder.
+
+        Each parity bit is the XOR of the data bits whose positional
+        index includes that parity position's power of two; a tree of
+        ``fanin - 1`` two-input XORs realises each.
+        """
+        total = 0
+        for p_idx, p_pos in enumerate(self._parity_positions):
+            mask = 1 << p_idx
+            fanin = sum(
+                1 for pos in self._data_positions if pos & mask)
+            total += max(fanin - 1, 0)
+        return total
+
+    def decoder_xor_count(self) -> int:
+        """XOR gates in the syndrome computation (parallel decoder)."""
+        total = 0
+        for p_idx, p_pos in enumerate(self._parity_positions):
+            mask = 1 << p_idx
+            fanin = sum(1 for pos in range(1, self.n + 1) if pos & mask)
+            total += max(fanin - 1, 0)
+        return total
+
+    def corrector_gate_count(self) -> int:
+        """Gates in the error-location decoder plus correction XORs.
+
+        One ``r``-input AND-style decode per codeword bit position plus
+        one XOR per data bit on the correction path.
+        """
+        decode_gates = self.n * max(self.r - 1, 1)
+        correction_xors = self.k
+        return decode_gates + correction_xors
+
+    @property
+    def name(self) -> str:
+        """Canonical name, e.g. ``"hamming(7,4)"``."""
+        return f"hamming({self.n},{self.k})"
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, HammingCode)
+                and type(other) is type(self)
+                and other.n == self.n and other.k == self.k)
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.n, self.k))
+
+
+__all__ = ["HammingCode", "PAPER_HAMMING_CODES"]

@@ -1,0 +1,83 @@
+"""Single-parity-bit detection code.
+
+Not evaluated in the paper's tables, but included as the simplest member
+of the detection-only design space: a single even-parity bit per data
+block detects any odd number of errors at negligible area cost.  It is
+used in the ablation benchmarks as the lower anchor of the
+area-versus-capability trade-off.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.codes.base import (
+    Bits,
+    BlockCode,
+    CodeError,
+    DecodeResult,
+    DecodeStatus,
+    as_bits,
+)
+
+
+class ParityCode(BlockCode):
+    """Even (or odd) parity over ``k`` data bits.
+
+    Parameters
+    ----------
+    k:
+        Number of data bits per block.
+    odd:
+        When True, odd parity is used (the parity bit makes the total
+        number of ones odd).  Default is even parity.
+    """
+
+    correctable_errors = 0
+
+    def __init__(self, k: int = 8, odd: bool = False):
+        if k <= 0:
+            raise CodeError("parity block size must be positive")
+        self.k = k
+        self.n = k + 1
+        self.odd = odd
+
+    def _parity_of(self, data: Bits) -> int:
+        p = 0
+        for bit in data:
+            p ^= bit
+        return p ^ 1 if self.odd else p
+
+    def encode(self, data: Iterable[int]) -> Bits:
+        """Append the parity bit to ``k`` data bits."""
+        data_t = as_bits(data)
+        if len(data_t) != self.k:
+            raise CodeError(
+                f"expected {self.k} data bits, got {len(data_t)}")
+        return data_t + (self._parity_of(data_t),)
+
+    def decode(self, codeword: Iterable[int]) -> DecodeResult:
+        """Verify the parity bit; any odd-weight error is detected."""
+        cw = as_bits(codeword)
+        if len(cw) != self.n:
+            raise CodeError(
+                f"expected {self.n} codeword bits, got {len(cw)}")
+        data, parity = cw[:self.k], cw[self.k]
+        expected = self._parity_of(data)
+        if parity == expected:
+            return DecodeResult(status=DecodeStatus.NO_ERROR, data=data)
+        return DecodeResult(
+            status=DecodeStatus.DETECTED, data=data, syndrome=1)
+
+    @property
+    def name(self) -> str:
+        """Canonical name, e.g. ``"parity(8)"``."""
+        kind = "odd" if self.odd else "even"
+        return f"parity({self.k},{kind})"
+
+    def encoder_xor_count(self) -> int:
+        """XOR gates in a parity tree over ``k`` inputs."""
+        return max(self.k - 1, 0) + (1 if self.odd else 0)
+
+
+__all__ = ["ParityCode"]

@@ -1,0 +1,82 @@
+"""Name-based registry of monitoring codes.
+
+The reliability-aware synthesis flow (paper Fig. 4) is configured with a
+textual quality/configuration file; the code to use is one of its
+fields.  This registry resolves those names ("crc16",
+"hamming(7,4)", ...) to constructed code objects.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, Union
+
+from repro.codes.base import BlockCode, CodeError, StreamCode
+from repro.codes.crc import CRC_POLYNOMIALS, CRCCode
+from repro.codes.hamming import PAPER_HAMMING_CODES, HammingCode
+from repro.codes.parity import ParityCode
+from repro.codes.secded import SECDEDCode
+
+CodeLike = Union[BlockCode, StreamCode]
+
+_FACTORIES: Dict[str, Callable[[], CodeLike]] = {}
+
+_HAMMING_RE = re.compile(r"^hamming\((\d+),(\d+)\)$")
+_SECDED_RE = re.compile(r"^secded\((\d+),(\d+)\)$")
+_PARITY_RE = re.compile(r"^parity\((\d+)\)$")
+
+
+def register_code(name: str, factory: Callable[[], CodeLike]) -> None:
+    """Register a code factory under a (lower-cased) name."""
+    _FACTORIES[name.lower()] = factory
+
+
+def available_codes() -> List[str]:
+    """Names resolvable by :func:`get_code` (registered + pattern forms)."""
+    names = sorted(_FACTORIES)
+    names.extend(f"hamming({n},{k})" for n, k in PAPER_HAMMING_CODES)
+    names.append("secded(8,4)")
+    names.append("parity(<k>)")
+    return names
+
+
+def get_code(name: str) -> CodeLike:
+    """Resolve a code name to a constructed code object.
+
+    Accepted forms:
+
+    * any registered name (all entries of
+      :data:`repro.codes.crc.CRC_POLYNOMIALS` are pre-registered);
+    * ``"hamming(n,k)"`` for any valid Hamming parameters;
+    * ``"secded(n,k)"`` where ``(n-1, k)`` are valid Hamming parameters;
+    * ``"parity(k)"``.
+    """
+    key = name.lower().replace(" ", "")
+    if key in _FACTORIES:
+        return _FACTORIES[key]()
+    match = _HAMMING_RE.match(key)
+    if match:
+        return HammingCode(int(match.group(1)), int(match.group(2)))
+    match = _SECDED_RE.match(key)
+    if match:
+        n, k = int(match.group(1)), int(match.group(2))
+        return SECDEDCode(n - 1, k)
+    match = _PARITY_RE.match(key)
+    if match:
+        return ParityCode(int(match.group(1)))
+    raise CodeError(
+        f"unknown code '{name}'; known codes: {available_codes()}")
+
+
+def _register_builtins() -> None:
+    for crc_name in CRC_POLYNOMIALS:
+        register_code(crc_name, lambda n=crc_name: CRCCode.from_name(n))
+    for n, k in PAPER_HAMMING_CODES:
+        register_code(f"hamming({n},{k})",
+                      lambda n=n, k=k: HammingCode(n, k))
+    register_code("secded(8,4)", lambda: SECDEDCode(7, 4))
+
+
+_register_builtins()
+
+__all__ = ["get_code", "register_code", "available_codes", "CodeLike"]

@@ -1,0 +1,272 @@
+"""Power-gating controllers: conventional and monitored control sequences.
+
+Paper Fig. 3 contrasts the two control flows:
+
+* **conventional** (Fig. 3(a)): ACTIVE -> (sleep=1) save state, turn
+  switches off -> SLEEP -> (sleep=0) turn switches on, restore state ->
+  ACTIVE;
+* **proposed** (Fig. 3(b)): ACTIVE -> (sleep=1) **encode** -> save
+  state, turn switches off -> SLEEP -> (sleep=0) turn switches on,
+  restore state -> **decode** -> ACTIVE if clean / corrected, otherwise
+  raise an error code.
+
+Both controllers are implemented as explicit finite-state machines with
+a transition log, so that the test suite can assert that only legal
+sequences occur and that the monitored controller performs exactly one
+encode before every sleep and one decode after every wake.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.circuit.netlist import Netlist
+
+
+class ControllerState(enum.Enum):
+    """States of the power-gating control FSM."""
+
+    ACTIVE = "active"
+    ENCODE = "encode"
+    SLEEP_ENTRY = "sleep_entry"
+    SLEEP = "sleep"
+    WAKE = "wake"
+    DECODE = "decode"
+    ERROR = "error"
+
+
+class ErrorCode(enum.Enum):
+    """Error code raised at the end of the decode sequence (Fig. 3(b))."""
+
+    #: No mismatch was observed; the state is trusted as-is.
+    NONE = "none"
+    #: Mismatches were observed and every one of them was corrected.
+    CORRECTED = "corrected"
+    #: Mismatches were observed that could not be corrected; software
+    #: recovery (or a reset) is required.
+    UNCORRECTABLE = "uncorrectable"
+
+
+class IllegalTransition(RuntimeError):
+    """Raised when a control signal arrives in a state that cannot accept it."""
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One logged FSM transition."""
+
+    source: ControllerState
+    destination: ControllerState
+    signal: str
+
+
+class PowerGatingController:
+    """The conventional power-gating control sequence (paper Fig. 3(a)).
+
+    The controller is driven by four signals, invoked as methods in
+    order: :meth:`sleep_request`, :meth:`sleep_entered`,
+    :meth:`wake_request`, :meth:`wake_completed`.
+    """
+
+    #: States involved in entering sleep, in order.
+    SLEEP_SEQUENCE: Tuple[str, ...] = ("retain", "power_off")
+    #: States involved in waking up, in order.
+    WAKE_SEQUENCE: Tuple[str, ...] = ("power_on", "restore")
+
+    def __init__(self) -> None:
+        self._state = ControllerState.ACTIVE
+        self._log: List[Transition] = []
+        self._sleep_cycles = 0
+        self._error_code = ErrorCode.NONE
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> ControllerState:
+        """Current FSM state."""
+        return self._state
+
+    @property
+    def transition_log(self) -> Tuple[Transition, ...]:
+        """Every transition taken since construction."""
+        return tuple(self._log)
+
+    @property
+    def sleep_cycles_completed(self) -> int:
+        """Number of complete sleep/wake cycles sequenced so far."""
+        return self._sleep_cycles
+
+    @property
+    def error_code(self) -> ErrorCode:
+        """Error code raised by the most recent wake-up."""
+        return self._error_code
+
+    def _go(self, destination: ControllerState, signal: str) -> None:
+        self._log.append(Transition(self._state, destination, signal))
+        self._state = destination
+
+    def _expect(self, *allowed: ControllerState) -> None:
+        if self._state not in allowed:
+            raise IllegalTransition(
+                f"signal not allowed in state {self._state.value!r} "
+                f"(allowed: {[s.value for s in allowed]})")
+
+    # ------------------------------------------------------------------
+    # Control signals
+    # ------------------------------------------------------------------
+    def sleep_request(self) -> List[str]:
+        """Signal ``sleep = 1``; returns the phases the platform must run."""
+        self._expect(ControllerState.ACTIVE)
+        self._go(ControllerState.SLEEP_ENTRY, "sleep=1")
+        return list(self.SLEEP_SEQUENCE)
+
+    def sleep_entered(self) -> None:
+        """The sleep sequence finished; the domain is now gated off."""
+        self._expect(ControllerState.SLEEP_ENTRY)
+        self._go(ControllerState.SLEEP, "sleep_sequence_done")
+
+    def wake_request(self) -> List[str]:
+        """Signal ``sleep = 0``; returns the wake-up phases to run."""
+        self._expect(ControllerState.SLEEP)
+        self._go(ControllerState.WAKE, "sleep=0")
+        return list(self.WAKE_SEQUENCE)
+
+    def wake_completed(self) -> ErrorCode:
+        """The wake-up sequence finished; back to active mode."""
+        self._expect(ControllerState.WAKE)
+        self._go(ControllerState.ACTIVE, "wake_sequence_done")
+        self._sleep_cycles += 1
+        self._error_code = ErrorCode.NONE
+        return self._error_code
+
+    def reset(self) -> None:
+        """Force the controller back to ACTIVE (system reset)."""
+        self._go(ControllerState.ACTIVE, "reset")
+        self._error_code = ErrorCode.NONE
+
+    # ------------------------------------------------------------------
+    def build_netlist(self, chain_length: int = 0) -> Netlist:
+        """Structural netlist of the controller, group ``controller``."""
+        netlist = Netlist("pg_controller")
+        group = "controller"
+        # State register (one-hot-ish encoding of up to 7 states).
+        netlist.add_cells("dff", 3, group=group)
+        # Handshake / request synchronisers.
+        netlist.add_cells("dff", 4, group=group)
+        # Next-state and output decode logic.
+        netlist.add_cells("nand2", 18, group=group)
+        netlist.add_cells("nor2", 10, group=group)
+        netlist.add_cells("inv", 8, group=group)
+        if chain_length > 0:
+            # Cycle counter for the encode/decode passes.
+            counter_bits = max(1, math.ceil(math.log2(chain_length + 1)))
+            netlist.add_cells("dff", counter_bits, group=group)
+            netlist.add_cells("xor2", counter_bits, group=group)
+            netlist.add_cells("and2", counter_bits, group=group)
+        return netlist
+
+
+class MonitoredPowerGatingController(PowerGatingController):
+    """The proposed control sequence with state monitoring (Fig. 3(b)).
+
+    Adds the ENCODE state before the sleep sequence and the DECODE state
+    after the wake-up sequence.  :meth:`decode_completed` consumes the
+    monitoring outcome and either returns to ACTIVE (clean or fully
+    corrected) or enters the ERROR state (uncorrectable), from which
+    only :meth:`recovery_completed` or :meth:`reset` leads back to
+    ACTIVE.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._encodes = 0
+        self._decodes = 0
+
+    @property
+    def encode_passes(self) -> int:
+        """Number of encode passes sequenced."""
+        return self._encodes
+
+    @property
+    def decode_passes(self) -> int:
+        """Number of decode passes sequenced."""
+        return self._decodes
+
+    # ------------------------------------------------------------------
+    def sleep_request(self) -> List[str]:
+        """Signal ``sleep = 1``; the encode pass precedes the sleep sequence."""
+        self._expect(ControllerState.ACTIVE)
+        self._go(ControllerState.ENCODE, "sleep=1")
+        return ["encode"] + list(self.SLEEP_SEQUENCE)
+
+    def encode_completed(self) -> None:
+        """The encode pass finished; proceed with the sleep sequence."""
+        self._expect(ControllerState.ENCODE)
+        self._encodes += 1
+        self._go(ControllerState.SLEEP_ENTRY, "encode_done")
+
+    def wake_request(self) -> List[str]:
+        """Signal ``sleep = 0``; the decode pass follows the wake sequence."""
+        self._expect(ControllerState.SLEEP)
+        self._go(ControllerState.WAKE, "sleep=0")
+        return list(self.WAKE_SEQUENCE) + ["decode"]
+
+    def wake_completed(self) -> ErrorCode:
+        """The restore finished; move on to the decode pass."""
+        self._expect(ControllerState.WAKE)
+        self._go(ControllerState.DECODE, "wake_sequence_done")
+        return self._error_code
+
+    def decode_completed(self, error_detected: bool,
+                         fully_corrected: bool) -> ErrorCode:
+        """Consume the decode outcome and finish the cycle.
+
+        Parameters
+        ----------
+        error_detected:
+            Whether any monitoring block reported a mismatch.
+        fully_corrected:
+            Whether every mismatch was repaired by the correction block.
+        """
+        self._expect(ControllerState.DECODE)
+        self._decodes += 1
+        if not error_detected:
+            self._error_code = ErrorCode.NONE
+            self._go(ControllerState.ACTIVE, "decode_clean")
+        elif fully_corrected:
+            self._error_code = ErrorCode.CORRECTED
+            self._go(ControllerState.ACTIVE, "decode_corrected")
+        else:
+            self._error_code = ErrorCode.UNCORRECTABLE
+            self._go(ControllerState.ERROR, "decode_uncorrectable")
+        self._sleep_cycles += 1
+        return self._error_code
+
+    def recovery_completed(self) -> None:
+        """Software recovery finished; leave the ERROR state."""
+        self._expect(ControllerState.ERROR)
+        self._go(ControllerState.ACTIVE, "recovery_done")
+        self._error_code = ErrorCode.NONE
+
+    # ------------------------------------------------------------------
+    def build_netlist(self, chain_length: int = 0) -> Netlist:
+        """Controller netlist; slightly larger than the conventional FSM."""
+        netlist = super().build_netlist(chain_length)
+        group = "controller"
+        # Extra states, the error-code register and the monitor handshake.
+        netlist.add_cells("dff", 3, group=group)
+        netlist.add_cells("nand2", 10, group=group)
+        netlist.add_cells("or2", 6, group=group)
+        return netlist
+
+
+__all__ = [
+    "ControllerState",
+    "ErrorCode",
+    "IllegalTransition",
+    "Transition",
+    "PowerGatingController",
+    "MonitoredPowerGatingController",
+]

@@ -1,0 +1,478 @@
+"""Protected power-gated design: the full methodology in one object.
+
+:class:`ProtectedDesign` wires together everything the paper's Fig. 2
+shows around the power-gated circuit (PGC):
+
+* the scan chains (re)configured for monitoring (Fig. 5(a));
+* the bank of state monitoring blocks, one per ``monitor_width`` chains
+  for block codes, one shared block for CRC;
+* the error correction block on the scan feedback path;
+* the monitored power-gating controller (Fig. 3(b));
+* the power domain with its sleep transistors, rush-current model and
+  (optionally) the droop-driven retention upset model.
+
+Its central method, :meth:`ProtectedDesign.sleep_wake_cycle`, runs one
+complete encode -> sleep -> wake -> decode sequence with optional fault
+injection and reports what was injected, detected and corrected ---
+which is precisely the paper's FPGA test sequence (Section IV), minus
+the serial port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.circuit.base import SequentialCircuit
+from repro.circuit.flipflop import RetentionFlipFlop
+from repro.circuit.netlist import Netlist
+from repro.circuit.scan import ScanChain, balance_chains
+from repro.circuit.state import StateSnapshot
+from repro.codes.base import BlockCode, StreamCode
+from repro.codes.registry import get_code
+from repro.core.controller import ErrorCode, MonitoredPowerGatingController
+from repro.core.corrector import ErrorCorrectionBlock
+from repro.core.monitor import (
+    MonitorBank,
+    MonitorReport,
+    build_monitor_blocks,
+)
+from repro.core.scan_config import ScanChainConfig
+from repro.faults.injector import ScanErrorInjector
+from repro.faults.patterns import ErrorPattern
+from repro.power.domain import PowerDomain, SwitchNetwork, WakeEvent
+from repro.power.retention import RetentionUpsetModel
+from repro.power.rush_current import RLCParameters
+from repro.tech.area import AreaBreakdown, AreaEstimator
+from repro.tech.energy import CodingCost, EnergyCalculator
+from repro.tech.library import StandardCellLibrary, default_library
+from repro.tech.power import PowerBreakdown, PowerEstimator
+
+CodeSpec = Union[str, BlockCode, StreamCode]
+
+
+@dataclass(frozen=True)
+class CycleOutcome:
+    """Result of one monitored sleep/wake cycle.
+
+    Attributes
+    ----------
+    injected_errors:
+        Number of register bits that actually differed from the
+        pre-sleep state when the decode pass started (fault injection
+        plus any droop-induced upsets).
+    detected:
+        True when any monitoring block reported a mismatch.
+    corrected_claim:
+        What the hardware believes: True when mismatches were observed
+        and none of them was flagged uncorrectable.
+    state_intact:
+        Ground truth: True when the post-decode state equals the
+        pre-sleep state bit for bit.
+    residual_errors:
+        Number of register bits still wrong after the decode pass.
+    error_code:
+        The error code raised by the controller (Fig. 3(b)).
+    corrections_applied:
+        Number of bit corrections performed by the correction block.
+    wake_event:
+        The rush-current/droop record of the wake-up.
+    reports:
+        Per-monitoring-block reports from the decode pass.
+    """
+
+    injected_errors: int
+    detected: bool
+    corrected_claim: bool
+    state_intact: bool
+    residual_errors: int
+    error_code: ErrorCode
+    corrections_applied: int
+    wake_event: WakeEvent
+    reports: Tuple[MonitorReport, ...] = field(default_factory=tuple)
+
+    @property
+    def fully_corrected(self) -> bool:
+        """True when errors were present and the final state is intact."""
+        return self.injected_errors > 0 and self.state_intact
+
+    @property
+    def silent_corruption(self) -> bool:
+        """True when the state is corrupted but nothing was reported."""
+        return (not self.state_intact) and (not self.detected)
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Area / power / latency / energy report of a protected design.
+
+    This is the data behind one row of the paper's Tables I and II.
+    """
+
+    config: ScanChainConfig
+    area: AreaBreakdown
+    power: PowerBreakdown
+    encode_cost: CodingCost
+    decode_cost: CodingCost
+
+    @property
+    def area_total_um2(self) -> float:
+        """Total area including the protection circuitry (um^2)."""
+        return self.area.total
+
+    @property
+    def area_overhead_percent(self) -> float:
+        """Protection area overhead relative to the bare design (%)."""
+        return self.area.overhead_fraction * 100.0
+
+    @property
+    def latency_ns(self) -> float:
+        """Encode (== decode) latency in nanoseconds."""
+        return self.encode_cost.latency_ns
+
+    def as_table_row(self) -> dict:
+        """Row in the layout of the paper's Tables I/II."""
+        return {
+            "W": self.config.num_chains,
+            "l": self.config.chain_length,
+            "area_um2": round(self.area_total_um2, 1),
+            "area_overhead_percent": round(self.area_overhead_percent, 2),
+            "enc_power_mw": round(self.encode_cost.power_mw, 3),
+            "dec_power_mw": round(self.decode_cost.power_mw, 3),
+            "latency_ns": round(self.latency_ns, 1),
+            "enc_energy_nj": round(self.encode_cost.energy_nj, 3),
+            "dec_energy_nj": round(self.decode_cost.energy_nj, 3),
+        }
+
+
+class ProtectedDesign:
+    """A power-gated circuit protected by scan-based state monitoring.
+
+    Parameters
+    ----------
+    circuit:
+        The design to protect (its registers must be retention
+        flip-flops, as produced by the circuits in
+        :mod:`repro.circuit`).
+    codes:
+        The monitoring code(s): a name (``"hamming(7,4)"``,
+        ``"crc16"``), a code object, or a list of either.  When several
+        codes are given, block codes correct and stream codes verify the
+        corrected stream (the combination used in the paper's FPGA
+        validation).
+    num_chains:
+        Number of scan chains ``W`` in monitoring mode.
+    monitor_width:
+        Chains per monitoring block; defaults to the block code's ``k``.
+    test_width:
+        Manufacturing-test scan width (Fig. 5(b)); cost accounting only.
+    clock_hz:
+        Scan clock frequency (paper: 100 MHz).
+    library:
+        Standard-cell library for cost accounting.
+    switches, rlc, upset_model:
+        Power-domain configuration; ``upset_model=None`` disables
+        droop-driven upsets (the paper's campaigns inject errors
+        explicitly instead).
+    lfsr_seed:
+        Seed of the error injector's LFSRs.
+    """
+
+    def __init__(self, circuit: SequentialCircuit,
+                 codes: Union[CodeSpec, Sequence[CodeSpec]] = "hamming(7,4)",
+                 num_chains: int = 80,
+                 monitor_width: Optional[int] = None,
+                 test_width: int = 4,
+                 clock_hz: float = 100e6,
+                 library: Optional[StandardCellLibrary] = None,
+                 switches: Optional[SwitchNetwork] = None,
+                 rlc: Optional[RLCParameters] = None,
+                 upset_model: Optional[RetentionUpsetModel] = None,
+                 lfsr_seed: int = 0xACE1):
+        self.circuit = circuit
+        self.library = library if library is not None else default_library()
+        self.clock_hz = clock_hz
+
+        self.codes = self._resolve_codes(codes)
+        block_codes = [c for c in self.codes if isinstance(c, BlockCode)]
+        if monitor_width is None:
+            monitor_width = block_codes[0].k if block_codes else num_chains
+        self._monitor_width = monitor_width
+
+        registers = list(circuit.registers)
+        self._padding: List[RetentionFlipFlop] = []
+        self.config = ScanChainConfig(
+            num_registers=len(registers),
+            num_chains=num_chains,
+            monitor_width=monitor_width,
+            test_width=min(test_width, num_chains),
+            clock_period_ns=1e9 / clock_hz)
+        self.chains = self._build_chains(registers, num_chains)
+
+        blocks = []
+        next_index = 0
+        for code in self.codes:
+            code_blocks = build_monitor_blocks(code, num_chains,
+                                               monitor_width)
+            for block in code_blocks:
+                block.block_index = next_index
+                next_index += 1
+            blocks.extend(code_blocks)
+        self.monitor_bank = MonitorBank(blocks)
+        self.corrector = ErrorCorrectionBlock(
+            block_codes[0] if block_codes else None, num_chains)
+        self.controller = MonitoredPowerGatingController()
+        self.domain = PowerDomain(circuit, switches=switches, rlc=rlc,
+                                  upset_model=upset_model)
+        self.injector = ScanErrorInjector(self.chains, lfsr_seed=lfsr_seed)
+
+        self._area_estimator = AreaEstimator(self.library)
+        self._power_estimator = PowerEstimator(self.library,
+                                               clock_hz=clock_hz)
+        self._energy_calculator = EnergyCalculator(self._power_estimator)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _resolve_codes(codes: Union[CodeSpec, Sequence[CodeSpec]]
+                       ) -> List[Union[BlockCode, StreamCode]]:
+        if isinstance(codes, (str, BlockCode, StreamCode)):
+            codes = [codes]
+        resolved: List[Union[BlockCode, StreamCode]] = []
+        for spec in codes:
+            if isinstance(spec, str):
+                resolved.append(get_code(spec))
+            elif isinstance(spec, (BlockCode, StreamCode)):
+                resolved.append(spec)
+            else:
+                raise TypeError(f"cannot interpret code spec {spec!r}")
+        if not resolved:
+            raise ValueError("at least one monitoring code is required")
+        return resolved
+
+    def _build_chains(self, registers: List[RetentionFlipFlop],
+                      num_chains: int) -> List[ScanChain]:
+        """Balance the registers into ``num_chains`` equal-length chains.
+
+        When the register count does not divide evenly, dummy scan
+        cells are appended (as DFT tools do) so that all chains have the
+        paper's uniform length ``l``.
+        """
+        target_length = self.config.chain_length
+        total_needed = target_length * num_chains
+        padding_needed = total_needed - len(registers)
+        for i in range(padding_needed):
+            pad = RetentionFlipFlop(name=f"{self.circuit.name}.scan_pad[{i}]",
+                                    init=0)
+            self._padding.append(pad)
+        padded = registers + self._padding
+        chains: List[ScanChain] = []
+        for index in range(num_chains):
+            start = index * target_length
+            chains.append(ScanChain(
+                padded[start:start + target_length],
+                name=f"{self.circuit.name}_mon_chain{index}"))
+        return chains
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_chains(self) -> int:
+        """Number of monitoring-mode scan chains ``W``."""
+        return self.config.num_chains
+
+    @property
+    def chain_length(self) -> int:
+        """Monitoring-mode chain length ``l``."""
+        return self.config.chain_length
+
+    @property
+    def padding_cells(self) -> int:
+        """Dummy scan cells added to balance the chains."""
+        return len(self._padding)
+
+    def _all_state(self) -> StateSnapshot:
+        """Snapshot of the circuit registers plus padding cells."""
+        flops = list(self.circuit.registers) + self._padding
+        return StateSnapshot(values=tuple(ff.q for ff in flops),
+                             names=tuple(ff.name for ff in flops))
+
+    # ------------------------------------------------------------------
+    # The monitored sleep/wake cycle (paper Fig. 3(b))
+    # ------------------------------------------------------------------
+    def sleep_wake_cycle(self,
+                         injection: Optional[ErrorPattern] = None,
+                         inject_phase: str = "sleep",
+                         software_recovery: Optional[
+                             Callable[["ProtectedDesign"], None]] = None,
+                         auto_recover: bool = True) -> CycleOutcome:
+        """Run one encode -> sleep -> wake -> decode cycle.
+
+        Parameters
+        ----------
+        injection:
+            Optional error pattern to inject.  With
+            ``inject_phase="sleep"`` the pattern corrupts the retention
+            latches while the domain is asleep (the physical failure
+            mode); with ``"post_wake"`` the errors are injected into the
+            restored state through the scan chains, exactly like the
+            paper's Fig. 6 injection hardware.
+        software_recovery:
+            Callback invoked when the decode pass flags an
+            uncorrectable error (the CRC + software-recovery option of
+            the paper's Section V).  It receives this design and is
+            expected to repair the circuit state by other means.
+        auto_recover:
+            When True the controller is returned to ACTIVE after an
+            uncorrectable error so that subsequent cycles can run (the
+            test bench keeps going and counts the event, as in the
+            paper's FPGA campaign).
+        """
+        if inject_phase not in ("sleep", "post_wake"):
+            raise ValueError("inject_phase must be 'sleep' or 'post_wake'")
+
+        pre_state = self._all_state()
+        self.corrector.clear()
+
+        # -- encode sequence ------------------------------------------------
+        self.controller.sleep_request()
+        self.monitor_bank.encode_pass(self.chains)
+        self.controller.encode_completed()
+
+        # -- sleep sequence ------------------------------------------------
+        self.domain.enter_sleep()
+        for pad in self._padding:
+            pad.retain()
+            pad.power_off()
+        self.controller.sleep_entered()
+
+        if injection is not None and inject_phase == "sleep":
+            self.injector.inject_retention(injection)
+
+        # -- wake-up sequence ----------------------------------------------
+        self.controller.wake_request()
+        wake_event = self.domain.wake_up()
+        for pad in self._padding:
+            pad.power_on()
+            pad.restore()
+        self.controller.wake_completed()
+
+        if injection is not None and inject_phase == "post_wake":
+            self.injector.inject_direct(injection)
+
+        corrupted_state = self._all_state()
+        injected_errors = pre_state.hamming_distance(corrupted_state)
+
+        # -- decode sequence -------------------------------------------------
+        reports = self.monitor_bank.decode_pass(self.chains)
+        for report in reports:
+            self.corrector.record(report.corrections)
+
+        detected = any(r.error_detected for r in reports)
+        uncorrectable = any(r.uncorrectable for r in reports)
+        corrected_claim = detected and not uncorrectable
+        error_code = self.controller.decode_completed(
+            error_detected=detected,
+            fully_corrected=corrected_claim)
+
+        if error_code is ErrorCode.UNCORRECTABLE:
+            if software_recovery is not None:
+                software_recovery(self)
+            if auto_recover:
+                self.controller.recovery_completed()
+
+        post_state = self._all_state()
+        residual = pre_state.hamming_distance(post_state)
+
+        return CycleOutcome(
+            injected_errors=injected_errors,
+            detected=detected,
+            corrected_claim=corrected_claim,
+            state_intact=(residual == 0),
+            residual_errors=residual,
+            error_code=error_code,
+            corrections_applied=self.corrector.num_corrections,
+            wake_event=wake_event,
+            reports=tuple(reports))
+
+    def unprotected_sleep_wake_cycle(
+            self, injection: Optional[ErrorPattern] = None) -> CycleOutcome:
+        """Baseline cycle without encode/decode (conventional Fig. 3(a)).
+
+        Any injected or droop-induced corruption goes unnoticed; used by
+        the examples and benchmarks as the reliability baseline.
+        """
+        pre_state = self._all_state()
+        self.domain.enter_sleep()
+        for pad in self._padding:
+            pad.retain()
+            pad.power_off()
+        if injection is not None:
+            self.injector.inject_retention(injection)
+        wake_event = self.domain.wake_up()
+        for pad in self._padding:
+            pad.power_on()
+            pad.restore()
+        post_state = self._all_state()
+        residual = pre_state.hamming_distance(post_state)
+        return CycleOutcome(
+            injected_errors=residual,
+            detected=False,
+            corrected_claim=False,
+            state_intact=(residual == 0),
+            residual_errors=residual,
+            error_code=ErrorCode.NONE,
+            corrections_applied=0,
+            wake_event=wake_event,
+            reports=())
+
+    # ------------------------------------------------------------------
+    # Cost accounting (paper Tables I--III, Fig. 9)
+    # ------------------------------------------------------------------
+    def scan_routing_netlist(self) -> Netlist:
+        """Per-chain scan-path reconfiguration logic (Fig. 5).
+
+        Each chain's scan-in port needs a 3-way selector (functional
+        loop-back / corrected feedback / test input) plus buffering, and
+        the padding cells added for balancing are counted here too.
+        """
+        netlist = Netlist("scan_routing")
+        group = "scan_routing"
+        netlist.add_cells("mux3", self.num_chains, group=group)
+        netlist.add_cells("buf", self.num_chains, group=group)
+        if self._padding:
+            netlist.add_cells("rsdff", len(self._padding), group=group)
+        return netlist
+
+    def full_netlist(self) -> Netlist:
+        """Complete netlist: protected circuit plus protection circuitry."""
+        full = self.circuit.netlist.copy()
+        full.merge(self.monitor_bank.build_netlist(self.chain_length))
+        full.merge(self.corrector.build_netlist(
+            num_blocks=sum(1 for b in self.monitor_bank.blocks
+                           if b.can_correct)))
+        full.merge(self.controller.build_netlist(self.chain_length))
+        full.merge(self.scan_routing_netlist())
+        return full
+
+    def cost_report(self) -> CostReport:
+        """Area / power / latency / energy of this configuration."""
+        netlist = self.full_netlist()
+        area = self._area_estimator.breakdown(netlist)
+        power = self._power_estimator.scan_mode_power(netlist)
+        encode_cost = self._energy_calculator.encode_cost(
+            netlist, self.chain_length)
+        decode_cost = self._energy_calculator.decode_cost(
+            netlist, self.chain_length)
+        return CostReport(config=self.config, area=area, power=power,
+                          encode_cost=encode_cost, decode_cost=decode_cost)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        code_names = ", ".join(getattr(c, "name", repr(c)) for c in self.codes)
+        return (f"ProtectedDesign({self.circuit.name!r}, codes=[{code_names}], "
+                f"W={self.num_chains}, l={self.chain_length})")
+
+
+__all__ = ["ProtectedDesign", "CycleOutcome", "CostReport"]

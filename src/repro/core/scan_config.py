@@ -1,0 +1,191 @@
+"""Scan-chain configuration for dual-use monitoring and manufacturing test.
+
+Paper Section III: the same flip-flops can be organised as
+
+* ``W`` short chains feeding ``W / k`` state-monitoring blocks in
+  parallel (monitoring mode, Fig. 5(a)), which makes the encode/decode
+  latency ``l x T = ceil(N / W) x T``; and
+* a smaller number of long chains matching the tester's I/O width
+  (manufacturing-test mode, Fig. 5(b)), obtained by looping the
+  scan-out of one group of chains back into the scan-in of the next.
+
+The paper's worked example: 128 flip-flops in 4 chains need 32 cycles
+per pass; re-ordering them into 16 chains with 4 parallel monitoring
+blocks needs only 8 cycles --- a 4x speed-up --- while test mode still
+sees 4 chains of length 32.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class TestModeMapping:
+    """How monitoring-mode chains are concatenated for manufacturing test.
+
+    ``groups[i]`` lists the monitoring-chain indices that are daisy
+    chained (scan-out looped back to the next chain's scan-in) to form
+    test chain ``i`` --- the So[3:0] -> Si[7:4] wiring of Fig. 5(b).
+    """
+
+    test_width: int
+    groups: Tuple[Tuple[int, ...], ...]
+    test_chain_length: int
+
+    @property
+    def num_loopbacks(self) -> int:
+        """Scan-out-to-scan-in loop-back connections needed."""
+        return sum(max(len(group) - 1, 0) for group in self.groups)
+
+
+@dataclass(frozen=True)
+class ScanChainConfig:
+    """Geometry of the monitoring scan-chain configuration.
+
+    Parameters
+    ----------
+    num_registers:
+        Total number of scanned flip-flops ``N`` (including any padding
+        cells added to balance the chains).
+    num_chains:
+        Number of scan chains ``W`` in monitoring mode.
+    monitor_width:
+        Input width of one state monitoring block (``k`` of the block
+        code, e.g. 4 for Hamming(7,4); for stream codes this is simply
+        how many chains share one signature register).
+    test_width:
+        Scan I/O width available for manufacturing test (number of test
+        scan ports).
+    clock_period_ns:
+        Scan-shift clock period ``T`` in nanoseconds (paper: 10 ns at
+        100 MHz).
+    """
+
+    num_registers: int
+    num_chains: int
+    monitor_width: int = 4
+    test_width: int = 4
+    clock_period_ns: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.num_registers <= 0:
+            raise ValueError("register count must be positive")
+        if self.num_chains <= 0:
+            raise ValueError("chain count must be positive")
+        if self.num_chains > self.num_registers:
+            raise ValueError(
+                f"cannot split {self.num_registers} registers into "
+                f"{self.num_chains} chains")
+        if self.monitor_width <= 0:
+            raise ValueError("monitor width must be positive")
+        if self.test_width <= 0:
+            raise ValueError("test width must be positive")
+        if self.test_width > self.num_chains:
+            raise ValueError(
+                "test width cannot exceed the number of chains")
+        if self.clock_period_ns <= 0:
+            raise ValueError("clock period must be positive")
+
+    # ------------------------------------------------------------------
+    # Monitoring-mode geometry
+    # ------------------------------------------------------------------
+    @property
+    def chain_length(self) -> int:
+        """Length ``l`` of each (balanced) monitoring chain."""
+        return math.ceil(self.num_registers / self.num_chains)
+
+    @property
+    def padded_registers(self) -> int:
+        """Register count after padding chains to equal length."""
+        return self.chain_length * self.num_chains
+
+    @property
+    def padding_cells(self) -> int:
+        """Dummy scan cells required to balance the chains."""
+        return self.padded_registers - self.num_registers
+
+    @property
+    def num_monitor_blocks(self) -> int:
+        """Number of parallel state monitoring blocks (``W / k``)."""
+        return math.ceil(self.num_chains / self.monitor_width)
+
+    @property
+    def encode_cycles(self) -> int:
+        """Clock cycles for one encoding (or decoding) pass."""
+        return self.chain_length
+
+    @property
+    def encode_latency_ns(self) -> float:
+        """Encode/decode latency ``l x T`` in nanoseconds."""
+        return self.encode_cycles * self.clock_period_ns
+
+    def block_chain_indices(self, block: int) -> Tuple[int, ...]:
+        """Chain indices observed by monitoring block ``block``."""
+        if not (0 <= block < self.num_monitor_blocks):
+            raise IndexError(
+                f"block {block} out of range "
+                f"(0..{self.num_monitor_blocks - 1})")
+        start = block * self.monitor_width
+        stop = min(start + self.monitor_width, self.num_chains)
+        return tuple(range(start, stop))
+
+    def speedup_over(self, other: "ScanChainConfig") -> float:
+        """Latency speed-up of this configuration over another.
+
+        For the paper's example, the 16-chain configuration of 128
+        flops has a speed-up of 4 over the 4-chain configuration.
+        """
+        return other.encode_latency_ns / self.encode_latency_ns
+
+    # ------------------------------------------------------------------
+    # Test-mode geometry (Fig. 5(b))
+    # ------------------------------------------------------------------
+    def test_mode_mapping(self) -> TestModeMapping:
+        """Concatenate monitoring chains into ``test_width`` test chains.
+
+        Chains are grouped round-trip so that test chain ``i`` is the
+        concatenation of monitoring chains ``i, i + test_width,
+        i + 2 * test_width, ...`` --- matching the So[3:0] -> Si[7:4]
+        wiring shown in Fig. 5(b).
+        """
+        groups: List[Tuple[int, ...]] = []
+        for port in range(self.test_width):
+            group = tuple(range(port, self.num_chains, self.test_width))
+            groups.append(group)
+        longest = max(len(group) for group in groups)
+        return TestModeMapping(
+            test_width=self.test_width,
+            groups=tuple(groups),
+            test_chain_length=longest * self.chain_length)
+
+    @property
+    def test_cycles(self) -> int:
+        """Clock cycles to shift a full pattern in manufacturing-test mode."""
+        return self.test_mode_mapping().test_chain_length
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper_fifo(cls, num_chains: int = 80,
+                   monitor_width: int = 4,
+                   clock_period_ns: float = 10.0) -> "ScanChainConfig":
+        """The paper's 32x32 FIFO configuration (1040 registers)."""
+        return cls(num_registers=1040, num_chains=num_chains,
+                   monitor_width=monitor_width, test_width=4,
+                   clock_period_ns=clock_period_ns)
+
+    def describe(self) -> str:
+        """Human-readable one-paragraph description of the configuration."""
+        return (
+            f"{self.num_registers} registers in {self.num_chains} chains of "
+            f"length {self.chain_length} ({self.padding_cells} padding "
+            f"cells), {self.num_monitor_blocks} monitoring blocks of width "
+            f"{self.monitor_width}; encode/decode takes "
+            f"{self.encode_cycles} cycles = {self.encode_latency_ns:.0f} ns; "
+            f"test mode uses {self.test_width} ports with chains of "
+            f"{self.test_cycles} bits.")
+
+
+__all__ = ["ScanChainConfig", "TestModeMapping"]

@@ -1,0 +1,202 @@
+"""Cycle-sequence tracing for monitored sleep/wake cycles.
+
+The FPGA test bench of the paper reports events over RS-232; in this
+reproduction the equivalent observability hook is a :class:`TraceLog`
+that a :class:`~repro.core.protected.ProtectedDesign` user can populate
+from :class:`~repro.core.protected.CycleOutcome` objects (or any other
+source) and then render as a timeline, export as rows, or summarise.
+
+It is intentionally independent of the controller internals so it can
+also record external events (stimulus writes, comparator verdicts,
+software recovery) alongside the power-gating phases.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.controller import ErrorCode
+from repro.core.protected import CycleOutcome
+
+
+class TraceEventKind(enum.Enum):
+    """Kinds of events a trace can hold."""
+
+    ENCODE = "encode"
+    SLEEP = "sleep"
+    WAKE = "wake"
+    DECODE = "decode"
+    INJECTION = "injection"
+    CORRECTION = "correction"
+    ERROR = "error"
+    RECOVERY = "recovery"
+    NOTE = "note"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped event.
+
+    Timestamps are in nanoseconds of modelled time (not wall clock):
+    encode/decode passes advance time by ``l x T``, sleep intervals by
+    whatever the caller specifies.
+    """
+
+    time_ns: float
+    kind: TraceEventKind
+    detail: str = ""
+    cycle_index: int = 0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.time_ns:12.1f} ns] {self.kind.value:10s} {self.detail}"
+
+
+class TraceLog:
+    """An append-only log of power-gating events with modelled time.
+
+    Parameters
+    ----------
+    clock_period_ns:
+        Scan clock period used to convert pass cycle counts to time.
+    """
+
+    def __init__(self, clock_period_ns: float = 10.0):
+        if clock_period_ns <= 0:
+            raise ValueError("clock period must be positive")
+        self.clock_period_ns = clock_period_ns
+        self._events: List[TraceEvent] = []
+        self._now_ns = 0.0
+        self._cycles = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> Tuple[TraceEvent, ...]:
+        """All recorded events in order."""
+        return tuple(self._events)
+
+    @property
+    def now_ns(self) -> float:
+        """Current modelled time in nanoseconds."""
+        return self._now_ns
+
+    @property
+    def num_cycles(self) -> int:
+        """Number of sleep/wake cycles recorded."""
+        return self._cycles
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    # ------------------------------------------------------------------
+    def advance(self, duration_ns: float) -> None:
+        """Advance modelled time without recording an event."""
+        if duration_ns < 0:
+            raise ValueError("time cannot run backwards")
+        self._now_ns += duration_ns
+
+    def note(self, detail: str) -> TraceEvent:
+        """Record a free-form annotation at the current time."""
+        return self._record(TraceEventKind.NOTE, detail)
+
+    def _record(self, kind: TraceEventKind, detail: str = "") -> TraceEvent:
+        event = TraceEvent(time_ns=self._now_ns, kind=kind, detail=detail,
+                           cycle_index=self._cycles)
+        self._events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    def record_cycle(self, outcome: CycleOutcome, chain_length: int,
+                     sleep_duration_ns: float = 1000.0) -> None:
+        """Record one monitored sleep/wake cycle from its outcome.
+
+        The encode and decode passes each advance time by
+        ``chain_length x clock_period``; the sleep interval advances it
+        by ``sleep_duration_ns``; the wake-up settle time comes from the
+        outcome's rush-current record.
+        """
+        if chain_length <= 0:
+            raise ValueError("chain length must be positive")
+        pass_ns = chain_length * self.clock_period_ns
+
+        self._record(TraceEventKind.ENCODE,
+                     f"encode pass ({chain_length} cycles)")
+        self.advance(pass_ns)
+        self._record(TraceEventKind.SLEEP, "retention save, switches off")
+        self.advance(sleep_duration_ns)
+        if outcome.injected_errors:
+            self._record(TraceEventKind.INJECTION,
+                         f"{outcome.injected_errors} bit(s) corrupted")
+        settle_ns = outcome.wake_event.settle_time_s * 1e9
+        self._record(
+            TraceEventKind.WAKE,
+            f"switches on, droop {outcome.wake_event.peak_droop_v:.3f} V, "
+            f"settle {settle_ns:.1f} ns")
+        self.advance(settle_ns)
+        self._record(TraceEventKind.DECODE,
+                     f"decode pass ({chain_length} cycles)")
+        self.advance(pass_ns)
+        if outcome.corrections_applied:
+            self._record(TraceEventKind.CORRECTION,
+                         f"{outcome.corrections_applied} bit(s) corrected")
+        if outcome.error_code is ErrorCode.UNCORRECTABLE:
+            self._record(TraceEventKind.ERROR,
+                         "uncorrectable: software recovery required")
+            self._record(TraceEventKind.RECOVERY, "recovery handshake")
+        self._cycles += 1
+
+    # ------------------------------------------------------------------
+    def counts(self) -> Dict[TraceEventKind, int]:
+        """Histogram of event kinds."""
+        histogram: Dict[TraceEventKind, int] = {}
+        for event in self._events:
+            histogram[event.kind] = histogram.get(event.kind, 0) + 1
+        return histogram
+
+    def events_of(self, kind: TraceEventKind) -> List[TraceEvent]:
+        """All events of one kind."""
+        return [event for event in self._events if event.kind is kind]
+
+    def cycle_events(self, cycle_index: int) -> List[TraceEvent]:
+        """All events belonging to one sleep/wake cycle."""
+        return [event for event in self._events
+                if event.cycle_index == cycle_index]
+
+    def monitoring_overhead_ns(self) -> float:
+        """Modelled time spent in encode and decode passes."""
+        total = 0.0
+        for event in self._events:
+            if event.kind in (TraceEventKind.ENCODE, TraceEventKind.DECODE):
+                # Each pass advanced time by l x T immediately after the
+                # event; recover it from the following event or now.
+                total += self._duration_after(event)
+        return total
+
+    def _duration_after(self, event: TraceEvent) -> float:
+        later = [e.time_ns for e in self._events if e.time_ns > event.time_ns]
+        end = min(later) if later else self._now_ns
+        return end - event.time_ns
+
+    def render(self, limit: Optional[int] = None) -> str:
+        """Render the trace as a text timeline."""
+        events = self._events if limit is None else self._events[:limit]
+        lines = [f"trace: {len(self._events)} events over "
+                 f"{self._now_ns:.1f} ns of modelled time"]
+        for event in events:
+            lines.append(f"  [{event.time_ns:12.1f} ns] c{event.cycle_index:<3d} "
+                         f"{event.kind.value:10s} {event.detail}")
+        return "\n".join(lines)
+
+
+def trace_cycles(design, outcomes: Iterable[CycleOutcome],
+                 sleep_duration_ns: float = 1000.0) -> TraceLog:
+    """Build a :class:`TraceLog` from a design and its cycle outcomes."""
+    log = TraceLog(clock_period_ns=design.config.clock_period_ns)
+    for outcome in outcomes:
+        log.record_cycle(outcome, design.chain_length,
+                         sleep_duration_ns=sleep_duration_ns)
+    return log
+
+
+__all__ = ["TraceEventKind", "TraceEvent", "TraceLog", "trace_cycles"]

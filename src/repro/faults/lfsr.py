@@ -1,0 +1,191 @@
+"""Linear feedback shift registers.
+
+The paper's error-injection circuit (Fig. 6) sets its row and column
+injection vectors "using linear feedback shift registers" so that the
+injected error locations are pseudo-random but cheap to generate in
+hardware.  Both the Fibonacci (external XOR) and Galois (internal XOR)
+forms are provided; maximal-length tap sets are included for common
+register widths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Maximal-length feedback tap positions (1-based, from the MSB side) for
+#: common LFSR widths.  Taken from the standard primitive-polynomial
+#: tables used in BIST literature.
+DEFAULT_TAPS: Dict[int, Tuple[int, ...]] = {
+    2: (2, 1),
+    3: (3, 2),
+    4: (4, 3),
+    5: (5, 3),
+    6: (6, 5),
+    7: (7, 6),
+    8: (8, 6, 5, 4),
+    9: (9, 5),
+    10: (10, 7),
+    11: (11, 9),
+    12: (12, 11, 10, 4),
+    13: (13, 12, 11, 8),
+    14: (14, 13, 12, 2),
+    15: (15, 14),
+    16: (16, 15, 13, 4),
+    17: (17, 14),
+    18: (18, 11),
+    19: (19, 18, 17, 14),
+    20: (20, 17),
+    24: (24, 23, 22, 17),
+    32: (32, 31, 30, 10),
+}
+
+
+class LFSR:
+    """A Fibonacci (external-XOR) linear feedback shift register.
+
+    Parameters
+    ----------
+    width:
+        Register width in bits.
+    taps:
+        Feedback tap positions, 1-based counting from the output (MSB)
+        side.  Defaults to a maximal-length set from
+        :data:`DEFAULT_TAPS` when available.
+    seed:
+        Initial register contents; must be non-zero (the all-zero state
+        is a fixed point of an LFSR).
+    """
+
+    def __init__(self, width: int, taps: Optional[Sequence[int]] = None,
+                 seed: int = 1):
+        if width <= 1:
+            raise ValueError("LFSR width must be at least 2")
+        if taps is None:
+            if width not in DEFAULT_TAPS:
+                raise ValueError(
+                    f"no default taps for width {width}; supply taps "
+                    f"explicitly (known widths: {sorted(DEFAULT_TAPS)})")
+            taps = DEFAULT_TAPS[width]
+        taps_t = tuple(sorted(set(int(t) for t in taps), reverse=True))
+        if not taps_t or taps_t[0] != width:
+            raise ValueError(
+                f"the highest tap must equal the width ({width}), got {taps_t}")
+        if any(t < 1 for t in taps_t):
+            raise ValueError("tap positions are 1-based and must be >= 1")
+        if seed == 0:
+            raise ValueError("the all-zero seed locks up an LFSR")
+        if not (0 < seed < (1 << width)):
+            raise ValueError(f"seed must fit in {width} bits and be non-zero")
+        self.width = width
+        self.taps = taps_t
+        self._state = seed
+
+    @property
+    def state(self) -> int:
+        """Current register contents as an integer."""
+        return self._state
+
+    @property
+    def state_bits(self) -> List[int]:
+        """Current register contents as a list of bits, MSB first."""
+        return [(self._state >> (self.width - 1 - i)) & 1
+                for i in range(self.width)]
+
+    def step(self) -> int:
+        """Advance by one clock; returns the output (MSB) bit shifted out."""
+        out = (self._state >> (self.width - 1)) & 1
+        feedback = 0
+        for tap in self.taps:
+            feedback ^= (self._state >> (tap - 1)) & 1
+        self._state = ((self._state << 1) | feedback) & ((1 << self.width) - 1)
+        return out
+
+    def next_value(self, bits: Optional[int] = None) -> int:
+        """Advance and return the register value (or ``bits`` output bits)."""
+        if bits is None:
+            self.step()
+            return self._state
+        value = 0
+        for _ in range(bits):
+            value = (value << 1) | self.step()
+        return value
+
+    def randrange(self, upper: int) -> int:
+        """Pseudo-random integer in ``[0, upper)`` drawn from the LFSR.
+
+        Uses rejection sampling over ``ceil(log2(upper))`` output bits so
+        the distribution over the LFSR's sequence is unbiased.
+        """
+        if upper <= 0:
+            raise ValueError("upper bound must be positive")
+        if upper == 1:
+            return 0
+        nbits = (upper - 1).bit_length()
+        while True:
+            candidate = self.next_value(bits=nbits)
+            if candidate < upper:
+                return candidate
+
+    def period_upper_bound(self) -> int:
+        """Maximum possible sequence period (``2**width - 1``)."""
+        return (1 << self.width) - 1
+
+
+class GaloisLFSR:
+    """A Galois (internal-XOR) LFSR defined by a polynomial mask.
+
+    Parameters
+    ----------
+    width:
+        Register width in bits.
+    poly:
+        Feedback polynomial as a bit mask (bit ``i`` set means the
+        monomial ``x**(i+1)`` participates).  Defaults to the mask
+        equivalent of :data:`DEFAULT_TAPS` for the width.
+    seed:
+        Non-zero initial value.
+    """
+
+    def __init__(self, width: int, poly: Optional[int] = None, seed: int = 1):
+        if width <= 1:
+            raise ValueError("LFSR width must be at least 2")
+        if poly is None:
+            if width not in DEFAULT_TAPS:
+                raise ValueError(
+                    f"no default polynomial for width {width}")
+            poly = 0
+            for tap in DEFAULT_TAPS[width]:
+                poly |= 1 << (tap - 1)
+        if seed == 0:
+            raise ValueError("the all-zero seed locks up an LFSR")
+        if not (0 < seed < (1 << width)):
+            raise ValueError(f"seed must fit in {width} bits and be non-zero")
+        self.width = width
+        self.poly = poly
+        self._state = seed
+
+    @property
+    def state(self) -> int:
+        """Current register contents as an integer."""
+        return self._state
+
+    def step(self) -> int:
+        """Advance by one clock; returns the bit shifted out (LSB)."""
+        out = self._state & 1
+        self._state >>= 1
+        if out:
+            self._state ^= self.poly
+        return out
+
+    def next_value(self, bits: Optional[int] = None) -> int:
+        """Advance and return the register value (or ``bits`` output bits)."""
+        if bits is None:
+            self.step()
+            return self._state
+        value = 0
+        for _ in range(bits):
+            value = (value << 1) | self.step()
+        return value
+
+
+__all__ = ["LFSR", "GaloisLFSR", "DEFAULT_TAPS"]

@@ -1,0 +1,144 @@
+"""Error patterns for injection campaigns.
+
+The paper's validation (Fig. 7) distinguishes two patterns:
+
+* **single errors** -- exactly one flip-flop is flipped per sleep/wake
+  sequence (Fig. 7(a)); these are always corrected by the Hamming
+  monitors;
+* **multiple errors** -- a randomly placed cluster of flips
+  (Fig. 7(b)); "burst errors ... are closely clustered" and defeat the
+  single-error-correcting Hamming code, but are still always detected.
+
+An :class:`ErrorPattern` is a set of ``(chain, position)`` coordinates,
+where ``chain`` indexes the scan chain (the *row* of the paper's Fig. 6)
+and ``position`` indexes the bit along the chain (the *column*).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ErrorPattern:
+    """A set of scan-coordinate error locations to inject.
+
+    Attributes
+    ----------
+    locations:
+        Frozen set of ``(chain_index, bit_position)`` pairs.
+    kind:
+        Free-form label ("single", "multiple", "burst", "random", ...)
+        used in campaign reporting.
+    """
+
+    locations: FrozenSet[Tuple[int, int]]
+    kind: str = "custom"
+
+    def __post_init__(self) -> None:
+        for chain, position in self.locations:
+            if chain < 0 or position < 0:
+                raise ValueError(
+                    f"error locations must be non-negative, got "
+                    f"({chain}, {position})")
+
+    @property
+    def num_errors(self) -> int:
+        """Number of bit flips in the pattern."""
+        return len(self.locations)
+
+    def chains_touched(self) -> FrozenSet[int]:
+        """Scan chains that receive at least one flip."""
+        return frozenset(chain for chain, _ in self.locations)
+
+    def offset(self, chain_offset: int = 0,
+               position_offset: int = 0) -> "ErrorPattern":
+        """Return the pattern translated by the given offsets."""
+        return ErrorPattern(
+            locations=frozenset(
+                (c + chain_offset, p + position_offset)
+                for c, p in self.locations),
+            kind=self.kind)
+
+
+def single_error_pattern(num_chains: int, chain_length: int,
+                         rng: Optional[random.Random] = None) -> ErrorPattern:
+    """One random single-bit error (paper Fig. 7(a))."""
+    if num_chains <= 0 or chain_length <= 0:
+        raise ValueError("chain geometry must be positive")
+    rng = rng if rng is not None else random.Random()
+    chain = rng.randrange(num_chains)
+    position = rng.randrange(chain_length)
+    return ErrorPattern(locations=frozenset({(chain, position)}),
+                        kind="single")
+
+
+def multi_error_pattern(num_chains: int, chain_length: int, num_errors: int,
+                        rng: Optional[random.Random] = None) -> ErrorPattern:
+    """``num_errors`` distinct uniformly random error locations."""
+    if num_errors <= 0:
+        raise ValueError("number of errors must be positive")
+    total = num_chains * chain_length
+    if num_errors > total:
+        raise ValueError(
+            f"cannot place {num_errors} distinct errors in {total} bits")
+    rng = rng if rng is not None else random.Random()
+    chosen = rng.sample(range(total), num_errors)
+    locations = frozenset(
+        (index // chain_length, index % chain_length) for index in chosen)
+    return ErrorPattern(locations=locations, kind="multiple")
+
+
+def burst_error_pattern(num_chains: int, chain_length: int, burst_size: int,
+                        rng: Optional[random.Random] = None) -> ErrorPattern:
+    """A closely clustered burst of errors (paper Fig. 7(b)).
+
+    The burst hits neighbouring scan chains at the same (or adjacent)
+    bit positions, mirroring how a localised supply transient corrupts
+    physically adjacent retention latches in the same wake-up event.
+    Because the affected chains are adjacent, several errors land in the
+    same monitoring-block codeword, which is exactly the case the
+    paper's Hamming monitors cannot repair.
+    """
+    if burst_size <= 0:
+        raise ValueError("burst size must be positive")
+    if burst_size > num_chains * chain_length:
+        raise ValueError("burst does not fit in the scan array")
+    rng = rng if rng is not None else random.Random()
+    # Spread across adjacent chains first, then across adjacent cycles.
+    window_chains = min(num_chains, burst_size)
+    window_positions = min(chain_length,
+                           -(-burst_size // window_chains))  # ceil division
+    chain0 = rng.randrange(max(1, num_chains - window_chains + 1))
+    pos0 = rng.randrange(max(1, chain_length - window_positions + 1))
+    cells = [(chain0 + c, pos0 + p)
+             for c in range(window_chains)
+             for p in range(window_positions)]
+    chosen = rng.sample(cells, burst_size)
+    return ErrorPattern(locations=frozenset(chosen), kind="burst")
+
+
+def random_pattern(num_chains: int, chain_length: int,
+                   error_probability: float,
+                   rng: Optional[random.Random] = None) -> ErrorPattern:
+    """Independent per-bit flips with the given probability."""
+    if not (0 <= error_probability <= 1):
+        raise ValueError("error probability must be in [0, 1]")
+    rng = rng if rng is not None else random.Random()
+    locations = frozenset(
+        (chain, position)
+        for chain in range(num_chains)
+        for position in range(chain_length)
+        if rng.random() < error_probability)
+    return ErrorPattern(locations=locations, kind="random")
+
+
+__all__ = [
+    "ErrorPattern",
+    "single_error_pattern",
+    "multi_error_pattern",
+    "burst_error_pattern",
+    "random_pattern",
+]

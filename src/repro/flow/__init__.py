@@ -1,0 +1,34 @@
+"""Reliability-aware synthesis flow emulation (paper Fig. 4).
+
+The paper's flow takes a conventional power-gated design, a
+configuration file describing the desired quality (area / power /
+latency / energy trade-off) and the templates of the state monitoring
+block and the proposed power-gating controller; it then
+
+1. inserts scan chains into the power-gated circuit,
+2. generates the state monitoring and error correction logic,
+3. configures the proposed power-gating controller, and
+4. synthesizes the design (Synopsys DFT Compiler / Design Compiler in
+   the paper; a cost-model-backed emulation here).
+
+:class:`~repro.flow.synthesizer.ReliabilityAwareSynthesizer` performs
+the same four steps over the Python circuit models and returns a
+:class:`~repro.flow.synthesizer.SynthesisResult` carrying the protected
+design plus its cost report.
+"""
+
+from repro.flow.config import FlowConfig, OptimizationTarget
+from repro.flow.dft import ScanInsertionResult, insert_scan
+from repro.flow.synthesizer import ReliabilityAwareSynthesizer, SynthesisResult
+from repro.flow.report import format_cost_table, format_synthesis_report
+
+__all__ = [
+    "FlowConfig",
+    "OptimizationTarget",
+    "ScanInsertionResult",
+    "insert_scan",
+    "ReliabilityAwareSynthesizer",
+    "SynthesisResult",
+    "format_cost_table",
+    "format_synthesis_report",
+]

@@ -1,0 +1,158 @@
+"""Flow configuration (the paper's "configuration file" input).
+
+The synthesis flow of Fig. 4 is parameterised by a configuration file
+"for providing the quality solutions in terms of area, power, latency
+and energy".  :class:`FlowConfig` is that file as a dataclass, and it
+can round-trip through a plain ``key = value`` text format so that the
+examples can show a file-driven flow just like the EDA original.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Union
+
+#: Splits a code list on commas that are not inside parentheses, so that
+#: "hamming(7,4), crc16" parses as two entries.
+_CODE_SEPARATOR = re.compile(r",(?![^()]*\))")
+
+
+class OptimizationTarget(enum.Enum):
+    """Which quality metric the flow should favour when picking ``W``."""
+
+    AREA = "area"
+    LATENCY = "latency"
+    ENERGY = "energy"
+    BALANCED = "balanced"
+
+
+@dataclass
+class FlowConfig:
+    """Configuration of the reliability-aware synthesis flow.
+
+    Attributes
+    ----------
+    codes:
+        Monitoring code names (e.g. ``["hamming(7,4)"]`` or
+        ``["hamming(7,4)", "crc16"]``).
+    num_chains:
+        Number of monitoring-mode scan chains ``W``; ``None`` lets the
+        synthesizer pick it according to ``target`` and the candidate
+        list.
+    candidate_chains:
+        Candidate values of ``W`` explored when ``num_chains`` is None.
+    test_width:
+        Manufacturing-test scan width.
+    clock_mhz:
+        Scan/encode clock in MHz (paper: 100 MHz).
+    target:
+        Optimisation target used for automatic ``W`` selection.
+    max_area_overhead_percent:
+        Optional hard cap on the protection area overhead; candidates
+        above the cap are discarded (the paper suggests CRC + software
+        recovery when "large area overhead is not acceptable").
+    max_latency_ns:
+        Optional hard cap on the encode/decode latency.
+    """
+
+    codes: List[str] = field(default_factory=lambda: ["hamming(7,4)"])
+    num_chains: Optional[int] = None
+    candidate_chains: List[int] = field(
+        default_factory=lambda: [4, 8, 16, 40, 80])
+    test_width: int = 4
+    clock_mhz: float = 100.0
+    target: OptimizationTarget = OptimizationTarget.BALANCED
+    max_area_overhead_percent: Optional[float] = None
+    max_latency_ns: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.codes:
+            raise ValueError("at least one monitoring code is required")
+        if self.clock_mhz <= 0:
+            raise ValueError("clock frequency must be positive")
+        if self.num_chains is not None and self.num_chains <= 0:
+            raise ValueError("num_chains must be positive when given")
+        if not self.candidate_chains and self.num_chains is None:
+            raise ValueError(
+                "either num_chains or candidate_chains must be provided")
+        if isinstance(self.target, str):
+            self.target = OptimizationTarget(self.target)
+
+    @property
+    def clock_hz(self) -> float:
+        """Clock frequency in hertz."""
+        return self.clock_mhz * 1e6
+
+    # ------------------------------------------------------------------
+    # Plain-text round trip
+    # ------------------------------------------------------------------
+    def to_text(self) -> str:
+        """Serialise to the ``key = value`` configuration-file format."""
+        lines = [
+            "# reliability-aware synthesis flow configuration",
+            f"codes = {', '.join(self.codes)}",
+            f"num_chains = {self.num_chains if self.num_chains else 'auto'}",
+            f"candidate_chains = {', '.join(str(w) for w in self.candidate_chains)}",
+            f"test_width = {self.test_width}",
+            f"clock_mhz = {self.clock_mhz}",
+            f"target = {self.target.value}",
+        ]
+        if self.max_area_overhead_percent is not None:
+            lines.append(
+                f"max_area_overhead_percent = {self.max_area_overhead_percent}")
+        if self.max_latency_ns is not None:
+            lines.append(f"max_latency_ns = {self.max_latency_ns}")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_text(cls, text: str) -> "FlowConfig":
+        """Parse the ``key = value`` configuration-file format."""
+        values = {}
+        for raw_line in text.splitlines():
+            line = raw_line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if "=" not in line:
+                raise ValueError(f"malformed configuration line: {raw_line!r}")
+            key, _, value = line.partition("=")
+            values[key.strip()] = value.strip()
+
+        kwargs = {}
+        if "codes" in values:
+            kwargs["codes"] = [
+                c.strip() for c in _CODE_SEPARATOR.split(values["codes"])
+                if c.strip()]
+        if "num_chains" in values:
+            raw = values["num_chains"]
+            kwargs["num_chains"] = None if raw == "auto" else int(raw)
+        if "candidate_chains" in values:
+            kwargs["candidate_chains"] = [
+                int(w) for w in values["candidate_chains"].split(",")
+                if w.strip()]
+        if "test_width" in values:
+            kwargs["test_width"] = int(values["test_width"])
+        if "clock_mhz" in values:
+            kwargs["clock_mhz"] = float(values["clock_mhz"])
+        if "target" in values:
+            kwargs["target"] = OptimizationTarget(values["target"])
+        if "max_area_overhead_percent" in values:
+            kwargs["max_area_overhead_percent"] = float(
+                values["max_area_overhead_percent"])
+        if "max_latency_ns" in values:
+            kwargs["max_latency_ns"] = float(values["max_latency_ns"])
+        return cls(**kwargs)
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the configuration file to disk."""
+        Path(path).write_text(self.to_text(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FlowConfig":
+        """Read a configuration file from disk."""
+        return cls.from_text(Path(path).read_text(encoding="utf-8"))
+
+
+__all__ = ["FlowConfig", "OptimizationTarget"]

@@ -1,0 +1,153 @@
+"""Reliability-aware synthesizer (paper Fig. 4).
+
+The synthesizer consumes a conventional power-gated design and a
+:class:`~repro.flow.config.FlowConfig` and produces a
+:class:`~repro.core.protected.ProtectedDesign` together with its cost
+report.  When the configuration leaves the chain count open, the
+synthesizer sweeps the candidate values and picks the one that best
+matches the optimisation target, subject to the optional area/latency
+caps --- this is the "quality solutions in terms of area, power, latency
+and energy" knob of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.circuit.base import SequentialCircuit
+from repro.core.protected import CostReport, ProtectedDesign
+from repro.flow.config import FlowConfig, OptimizationTarget
+from repro.power.retention import RetentionUpsetModel
+from repro.power.rush_current import RLCParameters
+from repro.tech.library import StandardCellLibrary
+
+
+@dataclass(frozen=True)
+class SynthesisResult:
+    """Output of the reliability-aware synthesizer.
+
+    Attributes
+    ----------
+    design:
+        The protected design (circuit + monitoring + correction +
+        controller) for the selected chain count.
+    cost:
+        Cost report of the selected configuration.
+    explored:
+        Cost reports of every candidate configuration that was
+        evaluated (one per candidate ``W``), for reporting.
+    """
+
+    design: ProtectedDesign
+    cost: CostReport
+    explored: Tuple[CostReport, ...] = field(default_factory=tuple)
+
+    @property
+    def selected_chains(self) -> int:
+        """The chain count the synthesizer settled on."""
+        return self.cost.config.num_chains
+
+
+class ReliabilityAwareSynthesizer:
+    """Builds protected designs from a flow configuration.
+
+    Parameters
+    ----------
+    config:
+        The flow configuration (codes, chain candidates, caps, target).
+    library:
+        Optional standard-cell library override for cost accounting.
+    rlc, upset_model:
+        Optional power-domain electrical configuration propagated into
+        the produced designs.
+    """
+
+    def __init__(self, config: FlowConfig,
+                 library: Optional[StandardCellLibrary] = None,
+                 rlc: Optional[RLCParameters] = None,
+                 upset_model: Optional[RetentionUpsetModel] = None):
+        self.config = config
+        self.library = library
+        self.rlc = rlc
+        self.upset_model = upset_model
+
+    # ------------------------------------------------------------------
+    def _build(self, circuit: SequentialCircuit,
+               num_chains: int) -> ProtectedDesign:
+        return ProtectedDesign(
+            circuit,
+            codes=list(self.config.codes),
+            num_chains=num_chains,
+            test_width=self.config.test_width,
+            clock_hz=self.config.clock_hz,
+            library=self.library,
+            rlc=self.rlc,
+            upset_model=self.upset_model)
+
+    def _admissible(self, cost: CostReport) -> bool:
+        if (self.config.max_area_overhead_percent is not None
+                and cost.area_overhead_percent
+                > self.config.max_area_overhead_percent):
+            return False
+        if (self.config.max_latency_ns is not None
+                and cost.latency_ns > self.config.max_latency_ns):
+            return False
+        return True
+
+    def _score(self, cost: CostReport) -> float:
+        """Lower is better; depends on the optimisation target."""
+        target = self.config.target
+        if target is OptimizationTarget.AREA:
+            return cost.area_total_um2
+        if target is OptimizationTarget.LATENCY:
+            return cost.latency_ns
+        if target is OptimizationTarget.ENERGY:
+            return cost.encode_cost.energy_nj + cost.decode_cost.energy_nj
+        # Balanced: geometric-mean-style combination of normalised terms.
+        return (cost.area_total_um2 * cost.latency_ns
+                * (cost.encode_cost.energy_nj + cost.decode_cost.energy_nj))
+
+    # ------------------------------------------------------------------
+    def synthesize(self, circuit: SequentialCircuit) -> SynthesisResult:
+        """Run the four-step flow on a circuit and return the result.
+
+        Steps (paper Fig. 4): insert scan chains, generate monitoring
+        and correction logic, configure the power-gating controller,
+        and evaluate the synthesis cost.  Candidate chain counts larger
+        than the register count are skipped.
+        """
+        if self.config.num_chains is not None:
+            candidates = [self.config.num_chains]
+        else:
+            candidates = [w for w in self.config.candidate_chains
+                          if w <= circuit.num_registers]
+            if not candidates:
+                raise ValueError(
+                    "no candidate chain count fits the circuit "
+                    f"({circuit.num_registers} registers)")
+
+        explored: List[CostReport] = []
+        best: Optional[Tuple[float, ProtectedDesign, CostReport]] = None
+        fallback: Optional[Tuple[float, ProtectedDesign, CostReport]] = None
+        for num_chains in candidates:
+            design = self._build(circuit, num_chains)
+            cost = design.cost_report()
+            explored.append(cost)
+            score = self._score(cost)
+            entry = (score, design, cost)
+            if fallback is None or score < fallback[0]:
+                fallback = entry
+            if not self._admissible(cost):
+                continue
+            if best is None or score < best[0]:
+                best = entry
+
+        chosen = best if best is not None else fallback
+        assert chosen is not None  # candidates is non-empty
+        _, design, cost = chosen
+        return SynthesisResult(design=design, cost=cost,
+                               explored=tuple(explored))
+
+
+__all__ = ["ReliabilityAwareSynthesizer", "SynthesisResult"]

@@ -1,0 +1,33 @@
+"""Power-gating substrate.
+
+Models the physical side of state-retention power gating:
+
+* :mod:`repro.power.domain` -- a power domain with its sleep-transistor
+  (header switch) network and the sleep/wake sequencing hooks;
+* :mod:`repro.power.rush_current` -- the rush-current / supply-droop
+  model: the paper (and its reference [7]) model the wake-up transient
+  as the step response of a series RLC circuit formed by the package
+  and grid parasitics and the gated domain's decoupled capacitance;
+* :mod:`repro.power.retention` -- the retention-latch upset model that
+  converts a supply-droop waveform into bit flips in the always-on
+  retention latches;
+* :mod:`repro.power.leakage` -- active/sleep leakage accounting (power
+  gating's raison d'etre: the paper quotes a 95 % leakage reduction for
+  the ARM926EJ).
+"""
+
+from repro.power.domain import PowerDomain, SwitchNetwork, WakeEvent
+from repro.power.rush_current import RLCParameters, RushCurrentModel, DampingRegime
+from repro.power.retention import RetentionUpsetModel
+from repro.power.leakage import LeakageModel
+
+__all__ = [
+    "PowerDomain",
+    "SwitchNetwork",
+    "WakeEvent",
+    "RLCParameters",
+    "RushCurrentModel",
+    "DampingRegime",
+    "RetentionUpsetModel",
+    "LeakageModel",
+]

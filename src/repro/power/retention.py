@@ -1,0 +1,101 @@
+"""Retention-latch upset model.
+
+The paper's threat model: the voltage transient induced on the supply
+rails by the wake-up rush current "may corrupt the state retention
+latches connected to it".  This module converts a droop magnitude into
+per-latch upset decisions, giving the reproduction a *physically
+motivated* fault source in addition to the paper's LFSR-driven error
+injector (which injects errors irrespective of their physical cause).
+
+The upset probability uses a logistic function of the droop-to-margin
+ratio: well below the latch's static noise margin the probability is
+essentially zero, around the margin it rises steeply, and far above the
+margin every exposed latch flips.  The exact functional form is not
+specified by the paper (it treats error arrival as given); the logistic
+form captures the qualitative behaviour every such model shares --- a
+threshold with a soft edge --- and its two parameters (margin, slope)
+are exposed for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Sequence
+
+from repro.circuit.flipflop import RetentionFlipFlop
+
+
+class RetentionUpsetModel:
+    """Probability model for droop-induced retention-latch upsets.
+
+    Parameters
+    ----------
+    nominal_margin:
+        Droop (in volts) at which a nominal latch has a 50 % chance of
+        flipping.  Retention latches are high-Vt and slow but also
+        comparatively robust; 0.3--0.5 V of droop on a 1.2 V rail is a
+        plausible hazard region.
+    slope:
+        Width (in volts) of the transition region of the logistic
+        function; smaller values give a harder threshold.
+    seed:
+        Seed for the internal random number generator (reproducibility
+        of Monte-Carlo campaigns).
+    """
+
+    def __init__(self, nominal_margin: float = 0.35, slope: float = 0.05,
+                 seed: Optional[int] = None):
+        if nominal_margin <= 0:
+            raise ValueError("nominal margin must be positive")
+        if slope <= 0:
+            raise ValueError("slope must be positive")
+        self.nominal_margin = nominal_margin
+        self.slope = slope
+        self._rng = random.Random(seed)
+
+    def upset_probability(self, droop: float,
+                          margin_scale: float = 1.0) -> float:
+        """Probability that a latch with the given margin scale flips.
+
+        ``margin_scale`` models per-latch process variation: a latch
+        with ``retention_margin = 0.9`` flips slightly more easily than
+        a nominal one.
+        """
+        if droop <= 0:
+            return 0.0
+        margin = self.nominal_margin * margin_scale
+        x = (droop - margin) / self.slope
+        # Clamp to avoid overflow in exp for extreme droop values.
+        if x > 40:
+            return 1.0
+        if x < -40:
+            return 0.0
+        return 1.0 / (1.0 + math.exp(-x))
+
+    def sample_upsets(self, flops: Sequence[RetentionFlipFlop],
+                      droop: float) -> List[int]:
+        """Decide which retention latches flip for a given droop.
+
+        Returns the indices of the flipped latches and applies the
+        corruption to the latches themselves.
+        """
+        flipped: List[int] = []
+        for index, ff in enumerate(flops):
+            p = self.upset_probability(droop, ff.retention_margin)
+            if p > 0.0 and self._rng.random() < p:
+                ff.corrupt_retention()
+                flipped.append(index)
+        return flipped
+
+    def expected_upsets(self, num_latches: int, droop: float,
+                        margin_scale: float = 1.0) -> float:
+        """Expected number of upsets among ``num_latches`` nominal latches."""
+        return num_latches * self.upset_probability(droop, margin_scale)
+
+    def reseed(self, seed: Optional[int]) -> None:
+        """Reset the internal random number generator."""
+        self._rng = random.Random(seed)
+
+
+__all__ = ["RetentionUpsetModel"]

@@ -1,0 +1,281 @@
+"""Rush-current and supply-droop model.
+
+When a power-gated domain wakes up, its internal (discharged)
+capacitance must be recharged through the sleep transistors.  The paper
+-- following its reference [7] (Kim, Kosonocky, Knebel, ISLPED'03) --
+models this transient as the step response of a series RLC circuit:
+
+* ``R`` -- effective resistance of the sleep-transistor network plus the
+  local power grid,
+* ``L`` -- package and grid inductance,
+* ``C`` -- the gated domain's internal plus decoupling capacitance.
+
+The rush current ``i(t)`` flowing through the shared supply rails
+induces a voltage ``v(t) = R_share * i(t) + L_share * di/dt`` across the
+rail parasitics; that voltage transient is seen by the *always-on*
+retention latches and can flip them --- this is the failure mechanism
+the methodology protects against.
+
+The model supports the standard mitigation baselines of [7]/[8]
+(staggered switch turn-on), so that the trade-off between "reduce the
+rush current" and "monitor and correct the state" can be explored.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, replace
+from typing import List, Tuple
+
+
+class DampingRegime(enum.Enum):
+    """Damping classification of the wake-up RLC transient."""
+
+    UNDERDAMPED = "underdamped"
+    CRITICALLY_DAMPED = "critically_damped"
+    OVERDAMPED = "overdamped"
+
+
+@dataclass(frozen=True)
+class RLCParameters:
+    """Electrical parameters of the wake-up transient.
+
+    Attributes
+    ----------
+    vdd:
+        Supply voltage in volts (1.2 V is typical for the paper's
+        120 nm node).
+    resistance:
+        Total series resistance in ohms (sleep-transistor network plus
+        grid).
+    inductance:
+        Series inductance in henries (package + grid).
+    capacitance:
+        Gated-domain capacitance in farads to be recharged at wake-up.
+    share_resistance:
+        Portion of the resistance shared with the always-on rail; the
+        rush current times this resistance appears as droop at the
+        retention latches.
+    share_inductance:
+        Portion of the inductance shared with the always-on rail.  The
+        default is 0 because an ideal voltage step makes ``di/dt`` at
+        ``t = 0+`` independent of the switch resistance, which would
+        hide the benefit of staggered turn-on; set it to a non-zero
+        value to study the inductive component explicitly.
+    """
+
+    vdd: float = 1.2
+    resistance: float = 2.0
+    inductance: float = 1.0e-9
+    capacitance: float = 200.0e-12
+    share_resistance: float = 0.5
+    share_inductance: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0:
+            raise ValueError("vdd must be positive")
+        if self.resistance <= 0 or self.inductance <= 0 or self.capacitance <= 0:
+            raise ValueError("R, L and C must all be positive")
+        if self.share_resistance < 0 or self.share_inductance < 0:
+            raise ValueError("shared parasitics cannot be negative")
+
+    @property
+    def alpha(self) -> float:
+        """Neper frequency ``R / (2L)`` in rad/s."""
+        return self.resistance / (2.0 * self.inductance)
+
+    @property
+    def omega0(self) -> float:
+        """Undamped natural frequency ``1 / sqrt(LC)`` in rad/s."""
+        return 1.0 / math.sqrt(self.inductance * self.capacitance)
+
+    @property
+    def damping_ratio(self) -> float:
+        """Damping ratio ``zeta = alpha / omega0``."""
+        return self.alpha / self.omega0
+
+    @property
+    def regime(self) -> DampingRegime:
+        """Damping regime of the transient."""
+        zeta = self.damping_ratio
+        if abs(zeta - 1.0) < 1e-9:
+            return DampingRegime.CRITICALLY_DAMPED
+        if zeta < 1.0:
+            return DampingRegime.UNDERDAMPED
+        return DampingRegime.OVERDAMPED
+
+
+class RushCurrentModel:
+    """Analytic step-response model of the wake-up rush current.
+
+    Parameters
+    ----------
+    params:
+        The electrical parameters of the transient.
+    num_switch_stages:
+        Number of stages the sleep-transistor network is divided into.
+        1 reproduces the naive "turn everything on at once" wake-up;
+        larger values model the staggered turn-on mitigation of the
+        paper's references [7] and [8] (each stage only recharges a
+        fraction of the capacitance through a larger resistance, so the
+        peak current and hence the peak droop shrink roughly with the
+        number of stages).
+    """
+
+    def __init__(self, params: RLCParameters, num_switch_stages: int = 1):
+        if num_switch_stages <= 0:
+            raise ValueError("number of switch stages must be positive")
+        self.params = params
+        self.num_switch_stages = num_switch_stages
+
+    # ------------------------------------------------------------------
+    # Single-stage analytic waveforms
+    # ------------------------------------------------------------------
+    def _stage_params(self) -> RLCParameters:
+        """Effective parameters of one wake-up stage.
+
+        With ``s`` stages, each stage recharges ``C / s`` of the domain
+        capacitance while only ``1 / s`` of the switches are conducting,
+        i.e. through ``s * R`` of switch resistance.
+        """
+        s = self.num_switch_stages
+        return replace(self.params,
+                       resistance=self.params.resistance * s,
+                       capacitance=self.params.capacitance / s)
+
+    def current(self, t: float) -> float:
+        """Rush current ``i(t)`` in amperes at time ``t`` seconds."""
+        if t < 0:
+            return 0.0
+        p = self._stage_params()
+        vdd, L = p.vdd, p.inductance
+        alpha, omega0 = p.alpha, p.omega0
+        regime = p.regime
+        if regime is DampingRegime.UNDERDAMPED:
+            omega_d = math.sqrt(omega0 ** 2 - alpha ** 2)
+            return (vdd / (omega_d * L)) * math.exp(-alpha * t) * math.sin(
+                omega_d * t)
+        if regime is DampingRegime.CRITICALLY_DAMPED:
+            return (vdd / L) * t * math.exp(-alpha * t)
+        # Overdamped.
+        root = math.sqrt(alpha ** 2 - omega0 ** 2)
+        s1, s2 = -alpha + root, -alpha - root
+        return (vdd / (L * (s1 - s2))) * (math.exp(s1 * t) - math.exp(s2 * t))
+
+    def current_derivative(self, t: float) -> float:
+        """``di/dt`` in A/s at time ``t`` (used for the L*di/dt droop)."""
+        if t < 0:
+            return 0.0
+        p = self._stage_params()
+        vdd, L = p.vdd, p.inductance
+        alpha, omega0 = p.alpha, p.omega0
+        regime = p.regime
+        if regime is DampingRegime.UNDERDAMPED:
+            omega_d = math.sqrt(omega0 ** 2 - alpha ** 2)
+            k = vdd / (omega_d * L)
+            return k * math.exp(-alpha * t) * (
+                omega_d * math.cos(omega_d * t) - alpha * math.sin(omega_d * t))
+        if regime is DampingRegime.CRITICALLY_DAMPED:
+            return (vdd / L) * math.exp(-alpha * t) * (1.0 - alpha * t)
+        root = math.sqrt(alpha ** 2 - omega0 ** 2)
+        s1, s2 = -alpha + root, -alpha - root
+        return (vdd / (L * (s1 - s2))) * (
+            s1 * math.exp(s1 * t) - s2 * math.exp(s2 * t))
+
+    def droop(self, t: float) -> float:
+        """Supply droop (volts) seen at the always-on rail at time ``t``."""
+        p = self.params
+        return (p.share_resistance * self.current(t)
+                + p.share_inductance * self.current_derivative(t))
+
+    # ------------------------------------------------------------------
+    # Peak values and waveforms
+    # ------------------------------------------------------------------
+    def peak_current(self) -> float:
+        """Maximum rush current of one wake-up stage in amperes."""
+        _, peak = self._search_peak(self.current)
+        return peak
+
+    def peak_droop(self) -> float:
+        """Maximum supply droop at the always-on rail in volts."""
+        _, peak = self._search_peak(self.droop)
+        return peak
+
+    def settle_time(self, tolerance: float = 0.02) -> float:
+        """Time for the rush current to fall below ``tolerance`` x peak.
+
+        This is the "power supply become stable" point of the paper's
+        wake-up sequence (Fig. 3): restoring state before this point
+        would race against the droop.
+        """
+        peak_t, peak = self._search_peak(self.current)
+        if peak <= 0.0:
+            return 0.0
+        threshold = tolerance * peak
+        t = peak_t
+        dt = self._time_step()
+        horizon = self._time_horizon()
+        while t < horizon:
+            t += dt
+            window = [abs(self.current(t + k * dt)) for k in range(5)]
+            if max(window) < threshold:
+                return t
+        return horizon
+
+    def waveform(self, duration: float = None, num_points: int = 400
+                 ) -> Tuple[List[float], List[float], List[float]]:
+        """Sampled ``(times, current, droop)`` waveforms.
+
+        ``duration`` defaults to ten natural periods of the transient.
+        """
+        if duration is None:
+            duration = self._time_horizon()
+        if num_points <= 1:
+            raise ValueError("num_points must be at least 2")
+        times = [duration * i / (num_points - 1) for i in range(num_points)]
+        currents = [self.current(t) for t in times]
+        droops = [self.droop(t) for t in times]
+        return times, currents, droops
+
+    def total_wakeup_charge(self) -> float:
+        """Charge (coulombs) delivered over a full wake-up.
+
+        All stages together recharge the full domain capacitance to
+        ``vdd`` regardless of staggering; staggering only spreads the
+        charge delivery over time.
+        """
+        return self.params.capacitance * self.params.vdd
+
+    def wakeup_energy(self) -> float:
+        """Energy (joules) drawn from the supply during wake-up.
+
+        Charging a capacitance C to Vdd through a resistive path draws
+        ``C * Vdd**2`` from the supply (half stored, half dissipated).
+        """
+        return self.params.capacitance * self.params.vdd ** 2
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _time_horizon(self) -> float:
+        p = self._stage_params()
+        return 10.0 * max(2.0 * math.pi / p.omega0, 1.0 / p.alpha)
+
+    def _time_step(self) -> float:
+        return self._time_horizon() / 4000.0
+
+    def _search_peak(self, fn) -> Tuple[float, float]:
+        dt = self._time_step()
+        horizon = self._time_horizon()
+        best_t, best_v = 0.0, 0.0
+        t = 0.0
+        while t <= horizon:
+            v = abs(fn(t))
+            if v > best_v:
+                best_t, best_v = t, v
+            t += dt
+        return best_t, best_v
+
+
+__all__ = ["DampingRegime", "RLCParameters", "RushCurrentModel"]

@@ -1,0 +1,138 @@
+"""Verilog generator for the monitored power-gating controller (Fig. 3b).
+
+The FSM follows the control sequence of the paper's Fig. 3(b): from
+ACTIVE, a ``sleep`` request first runs the encode pass, then the sleep
+sequence (RETAIN, switch off); on wake-up the switches turn on, the
+state is restored and the decode pass runs; a clean or fully corrected
+decode returns to ACTIVE, otherwise the controller parks in ERROR and
+raises the error code for software recovery.
+"""
+
+from __future__ import annotations
+
+
+def monitored_controller_verilog(counter_width: int = 10,
+                                 module_name: str = "pg_controller_monitored"
+                                 ) -> str:
+    """Emit the monitored power-gating controller FSM.
+
+    Parameters
+    ----------
+    counter_width:
+        Width of the encode/decode cycle counter (must cover the scan
+        chain length ``l``).
+    """
+    if counter_width <= 0:
+        raise ValueError("counter width must be positive")
+    lines = [
+        "// monitored power-gating controller (paper Fig. 3(b))",
+        f"module {module_name} #(",
+        f"    parameter CHAIN_LENGTH = {1 << (counter_width - 1)}",
+        ") (",
+        "    input  wire clk,",
+        "    input  wire rst_n,",
+        "    input  wire sleep,           // request: 1 = go to sleep",
+        "    input  wire supply_stable,   // from the voltage monitor / timer",
+        "    input  wire monitor_error,   // any monitoring block mismatch",
+        "    input  wire uncorrectable,   // mismatch the corrector cannot fix",
+        "    input  wire recovery_done,   // software recovery handshake",
+        "    output reg  scan_enable,     // se: chains in scan mode",
+        "    output reg  [1:0] monitor_mode, // 0 idle, 1 encode, 2 decode",
+        "    output reg  retain,          // RETAIN to the retention flops",
+        "    output reg  power_switch_on, // header switch enable",
+        "    output reg  [1:0] error_code // 0 none, 1 corrected, 2 uncorrectable",
+        ");",
+        "    localparam ST_ACTIVE      = 3'd0;",
+        "    localparam ST_ENCODE      = 3'd1;",
+        "    localparam ST_SLEEP_ENTRY = 3'd2;",
+        "    localparam ST_SLEEP       = 3'd3;",
+        "    localparam ST_WAKE        = 3'd4;",
+        "    localparam ST_DECODE      = 3'd5;",
+        "    localparam ST_ERROR       = 3'd6;",
+        "",
+        "    reg [2:0] state;",
+        f"    reg [{counter_width - 1}:0] cycle;",
+        "    wire pass_done = (cycle == CHAIN_LENGTH - 1);",
+        "",
+        "    always @(posedge clk or negedge rst_n) begin",
+        "        if (!rst_n) begin",
+        "            state           <= ST_ACTIVE;",
+        "            cycle           <= 0;",
+        "            scan_enable     <= 1'b0;",
+        "            monitor_mode    <= 2'd0;",
+        "            retain          <= 1'b0;",
+        "            power_switch_on <= 1'b1;",
+        "            error_code      <= 2'd0;",
+        "        end else begin",
+        "            case (state)",
+        "                ST_ACTIVE: begin",
+        "                    scan_enable  <= 1'b0;",
+        "                    monitor_mode <= 2'd0;",
+        "                    if (sleep) begin",
+        "                        state        <= ST_ENCODE;",
+        "                        scan_enable  <= 1'b1;",
+        "                        monitor_mode <= 2'd1;",
+        "                        cycle        <= 0;",
+        "                    end",
+        "                end",
+        "                ST_ENCODE: begin",
+        "                    cycle <= cycle + 1;",
+        "                    if (pass_done) begin",
+        "                        state        <= ST_SLEEP_ENTRY;",
+        "                        monitor_mode <= 2'd0;",
+        "                        scan_enable  <= 1'b0;",
+        "                        retain       <= 1'b1;",
+        "                    end",
+        "                end",
+        "                ST_SLEEP_ENTRY: begin",
+        "                    power_switch_on <= 1'b0;",
+        "                    state           <= ST_SLEEP;",
+        "                end",
+        "                ST_SLEEP: begin",
+        "                    if (!sleep) begin",
+        "                        power_switch_on <= 1'b1;",
+        "                        state           <= ST_WAKE;",
+        "                    end",
+        "                end",
+        "                ST_WAKE: begin",
+        "                    if (supply_stable) begin",
+        "                        retain       <= 1'b0;   // restore masters",
+        "                        scan_enable  <= 1'b1;",
+        "                        monitor_mode <= 2'd2;",
+        "                        cycle        <= 0;",
+        "                        state        <= ST_DECODE;",
+        "                    end",
+        "                end",
+        "                ST_DECODE: begin",
+        "                    cycle <= cycle + 1;",
+        "                    if (pass_done) begin",
+        "                        scan_enable  <= 1'b0;",
+        "                        monitor_mode <= 2'd0;",
+        "                        if (!monitor_error) begin",
+        "                            error_code <= 2'd0;",
+        "                            state      <= ST_ACTIVE;",
+        "                        end else if (!uncorrectable) begin",
+        "                            error_code <= 2'd1;",
+        "                            state      <= ST_ACTIVE;",
+        "                        end else begin",
+        "                            error_code <= 2'd2;",
+        "                            state      <= ST_ERROR;",
+        "                        end",
+        "                    end",
+        "                end",
+        "                ST_ERROR: begin",
+        "                    if (recovery_done) begin",
+        "                        error_code <= 2'd0;",
+        "                        state      <= ST_ACTIVE;",
+        "                    end",
+        "                end",
+        "                default: state <= ST_ACTIVE;",
+        "            endcase",
+        "        end",
+        "    end",
+        "endmodule",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+__all__ = ["monitored_controller_verilog"]

@@ -1,0 +1,150 @@
+"""Verilog generators for the state monitoring blocks (paper Fig. 2).
+
+A Hamming monitoring block contains:
+
+* the parity generator (instantiating the encoder module) fed by the
+  ``k`` scan-out bits it observes;
+* a parity storage shift register ``l x r`` bits deep (written during
+  the encode pass, read back in order during the decode pass);
+* the syndrome decoder / corrector on the decode path, whose corrected
+  data drives the scan-in feedback.
+
+A CRC monitoring block contains the serial signature register plus the
+stored reference signature and the comparator.
+"""
+
+from __future__ import annotations
+
+from repro.codes.crc import CRCCode
+from repro.codes.hamming import HammingCode
+from repro.rtl.codes_rtl import (
+    crc_update_verilog,
+    hamming_decoder_verilog,
+    hamming_encoder_verilog,
+    _module_name,
+)
+
+
+def hamming_monitor_verilog(code: HammingCode, chain_length: int,
+                            block_index: int = 0) -> str:
+    """The complete Hamming state monitoring block.
+
+    Ports: clock, ``mode`` (0 = idle, 1 = encode, 2 = decode), the
+    ``k``-bit scan-out slice in, the corrected slice and the error flag
+    out.  Parity storage is a circular shift register of ``chain_length``
+    words of ``r`` bits.
+    """
+    if chain_length <= 0:
+        raise ValueError("chain length must be positive")
+    name = f"state_monitor_hamming_{code.n}_{code.k}_b{block_index}"
+    encoder = _module_name("encoder", code)
+    decoder = _module_name("decoder", code)
+    k, r = code.k, code.r
+    depth = chain_length
+    lines = [
+        f"// state monitoring block {block_index}: Hamming({code.n},{code.k}),",
+        f"// {depth}-deep parity storage (one entry per scan-shift cycle)",
+        f"module {name} (",
+        "    input  wire               clk,",
+        "    input  wire               rst_n,",
+        "    input  wire [1:0]         mode,      // 0 idle, 1 encode, 2 decode",
+        f"    input  wire [{k - 1}:0]         scan_out,  // one bit per observed chain",
+        f"    output wire [{k - 1}:0]         scan_in,   // corrected feedback",
+        "    output wire               error,",
+        "    output reg                error_seen",
+        ");",
+        f"    localparam DEPTH = {depth};",
+        f"    reg  [{r - 1}:0] parity_mem [0:DEPTH-1];",
+        "    reg  [$clog2(DEPTH+1)-1:0] cycle;",
+        f"    wire [{r - 1}:0] fresh_parity;",
+        f"    wire [{r - 1}:0] stored_parity = parity_mem[cycle];",
+        f"    wire [{r - 1}:0] syndrome;",
+        f"    wire [{k - 1}:0] corrected;",
+        "",
+        f"    {encoder} u_encoder (.data(scan_out), .parity(fresh_parity));",
+        f"    {decoder} u_decoder (.data(scan_out), .parity(stored_parity),",
+        "                          .syndrome(syndrome), .error(error),",
+        "                          .corrected(corrected));",
+        "",
+        "    // During decode the corrected slice is fed back into the",
+        "    // scan-in ports (error correction block of Fig. 2); during",
+        "    // encode the observed slice is looped back unchanged.",
+        "    assign scan_in = (mode == 2'd2) ? corrected : scan_out;",
+        "",
+        "    always @(posedge clk or negedge rst_n) begin",
+        "        if (!rst_n) begin",
+        "            cycle      <= 0;",
+        "            error_seen <= 1'b0;",
+        "        end else begin",
+        "            case (mode)",
+        "                2'd1: begin            // encode pass",
+        "                    parity_mem[cycle] <= fresh_parity;",
+        "                    cycle <= (cycle == DEPTH-1) ? 0 : cycle + 1;",
+        "                end",
+        "                2'd2: begin            // decode pass",
+        "                    error_seen <= error_seen | error;",
+        "                    cycle <= (cycle == DEPTH-1) ? 0 : cycle + 1;",
+        "                end",
+        "                default: begin",
+        "                    cycle <= 0;",
+        "                end",
+        "            endcase",
+        "        end",
+        "    end",
+        "endmodule",
+    ]
+    return (hamming_encoder_verilog(code) + "\n"
+            + hamming_decoder_verilog(code) + "\n"
+            + "\n".join(lines) + "\n")
+
+
+def crc_monitor_verilog(code: CRCCode, num_inputs: int,
+                        block_index: int = 0) -> str:
+    """The detection-only CRC state monitoring block.
+
+    Folds ``num_inputs`` scan-out bits per cycle into the signature
+    (serially, one sub-cycle per input in this reference
+    implementation), stores the encode-pass signature and compares it
+    after the decode pass.
+    """
+    if num_inputs <= 0:
+        raise ValueError("the monitor must observe at least one chain")
+    name = f"state_monitor_{code.name.replace('-', '_')}_b{block_index}"
+    sig_module = _module_name("sig", code)
+    width = code.width
+    lines = [
+        f"// state monitoring block {block_index}: {code.name.upper()} over "
+        f"{num_inputs} scan chains (detection only)",
+        f"module {name} (",
+        "    input  wire               clk,",
+        "    input  wire               rst_n,",
+        "    input  wire [1:0]         mode,      // 0 idle, 1 encode, 2 decode",
+        "    input  wire               bit_enable,",
+        "    input  wire               din,",
+        "    input  wire               pass_done,",
+        "    output reg                mismatch",
+        ");",
+        f"    wire [{width - 1}:0] signature;",
+        f"    reg  [{width - 1}:0] stored_signature;",
+        "    wire clear = (mode == 2'd0);",
+        "",
+        f"    {sig_module} u_signature (.clk(clk), .clear(clear),",
+        "                              .enable(bit_enable), .din(din),",
+        "                              .signature(signature));",
+        "",
+        "    always @(posedge clk or negedge rst_n) begin",
+        "        if (!rst_n) begin",
+        "            stored_signature <= 0;",
+        "            mismatch         <= 1'b0;",
+        "        end else if (pass_done && mode == 2'd1) begin",
+        "            stored_signature <= signature;   // end of encode pass",
+        "        end else if (pass_done && mode == 2'd2) begin",
+        "            mismatch <= (signature != stored_signature);",
+        "        end",
+        "    end",
+        "endmodule",
+    ]
+    return crc_update_verilog(code) + "\n" + "\n".join(lines) + "\n"
+
+
+__all__ = ["hamming_monitor_verilog", "crc_monitor_verilog"]

@@ -1,0 +1,41 @@
+"""Technology and cost models.
+
+The paper's cost numbers (Tables I--III, Fig. 9) come from a Synopsys
+synthesis of the design in an STMicroelectronics 120 nm library, with
+power from PrimeTime PX on a gate-level simulation.  This package
+replaces that proprietary flow with:
+
+* :mod:`repro.tech.library` -- a 120 nm-class standard-cell library
+  model: per-cell area, leakage and switching energy;
+* :mod:`repro.tech.area` -- structural area estimation of netlists and
+  of the generated monitoring/correction/controller logic;
+* :mod:`repro.tech.power` -- activity-based dynamic power estimation
+  (scan-shift switching dominates encode/decode power, as the paper
+  notes);
+* :mod:`repro.tech.energy` -- encode/decode latency and energy
+  calculations (latency = chain length x clock period; energy = power x
+  latency).
+
+Absolute numbers will not match the authors' silicon flow; the estimators
+are calibrated so that the *relative* behaviour across scan-chain
+configurations and codes --- which is what the paper's analysis is about
+--- reproduces.
+"""
+
+from repro.tech.library import Cell, StandardCellLibrary, default_library, ST120NM_CELLS
+from repro.tech.area import AreaEstimator, AreaBreakdown
+from repro.tech.power import PowerEstimator, PowerBreakdown
+from repro.tech.energy import EnergyCalculator, CodingCost
+
+__all__ = [
+    "Cell",
+    "StandardCellLibrary",
+    "default_library",
+    "ST120NM_CELLS",
+    "AreaEstimator",
+    "AreaBreakdown",
+    "PowerEstimator",
+    "PowerBreakdown",
+    "EnergyCalculator",
+    "CodingCost",
+]

@@ -1,0 +1,117 @@
+"""Encode/decode latency and energy calculations.
+
+The paper's Section III states the governing identities:
+
+* encoding (or decoding) latency is ``l x T`` --- the scan-chain length
+  times the clock period, because the whole state must circulate once
+  through the chains;
+* energy is power times latency, so lengthening the chains (fewer,
+  longer chains) raises energy even though the power barely changes.
+
+:class:`EnergyCalculator` packages those identities together with the
+power estimator so that one call yields the full (latency, power,
+energy) triple reported per row of Tables I and II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.circuit.netlist import Netlist
+from repro.tech.power import PowerBreakdown, PowerEstimator
+
+
+@dataclass(frozen=True)
+class CodingCost:
+    """Latency / power / energy of one encode or decode pass.
+
+    Attributes
+    ----------
+    cycles:
+        Number of clock cycles (the scan-chain length ``l``).
+    clock_hz:
+        Clock frequency used.
+    power_w:
+        Dynamic power during the pass, in watts.
+    """
+
+    cycles: int
+    clock_hz: float
+    power_w: float
+
+    @property
+    def latency_s(self) -> float:
+        """Pass duration in seconds (``l x T``)."""
+        return self.cycles / self.clock_hz
+
+    @property
+    def latency_ns(self) -> float:
+        """Pass duration in nanoseconds (the paper's ``t(ns)`` column)."""
+        return self.latency_s * 1e9
+
+    @property
+    def power_mw(self) -> float:
+        """Dynamic power in milliwatts (the paper's ``power(mW)`` column)."""
+        return self.power_w * 1e3
+
+    @property
+    def energy_j(self) -> float:
+        """Energy of the pass in joules (power x latency)."""
+        return self.power_w * self.latency_s
+
+    @property
+    def energy_nj(self) -> float:
+        """Energy of the pass in nanojoules (the paper's ``E(nJ)`` column)."""
+        return self.energy_j * 1e9
+
+
+class EnergyCalculator:
+    """Computes encode/decode cost triples from a netlist and chain length.
+
+    Parameters
+    ----------
+    power_estimator:
+        The dynamic-power estimator (carries the library and clock).
+    """
+
+    def __init__(self, power_estimator: Optional[PowerEstimator] = None):
+        self.power_estimator = (power_estimator if power_estimator is not None
+                                else PowerEstimator())
+
+    @property
+    def clock_hz(self) -> float:
+        """Clock frequency used for latency and power."""
+        return self.power_estimator.clock_hz
+
+    def encode_cost(self, netlist: Netlist, chain_length: int) -> CodingCost:
+        """Cost of one encoding pass (state circulated once)."""
+        return self._cost(netlist, chain_length, decode=False)
+
+    def decode_cost(self, netlist: Netlist, chain_length: int) -> CodingCost:
+        """Cost of one decoding pass.
+
+        Decoding additionally exercises the comparison/correction path,
+        which adds a small amount of power on top of encoding (visible
+        as the slightly higher "dec" columns of the paper's tables).
+        """
+        return self._cost(netlist, chain_length, decode=True)
+
+    def _cost(self, netlist: Netlist, chain_length: int,
+              decode: bool) -> CodingCost:
+        if chain_length <= 0:
+            raise ValueError("chain length must be positive")
+        breakdown: PowerBreakdown = self.power_estimator.scan_mode_power(
+            netlist)
+        power = breakdown.total
+        if decode:
+            # The corrector and compare logic are active only while
+            # decoding; re-price those groups at full activity.
+            corrector = breakdown.group("corrector")
+            power += corrector * 1.5
+        return CodingCost(cycles=chain_length,
+                          clock_hz=self.clock_hz,
+                          power_w=power)
+
+
+__all__ = ["CodingCost", "EnergyCalculator"]

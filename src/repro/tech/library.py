@@ -1,0 +1,143 @@
+"""Standard-cell library model (120 nm class).
+
+Each :class:`Cell` carries the three numbers the cost estimators need:
+
+* ``area_um2`` -- layout area in square micrometres;
+* ``switching_energy_fj`` -- energy per output toggle in femtojoules
+  (internal + load energy at nominal voltage);
+* ``leakage_nw`` -- static leakage in nanowatts.
+
+The default :data:`ST120NM_CELLS` values are representative of a 120 nm
+general-purpose library (the technology the paper synthesised into).
+They were chosen so that the 32x32 FIFO case study lands near the
+paper's reported base area (~72 kum^2 for 1040 registers plus read/write
+logic) and so that scan shifting of ~1000 flops at 100 MHz dissipates a
+few milliwatts --- the same ballpark as the paper's Tables I and II.
+Only relative accuracy matters for reproducing the paper's trends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One standard-cell entry."""
+
+    name: str
+    area_um2: float
+    switching_energy_fj: float
+    leakage_nw: float
+
+    def __post_init__(self) -> None:
+        if self.area_um2 < 0 or self.switching_energy_fj < 0 or self.leakage_nw < 0:
+            raise ValueError(f"cell {self.name!r} has negative parameters")
+
+
+#: Representative 120 nm cell parameters.
+#: Area values are in um^2, switching energies in fJ per output toggle,
+#: leakage in nW per cell.
+ST120NM_CELLS: Dict[str, Cell] = {
+    # Combinational cells.
+    "inv": Cell("inv", 5.0, 2.0, 0.6),
+    "buf": Cell("buf", 6.5, 2.6, 0.8),
+    "and2": Cell("and2", 8.0, 3.2, 1.0),
+    "nand2": Cell("nand2", 6.5, 2.8, 0.9),
+    "or2": Cell("or2", 8.0, 3.2, 1.0),
+    "nor2": Cell("nor2", 6.5, 2.8, 0.9),
+    "xor2": Cell("xor2", 12.0, 4.5, 1.4),
+    "xnor2": Cell("xnor2", 12.0, 4.5, 1.4),
+    "mux2": Cell("mux2", 11.0, 4.0, 1.3),
+    "mux3": Cell("mux3", 18.0, 6.0, 2.0),
+    "aoi22": Cell("aoi22", 10.0, 3.8, 1.2),
+    # Sequential cells.
+    "dff": Cell("dff", 36.0, 38.0, 4.0),
+    # Scan (mux-D) flip-flop: a DFF plus an input mux.
+    "sdff": Cell("sdff", 45.0, 42.0, 4.6),
+    # Retention scan flip-flop: scan DFF plus the always-on high-Vt
+    # balloon latch and the RETAIN routing (paper Fig. 1).
+    "rsdff": Cell("rsdff", 58.0, 46.0, 3.2),
+    # Always-on latch used for small storage inside the monitoring block.
+    "ret_latch": Cell("ret_latch", 26.0, 20.0, 1.6),
+    # Always-on flip-flop used for parity/signature storage inside the
+    # monitoring block (must survive sleep, like the retention latch).
+    # Its clock is gated per monitoring block, hence the low switching
+    # energy relative to a functional flop.
+    "aon_dff": Cell("aon_dff", 60.0, 20.0, 2.5),
+    # Header (sleep) switch transistor footprint.
+    "pswitch": Cell("pswitch", 14.0, 0.0, 1.5),
+}
+
+
+class StandardCellLibrary:
+    """A named collection of :class:`Cell` entries.
+
+    Parameters
+    ----------
+    name:
+        Library name (e.g. ``"st120nm"``).
+    cells:
+        Mapping from cell name to :class:`Cell`.
+    """
+
+    def __init__(self, name: str, cells: Mapping[str, Cell]):
+        if not cells:
+            raise ValueError("a cell library cannot be empty")
+        self.name = name
+        self._cells: Dict[str, Cell] = dict(cells)
+
+    def cell(self, name: str) -> Cell:
+        """Look up a cell by name; raises ``KeyError`` for unknown cells."""
+        if name not in self._cells:
+            raise KeyError(
+                f"cell {name!r} not in library {self.name!r}; "
+                f"known cells: {sorted(self._cells)}")
+        return self._cells[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def cell_names(self) -> Iterable[str]:
+        """All cell names in the library."""
+        return sorted(self._cells)
+
+    def add_cell(self, cell: Cell) -> None:
+        """Add or replace a cell entry."""
+        self._cells[cell.name] = cell
+
+    def scaled(self, name: str, area_scale: float = 1.0,
+               energy_scale: float = 1.0,
+               leakage_scale: float = 1.0) -> "StandardCellLibrary":
+        """Return a copy with all cells scaled by the given factors.
+
+        Useful for quick what-if studies (e.g. "how would the trade-off
+        look in a lower-leakage process?") and for sensitivity tests in
+        the benchmark suite.
+        """
+        scaled_cells = {
+            cname: Cell(cname,
+                        c.area_um2 * area_scale,
+                        c.switching_energy_fj * energy_scale,
+                        c.leakage_nw * leakage_scale)
+            for cname, c in self._cells.items()
+        }
+        return StandardCellLibrary(name, scaled_cells)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StandardCellLibrary({self.name!r}, cells={len(self._cells)})"
+
+
+_DEFAULT: Optional[StandardCellLibrary] = None
+
+
+def default_library() -> StandardCellLibrary:
+    """The shared default 120 nm library instance."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = StandardCellLibrary("st120nm", ST120NM_CELLS)
+    return _DEFAULT
+
+
+__all__ = ["Cell", "StandardCellLibrary", "ST120NM_CELLS", "default_library"]

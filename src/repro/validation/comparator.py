@@ -1,0 +1,100 @@
+"""Output comparator of the validation test bench.
+
+The "Comparator" of the paper's Fig. 8 "reads the data from both FIFO_A
+and FIFO_B and compares them"; its mismatch reports are the ground
+truth against which the monitor's own error reports are judged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.circuit.fifo import SyncFIFO
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Outcome of draining and comparing the two FIFOs.
+
+    Attributes
+    ----------
+    words_compared:
+        Number of word pairs read from the two FIFOs.
+    mismatched_words:
+        Indices (in read order) of words that differed.
+    bit_mismatches:
+        Total number of differing bits across all words.
+    structural_mismatch:
+        True when the two FIFOs disagreed about how many words they
+        held (occupancy corruption, e.g. a flipped pointer bit).
+    """
+
+    words_compared: int
+    mismatched_words: Tuple[int, ...] = field(default_factory=tuple)
+    bit_mismatches: int = 0
+    structural_mismatch: bool = False
+
+    @property
+    def match(self) -> bool:
+        """True when the FIFOs agreed completely."""
+        return not self.mismatched_words and not self.structural_mismatch
+
+
+class Comparator:
+    """Drains a device-under-test FIFO and a reference FIFO in lock step."""
+
+    def __init__(self) -> None:
+        self._history: List[ComparisonResult] = []
+
+    @property
+    def history(self) -> List[ComparisonResult]:
+        """All comparisons performed so far."""
+        return list(self._history)
+
+    def compare(self, dut: SyncFIFO, reference: SyncFIFO,
+                max_words: Optional[int] = None) -> ComparisonResult:
+        """Pop words from both FIFOs until both are empty and compare.
+
+        Occupancy disagreement is reported as a structural mismatch;
+        word contents are compared bit by bit.
+        """
+        mismatched: List[int] = []
+        bit_mismatches = 0
+        structural = dut.occupancy != reference.occupancy
+        index = 0
+        while True:
+            if max_words is not None and index >= max_words:
+                break
+            dut_empty = dut.is_empty
+            ref_empty = reference.is_empty
+            if dut_empty and ref_empty:
+                break
+            if dut_empty != ref_empty:
+                structural = True
+                # Drain whichever side still has data so the next test
+                # sequence starts clean.
+                side = reference if dut_empty else dut
+                while not side.is_empty:
+                    side.pop()
+                break
+            dut_word = dut.pop()
+            ref_word = reference.pop()
+            if dut_word is None or ref_word is None:
+                structural = True
+                break
+            diff = sum(1 for a, b in zip(dut_word, ref_word) if a != b)
+            if diff:
+                mismatched.append(index)
+                bit_mismatches += diff
+            index += 1
+        result = ComparisonResult(
+            words_compared=index,
+            mismatched_words=tuple(mismatched),
+            bit_mismatches=bit_mismatches,
+            structural_mismatch=structural)
+        self._history.append(result)
+        return result
+
+
+__all__ = ["Comparator", "ComparisonResult"]

@@ -1,0 +1,144 @@
+"""The FIFO validation test bench (paper Fig. 8).
+
+Reproduces the five-stage test sequence of Section IV around a
+protected FIFO (FIFO_A) and an error-free reference FIFO (FIFO_B):
+
+1. reset both FIFOs so they start in the same state;
+2. write the same random data to both;
+3. send the sleep signal to FIFO_A (encode + retention save + gate off);
+4. wait for sleep, then send the wake-up signal (gate on + restore +
+   decode/correct); the error injector may corrupt FIFO_A in between;
+5. read both FIFOs and compare the outputs.
+
+The event counter of Fig. 8 is represented by the returned
+:class:`TestSequenceResult` records and the aggregation performed by
+:mod:`repro.validation.campaign`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.circuit.fifo import SyncFIFO
+from repro.core.controller import ErrorCode
+from repro.core.protected import CycleOutcome, ProtectedDesign
+from repro.faults.patterns import ErrorPattern
+from repro.validation.comparator import Comparator, ComparisonResult
+from repro.validation.stimulus import StimulusGenerator
+
+
+@dataclass(frozen=True)
+class TestSequenceResult:
+    """Outcome of one five-stage test sequence.
+
+    Combines the monitor's view (from the protected design's
+    :class:`~repro.core.protected.CycleOutcome`) with the comparator's
+    ground-truth view of the architectural state.
+    """
+
+    cycle: CycleOutcome
+    comparison: ComparisonResult
+    words_written: int
+
+    @property
+    def error_reported(self) -> bool:
+        """True when FIFO_A's monitor reported anything (the paper's
+        "errors reported by FIFO_A" counter input)."""
+        return self.cycle.detected
+
+    @property
+    def mismatch_reported(self) -> bool:
+        """True when the comparator found FIFO_A != FIFO_B."""
+        return not self.comparison.match
+
+    @property
+    def outcome_consistent(self) -> bool:
+        """Monitor verdict is not contradicted by the comparator.
+
+        The dangerous case is a *missed* corruption: the comparator sees
+        wrong data coming out of FIFO_A while the monitor claimed the
+        state was clean or fully repaired.  The converse (monitor flags
+        an uncorrectable error but the comparator happens to see
+        matching outputs) is consistent --- the corrupted bits may live
+        in state the read-out does not observe, e.g. unoccupied FIFO
+        rows or pointer wrap bits.
+        """
+        if not self.mismatch_reported:
+            return True
+        return self.cycle.error_code is ErrorCode.UNCORRECTABLE
+
+
+class FIFOTestbench:
+    """Software equivalent of the paper's FPGA test bench.
+
+    Parameters
+    ----------
+    protected_fifo:
+        The protected design wrapping FIFO_A.  Its circuit must be a
+        :class:`~repro.circuit.fifo.SyncFIFO`.
+    reference_fifo:
+        FIFO_B; created automatically (same geometry) when omitted.
+    stimulus:
+        The random data source; created from ``seed`` when omitted.
+    words_per_sequence:
+        How many words stage 2 writes into both FIFOs (defaults to half
+        the FIFO depth so pointer wrap-around is exercised over a
+        campaign).
+    seed:
+        Seed for the default stimulus generator.
+    """
+
+    def __init__(self, protected_fifo: ProtectedDesign,
+                 reference_fifo: Optional[SyncFIFO] = None,
+                 stimulus: Optional[StimulusGenerator] = None,
+                 words_per_sequence: Optional[int] = None,
+                 seed: Optional[int] = 2010):
+        if not isinstance(protected_fifo.circuit, SyncFIFO):
+            raise TypeError(
+                "FIFOTestbench requires a ProtectedDesign wrapping a SyncFIFO")
+        self.dut_design = protected_fifo
+        self.dut: SyncFIFO = protected_fifo.circuit
+        self.reference = (reference_fifo if reference_fifo is not None
+                          else SyncFIFO(self.dut.width, self.dut.depth,
+                                        name=f"{self.dut.name}_ref"))
+        if (self.reference.width != self.dut.width
+                or self.reference.depth != self.dut.depth):
+            raise ValueError(
+                "reference FIFO must have the same geometry as the DUT")
+        self.stimulus = (stimulus if stimulus is not None
+                         else StimulusGenerator(self.dut.width, seed=seed))
+        self.words_per_sequence = (words_per_sequence
+                                   if words_per_sequence is not None
+                                   else max(1, self.dut.depth // 2))
+        self.comparator = Comparator()
+
+    # ------------------------------------------------------------------
+    def run_sequence(self, injection: Optional[ErrorPattern] = None,
+                     inject_phase: str = "sleep") -> TestSequenceResult:
+        """Run one five-stage test sequence with optional injection."""
+        # Stage 1: reset both FIFOs to the same state.
+        self.dut.reset()
+        self.reference.reset()
+        # Stage 2: write the same random data to both.
+        words = self.stimulus.burst(self.words_per_sequence)
+        for word in words:
+            self.dut.push(word)
+            self.reference.push(list(word))
+        # Stages 3 and 4: sleep, (inject), wake, decode.
+        cycle = self.dut_design.sleep_wake_cycle(
+            injection=injection, inject_phase=inject_phase)
+        # Stage 5: read both FIFOs and compare.
+        comparison = self.comparator.compare(self.dut, self.reference)
+        return TestSequenceResult(cycle=cycle, comparison=comparison,
+                                  words_written=len(words))
+
+    def run_sequences(self, injections: Sequence[Optional[ErrorPattern]],
+                      inject_phase: str = "sleep"
+                      ) -> Sequence[TestSequenceResult]:
+        """Run one sequence per entry of ``injections``."""
+        return [self.run_sequence(injection, inject_phase)
+                for injection in injections]
+
+
+__all__ = ["FIFOTestbench", "TestSequenceResult"]

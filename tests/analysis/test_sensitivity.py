@@ -1,0 +1,71 @@
+"""Tests for the sensitivity and break-even analyses."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    format_break_even_table,
+    library_scaling_sensitivity,
+    sleep_break_even,
+)
+from repro.circuit.generators import make_random_state_circuit
+
+CIRCUIT = make_random_state_circuit(208, seed=31, name="sens208")
+
+
+class TestLibraryScalingSensitivity:
+    def test_orderings_hold_across_scalings(self):
+        outcomes = library_scaling_sensitivity(circuit=CIRCUIT,
+                                               num_chains=16)
+        assert len(outcomes) == 4
+        for outcome in outcomes:
+            assert outcome.orderings_hold, outcome.scale_label
+
+    def test_uniform_area_scaling_preserves_overhead_percent(self):
+        nominal, scaled = library_scaling_sensitivity(
+            scales=(("nominal", 1.0, 1.0), ("shrunk", 0.5, 1.0)),
+            circuit=CIRCUIT, num_chains=16)
+        # Overhead is a ratio of areas, so a uniform area scale cancels.
+        assert scaled.crc_overhead_percent == pytest.approx(
+            nominal.crc_overhead_percent, rel=1e-6)
+        assert scaled.hamming_overhead_percent == pytest.approx(
+            nominal.hamming_overhead_percent, rel=1e-6)
+
+    def test_energy_scaling_does_not_change_power_ratio_much(self):
+        nominal, scaled = library_scaling_sensitivity(
+            scales=(("nominal", 1.0, 1.0), ("hot", 1.0, 2.0)),
+            circuit=CIRCUIT, num_chains=16)
+        assert scaled.power_ratio == pytest.approx(nominal.power_ratio,
+                                                   rel=0.05)
+
+
+class TestSleepBreakEven:
+    def test_break_even_points_structure(self):
+        points = sleep_break_even(codes=("crc16", "hamming(7,4)"),
+                                  chain_counts=(4, 16), circuit=CIRCUIT)
+        assert len(points) == 4
+        for point in points:
+            assert point.overhead_energy_nj > 0
+            assert point.leakage_saved_mw > 0
+            assert point.break_even_us > 0
+
+    def test_more_chains_shorter_break_even(self):
+        points = sleep_break_even(codes=("hamming(7,4)",),
+                                  chain_counts=(4, 16), circuit=CIRCUIT)
+        by_chains = {p.num_chains: p for p in points}
+        # Shorter chains -> less encode/decode energy -> gating pays off
+        # for shorter sleep intervals.
+        assert (by_chains[16].break_even_us < by_chains[4].break_even_us)
+
+    def test_crc_breaks_even_no_later_than_hamming(self):
+        points = sleep_break_even(codes=("crc16", "hamming(7,4)"),
+                                  chain_counts=(16,), circuit=CIRCUIT)
+        by_code = {p.code: p for p in points}
+        assert (by_code["crc16"].overhead_energy_nj
+                <= by_code["hamming(7,4)"].overhead_energy_nj)
+
+    def test_table_formatting(self):
+        points = sleep_break_even(codes=("crc16",), chain_counts=(4,),
+                                  circuit=CIRCUIT)
+        text = format_break_even_table(points)
+        assert "break-even" in text
+        assert "crc16" in text

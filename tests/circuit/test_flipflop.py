@@ -1,0 +1,123 @@
+"""Tests for the flip-flop models."""
+
+import pytest
+
+from repro.circuit.flipflop import (
+    DFlipFlop,
+    PowerState,
+    RetentionFlipFlop,
+    ScanFlipFlop,
+)
+
+
+class TestDFlipFlop:
+    def test_initial_value_defaults_to_unknown(self):
+        assert DFlipFlop().q is None
+
+    def test_clock_captures_data(self):
+        ff = DFlipFlop(init=0)
+        assert ff.clock(1) == 1
+        assert ff.q == 1
+
+    def test_reset_and_force(self):
+        ff = DFlipFlop(init=1)
+        ff.reset()
+        assert ff.q == 0
+        ff.force(None)
+        assert ff.q is None
+
+    def test_flip_inverts_known_values_only(self):
+        ff = DFlipFlop(init=1)
+        ff.flip()
+        assert ff.q == 0
+        ff.force(None)
+        ff.flip()
+        assert ff.q is None
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            DFlipFlop(init=2)
+        ff = DFlipFlop()
+        with pytest.raises(ValueError):
+            ff.clock(5)
+
+
+class TestScanFlipFlop:
+    def test_scan_enable_selects_scan_input(self):
+        ff = ScanFlipFlop(init=0)
+        ff.clock_scan(d=0, si=1, se=1)
+        assert ff.q == 1
+        ff.clock_scan(d=0, si=1, se=0)
+        assert ff.q == 0
+
+    def test_shift_returns_previous_value(self):
+        ff = ScanFlipFlop(init=1)
+        assert ff.shift(0) == 1
+        assert ff.q == 0
+
+
+class TestRetentionFlipFlop:
+    def test_full_retention_sequence_preserves_value(self):
+        ff = RetentionFlipFlop(init=1)
+        ff.retain()
+        ff.power_off()
+        assert ff.q is None
+        assert ff.retention_value == 1
+        ff.power_on()
+        ff.restore()
+        assert ff.q == 1
+
+    def test_power_off_without_retain_loses_state(self):
+        ff = RetentionFlipFlop(init=1)
+        ff.power_off()
+        ff.power_on()
+        ff.restore()
+        assert ff.q is None  # nothing was saved
+
+    def test_clock_while_off_raises(self):
+        ff = RetentionFlipFlop(init=0)
+        ff.power_off()
+        with pytest.raises(RuntimeError):
+            ff.clock(1)
+
+    def test_retain_while_off_raises(self):
+        ff = RetentionFlipFlop(init=0)
+        ff.power_off()
+        with pytest.raises(RuntimeError):
+            ff.retain()
+
+    def test_restore_while_off_raises(self):
+        ff = RetentionFlipFlop(init=0)
+        ff.retain()
+        ff.power_off()
+        with pytest.raises(RuntimeError):
+            ff.restore()
+
+    def test_corrupt_retention_flips_saved_value(self):
+        ff = RetentionFlipFlop(init=0)
+        ff.retain()
+        ff.power_off()
+        ff.corrupt_retention()
+        ff.power_on()
+        ff.restore()
+        assert ff.q == 1
+
+    def test_corrupt_unknown_retention_is_noop(self):
+        ff = RetentionFlipFlop(init=0)
+        ff.corrupt_retention()
+        assert ff.retention_value is None
+
+    def test_power_state_tracking(self):
+        ff = RetentionFlipFlop(init=0)
+        assert ff.power is PowerState.ON
+        ff.retain()
+        ff.power_off()
+        assert ff.power is PowerState.OFF
+        ff.power_on()
+        assert ff.power is PowerState.ON
+
+    def test_force_retention(self):
+        ff = RetentionFlipFlop(init=0)
+        ff.force_retention(1)
+        ff.restore()
+        assert ff.q == 1

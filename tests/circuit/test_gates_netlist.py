@@ -1,0 +1,104 @@
+"""Tests for gate primitives and the netlist container."""
+
+import pytest
+
+from repro.circuit.gates import GATE_ARITY, Gate, GateType, evaluate_gate
+from repro.circuit.netlist import (
+    Netlist,
+    PortDirection,
+    netlist_from_counts,
+)
+
+
+class TestGates:
+    def test_basic_truth_tables(self):
+        assert evaluate_gate(GateType.INV, [0]) == 1
+        assert evaluate_gate(GateType.INV, [1]) == 0
+        assert evaluate_gate(GateType.AND2, [1, 1]) == 1
+        assert evaluate_gate(GateType.AND2, [1, 0]) == 0
+        assert evaluate_gate(GateType.NAND2, [1, 1]) == 0
+        assert evaluate_gate(GateType.OR2, [0, 0]) == 0
+        assert evaluate_gate(GateType.NOR2, [0, 0]) == 1
+        assert evaluate_gate(GateType.XOR2, [1, 0]) == 1
+        assert evaluate_gate(GateType.XOR2, [1, 1]) == 0
+        assert evaluate_gate(GateType.XNOR2, [1, 1]) == 1
+
+    def test_mux2_selects(self):
+        # (a, b, sel) -> b when sel else a
+        assert evaluate_gate(GateType.MUX2, [0, 1, 1]) == 1
+        assert evaluate_gate(GateType.MUX2, [0, 1, 0]) == 0
+
+    def test_wide_gates_reduce(self):
+        assert evaluate_gate(GateType.AND2, [1, 1, 1, 1]) == 1
+        assert evaluate_gate(GateType.AND2, [1, 1, 0, 1]) == 0
+        assert evaluate_gate(GateType.XOR2, [1, 1, 1]) == 1
+
+    def test_arity_enforced(self):
+        gate = Gate(GateType.MUX2)
+        with pytest.raises(ValueError):
+            gate.evaluate([0, 1])
+
+    def test_gate_type_validation(self):
+        with pytest.raises(TypeError):
+            Gate("and2")
+
+    def test_every_gate_type_has_arity(self):
+        for gate_type in GateType:
+            assert gate_type in GATE_ARITY
+
+
+class TestNetlist:
+    def test_ports(self):
+        netlist = Netlist("top")
+        netlist.add_port("clk", PortDirection.INPUT)
+        netlist.add_port("data", PortDirection.OUTPUT, width=8)
+        assert len(netlist.ports) == 2
+        assert netlist.port("data").width == 8
+        with pytest.raises(ValueError):
+            netlist.add_port("clk", PortDirection.INPUT)
+        with pytest.raises(ValueError):
+            netlist.add_port("bad", PortDirection.INPUT, width=0)
+
+    def test_cell_counting_and_groups(self):
+        netlist = Netlist("top")
+        netlist.add_cells("dff", 10, group="core")
+        netlist.add_cells("xor2", 4, group="monitor")
+        netlist.add_cell("xor2", group="monitor")
+        assert len(netlist) == 15
+        assert netlist.count("dff") == 10
+        assert netlist.count("xor2", group="monitor") == 5
+        assert netlist.cell_counts() == {"dff": 10, "xor2": 5}
+        assert netlist.cell_counts(group="monitor") == {"xor2": 5}
+        assert netlist.groups() == ["core", "monitor"]
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            Netlist("top").add_cells("dff", -1)
+
+    def test_merge_relabels_group(self):
+        parent = Netlist("top")
+        child = Netlist("monitor0")
+        child.add_cells("xor2", 3, group="core")
+        parent.merge(child, group="monitor")
+        assert parent.count("xor2", group="monitor") == 3
+
+    def test_merge_keeps_group_by_default(self):
+        parent = Netlist("top")
+        child = Netlist("sub")
+        child.add_cells("and2", 2, group="corrector")
+        parent.merge(child)
+        assert parent.count("and2", group="corrector") == 2
+
+    def test_copy_is_independent(self):
+        original = Netlist("top")
+        original.add_cells("dff", 2)
+        duplicate = original.copy()
+        duplicate.add_cells("dff", 3)
+        assert len(original) == 2
+        assert len(duplicate) == 5
+
+    def test_netlist_from_counts(self):
+        netlist = netlist_from_counts("x", {"inv": 2, "buf": 1},
+                                      group="monitor")
+        assert netlist.count("inv", group="monitor") == 2
+        assert len(netlist) == 3

@@ -1,0 +1,133 @@
+"""Tests for the circuit generators and state snapshots."""
+
+import pytest
+
+from repro.circuit.generators import (
+    make_counter,
+    make_random_state_circuit,
+    make_register_file,
+    make_shift_register,
+)
+from repro.circuit.state import StateSnapshot
+
+
+class TestCounter:
+    def test_counts_up_and_wraps(self):
+        counter = make_counter(4)
+        for expected in list(range(1, 16)) + [0, 1]:
+            assert counter.tick() == expected
+
+    def test_register_count_matches_width(self):
+        assert make_counter(16).num_registers == 16
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            make_counter(0)
+
+
+class TestShiftRegister:
+    def test_shifting_behaviour(self):
+        sr = make_shift_register(4)
+        outs = [sr.shift(b) for b in (1, 0, 1, 1, 0)]
+        # Initial zeros leave first, then the first injected bit.
+        assert outs == [0, 0, 0, 0, 1]
+
+    def test_register_count(self):
+        assert make_shift_register(64).num_registers == 64
+
+
+class TestRegisterFile:
+    def test_write_read_round_trip(self):
+        rf = make_register_file(8, 16)
+        rf.write(3, 0xBEEF)
+        rf.write(0, 0x1234)
+        assert rf.read(3) == 0xBEEF
+        assert rf.read(0) == 0x1234
+
+    def test_out_of_range_addresses(self):
+        rf = make_register_file(4, 8)
+        with pytest.raises(IndexError):
+            rf.write(4, 1)
+        with pytest.raises(IndexError):
+            rf.read(-1)
+
+    def test_register_count(self):
+        assert make_register_file(16, 32).num_registers == 512
+
+
+class TestRandomStateCircuit:
+    def test_seeded_reproducibility(self):
+        a = make_random_state_circuit(200, seed=42)
+        b = make_random_state_circuit(200, seed=42)
+        assert a.snapshot().values == b.snapshot().values
+
+    def test_different_seeds_differ(self):
+        a = make_random_state_circuit(200, seed=1)
+        b = make_random_state_circuit(200, seed=2)
+        assert a.snapshot().values != b.snapshot().values
+
+    def test_randomize_resets_to_seed(self):
+        circuit = make_random_state_circuit(100, seed=5)
+        original = circuit.snapshot()
+        circuit.registers[0].flip()
+        circuit.randomize()
+        assert circuit.snapshot().values == original.values
+
+
+class TestSequentialCircuitInterface:
+    def test_snapshot_and_load(self):
+        counter = make_counter(8)
+        counter.tick()
+        counter.tick()
+        snap = counter.snapshot()
+        counter.tick()
+        counter.load_snapshot(snap)
+        assert counter.value == 2
+
+    def test_load_state_validates_length(self):
+        counter = make_counter(8)
+        with pytest.raises(ValueError):
+            counter.load_state([0] * 7)
+
+    def test_retention_cycle_via_circuit_helpers(self):
+        counter = make_counter(8)
+        for _ in range(7):
+            counter.tick()
+        counter.retain_all()
+        counter.power_off_all()
+        counter.power_on_all()
+        counter.restore_all()
+        assert counter.value == 7
+
+
+class TestStateSnapshot:
+    def test_diff_and_distance(self):
+        a = StateSnapshot(values=(0, 1, 1, 0))
+        b = StateSnapshot(values=(0, 0, 1, 1))
+        assert a.diff(b) == (1, 3)
+        assert a.hamming_distance(b) == 2
+
+    def test_unknowns_count_as_difference(self):
+        a = StateSnapshot(values=(0, 1))
+        b = StateSnapshot(values=(0, None))
+        assert a.hamming_distance(b) == 1
+        assert b.has_unknowns
+
+    def test_diff_requires_equal_length(self):
+        with pytest.raises(ValueError):
+            StateSnapshot(values=(0,)).diff(StateSnapshot(values=(0, 1)))
+
+    def test_with_flips(self):
+        snap = StateSnapshot(values=(0, 1, 0))
+        flipped = snap.with_flips((0, 2))
+        assert flipped.values == (1, 1, 1)
+
+    def test_as_dict_requires_names(self):
+        named = StateSnapshot(values=(1,), names=("a",))
+        assert named.as_dict() == {"a": 1}
+        with pytest.raises(ValueError):
+            StateSnapshot(values=(1,)).as_dict()
+
+    def test_name_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            StateSnapshot(values=(1, 0), names=("a",))

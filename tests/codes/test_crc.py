@@ -1,0 +1,109 @@
+"""Tests for the CRC stream codes."""
+
+import random
+
+import pytest
+
+from repro.codes.base import CodeError, DecodeStatus
+from repro.codes.crc import CRC_POLYNOMIALS, CRCCode
+
+
+class TestConstruction:
+    def test_from_name_builds_known_polynomials(self):
+        for name, params in CRC_POLYNOMIALS.items():
+            code = CRCCode.from_name(name)
+            assert code.width == params["width"]
+            assert code.poly == params["poly"]
+            assert code.signature_bits == params["width"]
+
+    def test_from_name_rejects_unknown(self):
+        with pytest.raises(CodeError):
+            CRCCode.from_name("crc99")
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(CodeError):
+            CRCCode(width=0)
+        with pytest.raises(CodeError):
+            CRCCode(width=8, poly=0x1FF)
+        with pytest.raises(CodeError):
+            CRCCode(width=8, poly=0x07, init=0x100)
+
+    def test_equality_and_hash(self):
+        assert CRCCode.from_name("crc16") == CRCCode.from_name("crc16-ibm")
+        assert CRCCode.from_name("crc16") != CRCCode.from_name("crc16-ccitt")
+        assert len({CRCCode.from_name("crc16"),
+                    CRCCode.from_name("crc16-ibm")}) == 1
+
+
+class TestSignature:
+    def test_signature_width(self):
+        crc = CRCCode.from_name("crc16")
+        assert len(crc.signature([1, 0, 1])) == 16
+
+    def test_all_zero_stream_with_zero_init_gives_zero_signature(self):
+        crc = CRCCode(width=16, poly=0x8005, init=0)
+        assert crc.signature([0] * 64) == (0,) * 16
+
+    def test_signature_depends_on_bit_order(self):
+        crc = CRCCode.from_name("crc16")
+        assert crc.signature([1, 0, 0, 0]) != crc.signature([0, 0, 0, 1])
+
+    def test_signature_int_matches_bits(self):
+        crc = CRCCode.from_name("crc16-ccitt")
+        stream = [random.Random(3).randint(0, 1) for _ in range(100)]
+        packed = crc.signature_int(stream)
+        bits = crc.signature(stream)
+        assert packed == sum(b << (15 - i) for i, b in enumerate(bits))
+
+    def test_serial_state_matches_batch(self):
+        crc = CRCCode.from_name("crc16")
+        rng = random.Random(11)
+        stream = [rng.randint(0, 1) for _ in range(257)]
+        state = crc.new_state()
+        state.shift_many(stream)
+        assert state.signature() == crc.signature(stream)
+
+
+class TestVerify:
+    def test_clean_stream_verifies(self):
+        crc = CRCCode.from_name("crc16")
+        stream = [1, 1, 0, 1, 0, 0, 1, 0]
+        signature = crc.signature(stream)
+        assert crc.verify(stream, signature).status is DecodeStatus.NO_ERROR
+
+    def test_any_single_bit_flip_is_detected(self):
+        crc = CRCCode.from_name("crc16")
+        rng = random.Random(5)
+        stream = [rng.randint(0, 1) for _ in range(200)]
+        signature = crc.signature(stream)
+        for position in range(0, 200, 7):
+            corrupted = list(stream)
+            corrupted[position] ^= 1
+            result = crc.verify(corrupted, signature)
+            assert result.status is DecodeStatus.DETECTED
+            assert result.syndrome != 0
+
+    def test_burst_errors_up_to_width_are_detected(self):
+        # CRC-16 detects all bursts of length <= 16.
+        crc = CRCCode.from_name("crc16")
+        rng = random.Random(9)
+        stream = [rng.randint(0, 1) for _ in range(300)]
+        signature = crc.signature(stream)
+        for start in range(0, 280, 13):
+            for burst_len in (2, 5, 16):
+                corrupted = list(stream)
+                for offset in range(burst_len):
+                    corrupted[start + offset] ^= 1
+                assert crc.verify(corrupted, signature).status is \
+                    DecodeStatus.DETECTED
+
+    def test_correction_capability_is_zero(self):
+        assert CRCCode.from_name("crc16").correction_capability == 0.0
+
+
+class TestHardwareSizing:
+    def test_register_and_xor_counts(self):
+        crc = CRCCode.from_name("crc16")
+        assert crc.register_bit_count() == 16
+        # poly 0x8005 has 3 set bits, plus the input XOR.
+        assert crc.feedback_xor_count() == 4

@@ -1,0 +1,143 @@
+"""Tests for the Hamming(n, k) code family."""
+
+import itertools
+
+import pytest
+
+from repro.codes.base import CodeError, DecodeStatus
+from repro.codes.hamming import PAPER_HAMMING_CODES, HammingCode
+
+
+@pytest.fixture(params=PAPER_HAMMING_CODES, ids=lambda nk: f"hamming{nk}")
+def code(request):
+    n, k = request.param
+    return HammingCode(n, k)
+
+
+class TestConstruction:
+    def test_paper_codes_have_expected_redundancy(self):
+        redundancies = {
+            (7, 4): 3, (15, 11): 4, (31, 26): 5, (63, 57): 6}
+        for (n, k), r in redundancies.items():
+            assert HammingCode(n, k).r == r
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(CodeError):
+            HammingCode(8, 4)
+        with pytest.raises(CodeError):
+            HammingCode(7, 5)
+        with pytest.raises(CodeError):
+            HammingCode(3, 2)  # r = 1 is not a Hamming code
+
+    def test_correction_capability_matches_table3(self):
+        # Paper Table III 'cap' column: 14.3, 6.67, 3.23, 1.59 percent.
+        expected = {(7, 4): 14.3, (15, 11): 6.67, (31, 26): 3.23,
+                    (63, 57): 1.59}
+        for (n, k), cap in expected.items():
+            measured = HammingCode(n, k).correction_capability * 100
+            assert measured == pytest.approx(cap, abs=0.05)
+
+    def test_name_and_equality(self):
+        assert HammingCode(7, 4).name == "hamming(7,4)"
+        assert HammingCode(7, 4) == HammingCode(7, 4)
+        assert HammingCode(7, 4) != HammingCode(15, 11)
+        assert len({HammingCode(7, 4), HammingCode(7, 4)}) == 1
+
+
+class TestEncode:
+    def test_codeword_is_systematic(self, code):
+        data = tuple((i * 7 + 1) % 2 for i in range(code.k))
+        codeword = code.encode(data)
+        assert codeword[:code.k] == data
+        assert len(codeword) == code.n
+
+    def test_encode_rejects_wrong_length(self, code):
+        with pytest.raises(CodeError):
+            code.encode([0] * (code.k + 1))
+
+    def test_all_zero_data_gives_all_zero_codeword(self, code):
+        assert code.encode([0] * code.k) == (0,) * code.n
+
+    def test_hamming74_known_vector(self):
+        # Classic Hamming(7,4) example: data 1011 has parity 010 in the
+        # positional construction (p1=0, p2=1, p4=0).
+        code = HammingCode(7, 4)
+        codeword = code.encode([1, 0, 1, 1])
+        result = code.decode(codeword)
+        assert result.is_clean
+        assert result.data == (1, 0, 1, 1)
+
+    def test_minimum_distance_is_three(self):
+        code = HammingCode(7, 4)
+        codewords = [code.encode([(v >> i) & 1 for i in range(4)])
+                     for v in range(16)]
+        min_distance = min(
+            sum(a != b for a, b in zip(c1, c2))
+            for c1, c2 in itertools.combinations(codewords, 2))
+        assert min_distance == 3
+
+
+class TestDecode:
+    def test_clean_codeword_decodes_clean(self, code):
+        data = tuple(i % 2 for i in range(code.k))
+        result = code.decode(code.encode(data))
+        assert result.status is DecodeStatus.NO_ERROR
+        assert result.data == data
+
+    def test_every_single_error_is_corrected(self, code):
+        data = tuple((i % 3) & 1 for i in range(code.k))
+        codeword = list(code.encode(data))
+        for position in range(code.n):
+            corrupted = list(codeword)
+            corrupted[position] ^= 1
+            result = code.decode(corrupted)
+            assert result.status is DecodeStatus.CORRECTED
+            assert result.data == data
+            assert result.corrected_positions == (position,)
+
+    def test_decode_rejects_wrong_length(self, code):
+        with pytest.raises(CodeError):
+            code.decode([0] * (code.n - 1))
+
+    def test_double_error_is_not_silently_accepted_as_clean(self):
+        # A perfect Hamming code maps double errors to a (wrong) single
+        # correction; it must never report NO_ERROR.
+        code = HammingCode(7, 4)
+        data = (1, 0, 1, 1)
+        codeword = list(code.encode(data))
+        for i, j in itertools.combinations(range(code.n), 2):
+            corrupted = list(codeword)
+            corrupted[i] ^= 1
+            corrupted[j] ^= 1
+            result = code.decode(corrupted)
+            assert result.status is not DecodeStatus.NO_ERROR
+
+    def test_check_uses_separate_data_and_parity(self, code):
+        data = tuple((i + 1) % 2 for i in range(code.k))
+        codeword = code.encode(data)
+        parity = codeword[code.k:]
+        result = code.check(data, parity)
+        assert result.is_clean
+        corrupted = list(data)
+        corrupted[0] ^= 1
+        result = code.check(corrupted, parity)
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.data == data
+
+    def test_check_validates_lengths(self, code):
+        with pytest.raises(CodeError):
+            code.check([0] * (code.k - 1), [0] * code.r)
+        with pytest.raises(CodeError):
+            code.check([0] * code.k, [0] * (code.r + 1))
+
+
+class TestHardwareSizing:
+    def test_encoder_and_decoder_gate_counts_positive(self, code):
+        assert code.encoder_xor_count() > 0
+        assert code.decoder_xor_count() >= code.encoder_xor_count()
+        assert code.corrector_gate_count() > code.k
+
+    def test_redundancy_decreases_along_the_family(self):
+        family = [HammingCode(n, k) for n, k in PAPER_HAMMING_CODES]
+        redundancies = [code.redundancy for code in family]
+        assert redundancies == sorted(redundancies, reverse=True)

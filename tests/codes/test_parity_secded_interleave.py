@@ -1,0 +1,145 @@
+"""Tests for the parity, SECDED and interleaved codes."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.codes.base import CodeError, DecodeStatus
+from repro.codes.hamming import HammingCode
+from repro.codes.interleave import InterleavedCode
+from repro.codes.parity import ParityCode
+from repro.codes.secded import SECDEDCode
+
+
+class TestParity:
+    def test_even_parity_encoding(self):
+        code = ParityCode(4)
+        assert code.encode([1, 1, 0, 0]) == (1, 1, 0, 0, 0)
+        assert code.encode([1, 0, 0, 0]) == (1, 0, 0, 0, 1)
+
+    def test_odd_parity_encoding(self):
+        code = ParityCode(4, odd=True)
+        assert code.encode([1, 1, 0, 0])[-1] == 1
+        assert code.encode([1, 0, 0, 0])[-1] == 0
+
+    def test_single_error_detected_never_corrected(self):
+        code = ParityCode(8)
+        data = [1, 0, 1, 1, 0, 0, 1, 0]
+        codeword = list(code.encode(data))
+        for position in range(len(codeword)):
+            corrupted = list(codeword)
+            corrupted[position] ^= 1
+            assert code.decode(corrupted).status is DecodeStatus.DETECTED
+
+    def test_double_error_missed(self):
+        # A single parity bit cannot see even-weight errors.
+        code = ParityCode(8)
+        codeword = list(code.encode([1, 0, 1, 1, 0, 0, 1, 0]))
+        codeword[0] ^= 1
+        codeword[3] ^= 1
+        assert code.decode(codeword).status is DecodeStatus.NO_ERROR
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(CodeError):
+            ParityCode(0)
+        code = ParityCode(4)
+        with pytest.raises(CodeError):
+            code.encode([0, 1])
+        with pytest.raises(CodeError):
+            code.decode([0, 1, 0])
+
+
+class TestSECDED:
+    def test_dimensions(self):
+        code = SECDEDCode(7, 4)
+        assert code.n == 8
+        assert code.k == 4
+        assert code.name == "secded(8,4)"
+
+    def test_single_errors_corrected(self):
+        code = SECDEDCode(7, 4)
+        data = (1, 1, 0, 1)
+        codeword = code.encode(data)
+        assert len(codeword) == 8
+        for position in range(8):
+            corrupted = list(codeword)
+            corrupted[position] ^= 1
+            result = code.decode(corrupted)
+            assert result.status is DecodeStatus.CORRECTED
+            assert result.data == data
+
+    def test_double_errors_detected_not_miscorrected(self):
+        code = SECDEDCode(7, 4)
+        data = (0, 1, 1, 0)
+        codeword = code.encode(data)
+        for i, j in itertools.combinations(range(8), 2):
+            corrupted = list(codeword)
+            corrupted[i] ^= 1
+            corrupted[j] ^= 1
+            result = code.decode(corrupted)
+            assert result.status is DecodeStatus.DETECTED
+
+    def test_clean_decode(self):
+        code = SECDEDCode(15, 11)
+        data = tuple(i % 2 for i in range(11))
+        result = code.decode(code.encode(data))
+        assert result.is_clean
+        assert result.data == data
+
+    def test_encoder_size_exceeds_plain_hamming(self):
+        assert (SECDEDCode(7, 4).encoder_xor_count()
+                > HammingCode(7, 4).encoder_xor_count())
+
+
+class TestInterleaved:
+    def test_dimensions(self):
+        code = InterleavedCode(HammingCode(7, 4), depth=4)
+        assert code.k == 16
+        assert code.n == 28
+        assert code.correctable_errors == 4
+        assert code.burst_tolerance == 4
+
+    def test_clean_round_trip(self):
+        code = InterleavedCode(HammingCode(7, 4), depth=3)
+        rng = random.Random(2)
+        data = tuple(rng.randint(0, 1) for _ in range(code.k))
+        result = code.decode(code.encode(data))
+        assert result.is_clean
+        assert result.data == data
+
+    def test_burst_up_to_depth_is_corrected(self):
+        depth = 4
+        code = InterleavedCode(HammingCode(7, 4), depth=depth)
+        rng = random.Random(7)
+        data = tuple(rng.randint(0, 1) for _ in range(code.k))
+        codeword = code.encode(data)
+        for start in range(code.k - depth):
+            corrupted = list(codeword)
+            for offset in range(depth):
+                corrupted[start + offset] ^= 1
+            result = code.decode(corrupted)
+            assert result.status is DecodeStatus.CORRECTED
+            assert result.data == data
+
+    def test_plain_hamming_fails_the_same_burst(self):
+        # The ablation claim: without interleaving, a burst of 4 inside
+        # one codeword is not corrected back to the original data.
+        inner = HammingCode(7, 4)
+        data = (1, 0, 1, 1)
+        codeword = list(inner.encode(data))
+        for position in range(4):
+            codeword[position] ^= 1
+        result = inner.decode(codeword)
+        assert result.data != data
+
+    def test_invalid_depth_rejected(self):
+        with pytest.raises(CodeError):
+            InterleavedCode(HammingCode(7, 4), depth=0)
+
+    def test_length_validation(self):
+        code = InterleavedCode(HammingCode(7, 4), depth=2)
+        with pytest.raises(CodeError):
+            code.encode([0] * (code.k - 1))
+        with pytest.raises(CodeError):
+            code.decode([0] * (code.n + 1))

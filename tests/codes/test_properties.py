@@ -1,0 +1,161 @@
+"""Property-based tests (hypothesis) on the code implementations."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes.base import DecodeStatus, bits_to_int, int_to_bits
+from repro.codes.crc import CRCCode
+from repro.codes.hamming import PAPER_HAMMING_CODES, HammingCode
+from repro.codes.interleave import InterleavedCode
+from repro.codes.secded import SECDEDCode
+
+bits = st.integers(min_value=0, max_value=1)
+
+
+def bit_lists(length):
+    return st.lists(bits, min_size=length, max_size=length)
+
+
+hamming_params = st.sampled_from(PAPER_HAMMING_CODES)
+
+
+class TestBitConversionProperties:
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=32, max_value=40))
+    def test_int_bits_round_trip(self, value, width):
+        assert bits_to_int(int_to_bits(value, width)) == value
+
+    @given(st.lists(bits, min_size=1, max_size=64))
+    def test_bits_int_round_trip(self, stream):
+        assert list(int_to_bits(bits_to_int(stream), len(stream))) == stream
+
+
+class TestHammingProperties:
+    @given(hamming_params, st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_encode_decode_round_trip(self, params, data):
+        n, k = params
+        code = HammingCode(n, k)
+        payload = data.draw(bit_lists(k))
+        result = code.decode(code.encode(payload))
+        assert result.status is DecodeStatus.NO_ERROR
+        assert list(result.data) == payload
+
+    @given(hamming_params, st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_any_single_error_corrected(self, params, data):
+        n, k = params
+        code = HammingCode(n, k)
+        payload = data.draw(bit_lists(k))
+        position = data.draw(st.integers(min_value=0, max_value=n - 1))
+        corrupted = list(code.encode(payload))
+        corrupted[position] ^= 1
+        result = code.decode(corrupted)
+        assert result.status is DecodeStatus.CORRECTED
+        assert list(result.data) == payload
+
+    @given(hamming_params, st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_double_error_never_reported_clean(self, params, data):
+        n, k = params
+        code = HammingCode(n, k)
+        payload = data.draw(bit_lists(k))
+        i = data.draw(st.integers(min_value=0, max_value=n - 1))
+        j = data.draw(st.integers(min_value=0, max_value=n - 1).filter(
+            lambda x: x != i))
+        corrupted = list(code.encode(payload))
+        corrupted[i] ^= 1
+        corrupted[j] ^= 1
+        assert code.decode(corrupted).status is not DecodeStatus.NO_ERROR
+
+    @given(hamming_params, st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_parity_bits_are_linear(self, params, data):
+        """Hamming codes are linear: parity(a xor b) == parity(a) xor parity(b)."""
+        n, k = params
+        code = HammingCode(n, k)
+        a = data.draw(bit_lists(k))
+        b = data.draw(bit_lists(k))
+        xored = [x ^ y for x, y in zip(a, b)]
+        pa = code.parity_bits(a)
+        pb = code.parity_bits(b)
+        assert code.parity_bits(xored) == tuple(x ^ y for x, y in zip(pa, pb))
+
+
+class TestSECDEDProperties:
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_single_error_corrected_double_detected(self, data):
+        code = SECDEDCode(7, 4)
+        payload = data.draw(bit_lists(4))
+        codeword = list(code.encode(payload))
+        i = data.draw(st.integers(min_value=0, max_value=7))
+        corrupted = list(codeword)
+        corrupted[i] ^= 1
+        single = code.decode(corrupted)
+        assert single.status is DecodeStatus.CORRECTED
+        assert list(single.data) == payload
+        j = data.draw(st.integers(min_value=0, max_value=7).filter(
+            lambda x: x != i))
+        corrupted[j] ^= 1
+        double = code.decode(corrupted)
+        assert double.status is DecodeStatus.DETECTED
+
+
+class TestCRCProperties:
+    @given(st.lists(bits, min_size=1, max_size=200))
+    @settings(max_examples=80, deadline=None)
+    def test_serial_and_batch_signatures_agree(self, stream):
+        crc = CRCCode.from_name("crc16")
+        state = crc.new_state()
+        state.shift_many(stream)
+        assert state.signature() == crc.signature(stream)
+
+    @given(st.lists(bits, min_size=8, max_size=200), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_single_bit_flip_always_detected(self, stream, data):
+        crc = CRCCode.from_name("crc16")
+        signature = crc.signature(stream)
+        position = data.draw(
+            st.integers(min_value=0, max_value=len(stream) - 1))
+        corrupted = list(stream)
+        corrupted[position] ^= 1
+        assert crc.verify(corrupted, signature).status is DecodeStatus.DETECTED
+
+    @given(st.lists(bits, min_size=20, max_size=200), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_bursts_up_to_width_detected(self, stream, data):
+        crc = CRCCode.from_name("crc16")
+        signature = crc.signature(stream)
+        burst_len = data.draw(st.integers(min_value=1, max_value=16))
+        start = data.draw(st.integers(
+            min_value=0, max_value=len(stream) - burst_len))
+        corrupted = list(stream)
+        # Burst with non-zero endpoints (a burst of length L by definition
+        # flips its first and last bit).
+        for offset in range(burst_len):
+            if offset in (0, burst_len - 1):
+                corrupted[start + offset] ^= 1
+            else:
+                corrupted[start + offset] = data.draw(bits)
+        if corrupted != list(stream):
+            assert crc.verify(corrupted, signature).status is \
+                DecodeStatus.DETECTED
+
+
+class TestInterleaveProperties:
+    @given(st.integers(min_value=2, max_value=6), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_burst_up_to_depth_corrected(self, depth, data):
+        code = InterleavedCode(HammingCode(7, 4), depth=depth)
+        payload = data.draw(bit_lists(code.k))
+        start = data.draw(st.integers(min_value=0,
+                                      max_value=code.k - depth))
+        corrupted = list(code.encode(payload))
+        for offset in range(depth):
+            corrupted[start + offset] ^= 1
+        result = code.decode(corrupted)
+        assert result.status is DecodeStatus.CORRECTED
+        assert list(result.data) == payload

@@ -1,0 +1,61 @@
+"""Tests for the code registry used by the synthesis flow."""
+
+import pytest
+
+from repro.codes.base import CodeError
+from repro.codes.crc import CRCCode
+from repro.codes.hamming import HammingCode
+from repro.codes.parity import ParityCode
+from repro.codes.registry import available_codes, get_code, register_code
+from repro.codes.secded import SECDEDCode
+
+
+class TestGetCode:
+    def test_crc_by_name(self):
+        code = get_code("crc16")
+        assert isinstance(code, CRCCode)
+        assert code.width == 16
+
+    def test_crc_ccitt_by_name(self):
+        assert get_code("crc16-ccitt").poly == 0x1021
+
+    def test_hamming_patterns(self):
+        for n, k in ((7, 4), (15, 11), (31, 26), (63, 57)):
+            code = get_code(f"hamming({n},{k})")
+            assert isinstance(code, HammingCode)
+            assert (code.n, code.k) == (n, k)
+
+    def test_whitespace_and_case_insensitive(self):
+        code = get_code("Hamming(7, 4)")
+        assert isinstance(code, HammingCode)
+        assert code.n == 7
+
+    def test_secded_pattern(self):
+        code = get_code("secded(8,4)")
+        assert isinstance(code, SECDEDCode)
+        assert code.n == 8 and code.k == 4
+
+    def test_parity_pattern(self):
+        code = get_code("parity(8)")
+        assert isinstance(code, ParityCode)
+        assert code.k == 8
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(CodeError):
+            get_code("reed-solomon(255,223)")
+
+    def test_each_call_returns_fresh_instance(self):
+        assert get_code("crc16") is not get_code("crc16")
+
+
+class TestRegistry:
+    def test_available_codes_lists_builtins(self):
+        names = available_codes()
+        assert "crc16" in names
+        assert "hamming(7,4)" in names
+
+    def test_register_custom_code(self):
+        register_code("my-parity", lambda: ParityCode(12))
+        code = get_code("my-parity")
+        assert isinstance(code, ParityCode)
+        assert code.k == 12

@@ -1,0 +1,162 @@
+"""Tests for the power-gating controllers and the error correction block."""
+
+import pytest
+
+from repro.codes.hamming import HammingCode
+from repro.core.controller import (
+    ControllerState,
+    ErrorCode,
+    IllegalTransition,
+    MonitoredPowerGatingController,
+    PowerGatingController,
+)
+from repro.core.corrector import CorrectionEvent, ErrorCorrectionBlock
+
+
+class TestConventionalController:
+    def test_fig3a_sequence(self):
+        controller = PowerGatingController()
+        assert controller.state is ControllerState.ACTIVE
+        phases = controller.sleep_request()
+        assert phases == ["retain", "power_off"]
+        assert controller.state is ControllerState.SLEEP_ENTRY
+        controller.sleep_entered()
+        assert controller.state is ControllerState.SLEEP
+        phases = controller.wake_request()
+        assert phases == ["power_on", "restore"]
+        assert controller.state is ControllerState.WAKE
+        assert controller.wake_completed() is ErrorCode.NONE
+        assert controller.state is ControllerState.ACTIVE
+        assert controller.sleep_cycles_completed == 1
+
+    def test_illegal_transitions_rejected(self):
+        controller = PowerGatingController()
+        with pytest.raises(IllegalTransition):
+            controller.sleep_entered()
+        with pytest.raises(IllegalTransition):
+            controller.wake_request()
+        controller.sleep_request()
+        with pytest.raises(IllegalTransition):
+            controller.sleep_request()
+
+    def test_transition_log_records_signals(self):
+        controller = PowerGatingController()
+        controller.sleep_request()
+        controller.sleep_entered()
+        log = controller.transition_log
+        assert log[0].signal == "sleep=1"
+        assert log[1].signal == "sleep_sequence_done"
+
+    def test_reset_returns_to_active(self):
+        controller = PowerGatingController()
+        controller.sleep_request()
+        controller.reset()
+        assert controller.state is ControllerState.ACTIVE
+
+    def test_netlist_has_controller_group_cells(self):
+        netlist = PowerGatingController().build_netlist(chain_length=13)
+        assert netlist.count("dff", group="controller") > 0
+        assert len(netlist) > 10
+
+
+class TestMonitoredController:
+    def _run_to_decode(self, controller):
+        controller.sleep_request()
+        controller.encode_completed()
+        controller.sleep_entered()
+        controller.wake_request()
+        controller.wake_completed()
+
+    def test_fig3b_sequence_with_clean_decode(self):
+        controller = MonitoredPowerGatingController()
+        phases = controller.sleep_request()
+        assert phases == ["encode", "retain", "power_off"]
+        assert controller.state is ControllerState.ENCODE
+        controller.encode_completed()
+        assert controller.state is ControllerState.SLEEP_ENTRY
+        controller.sleep_entered()
+        phases = controller.wake_request()
+        assert phases == ["power_on", "restore", "decode"]
+        controller.wake_completed()
+        assert controller.state is ControllerState.DECODE
+        code = controller.decode_completed(error_detected=False,
+                                           fully_corrected=False)
+        assert code is ErrorCode.NONE
+        assert controller.state is ControllerState.ACTIVE
+        assert controller.encode_passes == 1
+        assert controller.decode_passes == 1
+
+    def test_corrected_decode_returns_to_active(self):
+        controller = MonitoredPowerGatingController()
+        self._run_to_decode(controller)
+        code = controller.decode_completed(error_detected=True,
+                                           fully_corrected=True)
+        assert code is ErrorCode.CORRECTED
+        assert controller.state is ControllerState.ACTIVE
+
+    def test_uncorrectable_decode_enters_error_state(self):
+        controller = MonitoredPowerGatingController()
+        self._run_to_decode(controller)
+        code = controller.decode_completed(error_detected=True,
+                                           fully_corrected=False)
+        assert code is ErrorCode.UNCORRECTABLE
+        assert controller.state is ControllerState.ERROR
+        # Only recovery (or reset) leaves the error state.
+        with pytest.raises(IllegalTransition):
+            controller.sleep_request()
+        controller.recovery_completed()
+        assert controller.state is ControllerState.ACTIVE
+        assert controller.error_code is ErrorCode.NONE
+
+    def test_encode_required_before_sleep_entry(self):
+        controller = MonitoredPowerGatingController()
+        controller.sleep_request()
+        with pytest.raises(IllegalTransition):
+            controller.sleep_entered()
+
+    def test_exactly_one_encode_per_sleep_and_decode_per_wake(self):
+        controller = MonitoredPowerGatingController()
+        for _ in range(5):
+            self._run_to_decode(controller)
+            controller.decode_completed(False, False)
+        assert controller.encode_passes == 5
+        assert controller.decode_passes == 5
+        assert controller.sleep_cycles_completed == 5
+
+    def test_monitored_controller_larger_than_conventional(self):
+        base = PowerGatingController().build_netlist(13)
+        monitored = MonitoredPowerGatingController().build_netlist(13)
+        assert len(monitored) > len(base)
+
+
+class TestErrorCorrectionBlock:
+    def test_record_and_clear(self):
+        block = ErrorCorrectionBlock(HammingCode(7, 4), num_chains=8)
+        block.record([CorrectionEvent(0, 3, 5), CorrectionEvent(1, 6, 2)])
+        assert block.num_corrections == 2
+        block.clear()
+        assert block.num_corrections == 0
+
+    def test_corrected_flop_coordinates(self):
+        block = ErrorCorrectionBlock(HammingCode(7, 4), num_chains=8)
+        block.record([CorrectionEvent(0, 3, 5)])
+        # Chain of length 13: decode cycle 5 touches scan position 7.
+        assert block.corrected_flops(13) == ((3, 7),)
+
+    def test_netlist_scales_with_blocks_and_chains(self):
+        code = HammingCode(7, 4)
+        small = ErrorCorrectionBlock(code, num_chains=4).build_netlist(1)
+        large = ErrorCorrectionBlock(code, num_chains=80).build_netlist(20)
+        assert len(large) > len(small)
+        assert small.count("mux2", group="corrector") == 4
+        assert large.count("mux2", group="corrector") == 80
+
+    def test_detection_only_configuration_has_no_decode_logic(self):
+        block = ErrorCorrectionBlock(None, num_chains=8)
+        netlist = block.build_netlist()
+        assert netlist.count("and2", group="corrector") == 0
+        assert netlist.count("mux2", group="corrector") == 8
+
+    def test_invalid_chain_count(self):
+        with pytest.raises(ValueError):
+            ErrorCorrectionBlock(HammingCode(7, 4), num_chains=0)

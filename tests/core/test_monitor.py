@@ -1,0 +1,206 @@
+"""Tests for the state monitoring blocks and the monitor bank."""
+
+import random
+
+import pytest
+
+from repro.circuit.generators import make_random_state_circuit
+from repro.circuit.scan import insert_scan_chains
+from repro.codes.crc import CRCCode
+from repro.codes.hamming import HammingCode
+from repro.core.monitor import (
+    CRCMonitorBlock,
+    HammingMonitorBlock,
+    MonitorBank,
+    build_monitor_blocks,
+)
+
+
+def _setup(num_registers=64, num_chains=8, seed=1):
+    circuit = make_random_state_circuit(num_registers, seed=seed)
+    chains = insert_scan_chains(circuit, num_chains)
+    return circuit, chains
+
+
+class TestHammingMonitorBlock:
+    def test_clean_encode_decode_reports_nothing(self):
+        circuit, chains = _setup()
+        blocks = build_monitor_blocks(HammingCode(7, 4), 8, 4)
+        bank = MonitorBank(blocks)
+        bank.encode_pass(chains)
+        state_before = circuit.snapshot()
+        reports = bank.decode_pass(chains)
+        assert circuit.snapshot().values == state_before.values
+        assert all(not r.error_detected for r in reports)
+        assert all(not r.uncorrectable for r in reports)
+
+    def test_single_error_located_and_corrected(self):
+        circuit, chains = _setup(seed=2)
+        bank = MonitorBank(build_monitor_blocks(HammingCode(7, 4), 8, 4))
+        bank.encode_pass(chains)
+        reference = circuit.snapshot()
+        # Corrupt one flop directly.
+        chains[3].flops[5].flip()
+        reports = bank.decode_pass(chains)
+        assert circuit.snapshot().values == reference.values
+        detected = [r for r in reports if r.error_detected]
+        assert len(detected) == 1
+        assert detected[0].num_corrections == 1
+        assert not detected[0].uncorrectable
+        event = detected[0].corrections[0]
+        assert event.chain_index == 3
+
+    def test_one_error_per_block_all_corrected(self):
+        circuit, chains = _setup(seed=3)
+        bank = MonitorBank(build_monitor_blocks(HammingCode(7, 4), 8, 4))
+        bank.encode_pass(chains)
+        reference = circuit.snapshot()
+        # One error in each monitoring block (chains 0-3 and 4-7), in
+        # different cycles, is still a single error per codeword.
+        chains[0].flops[2].flip()
+        chains[5].flops[6].flip()
+        reports = bank.decode_pass(chains)
+        assert circuit.snapshot().values == reference.values
+        assert sum(r.num_corrections for r in reports) == 2
+
+    def test_two_errors_in_same_codeword_not_repaired(self):
+        circuit, chains = _setup(seed=4)
+        bank = MonitorBank(build_monitor_blocks(HammingCode(7, 4), 8, 4))
+        bank.encode_pass(chains)
+        reference = circuit.snapshot()
+        # Same cycle (same scan position) in two chains of the same
+        # block -> two errors in one 4-bit slice.
+        chains[0].flops[5].flip()
+        chains[1].flops[5].flip()
+        bank.decode_pass(chains)
+        assert circuit.snapshot().values != reference.values
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            HammingMonitorBlock(0, (0, 1, 2, 3, 4), HammingCode(7, 4))
+        with pytest.raises(ValueError):
+            HammingMonitorBlock(0, (), HammingCode(7, 4))
+
+    def test_partial_width_block_pads_missing_chains(self):
+        circuit, chains = _setup(num_registers=48, num_chains=6, seed=5)
+        # 6 chains with k=4 -> one full block and one 2-chain block.
+        blocks = build_monitor_blocks(HammingCode(7, 4), 6, 4)
+        assert [b.width for b in blocks] == [4, 2]
+        bank = MonitorBank(blocks)
+        bank.encode_pass(chains)
+        reference = circuit.snapshot()
+        chains[5].flops[3].flip()
+        bank.decode_pass(chains)
+        assert circuit.snapshot().values == reference.values
+
+    def test_decode_longer_than_encode_rejected(self):
+        block = HammingMonitorBlock(0, (0, 1, 2, 3), HammingCode(7, 4))
+        block.begin_encode()
+        block.observe_encode([0, 1, 0, 1])
+        block.begin_decode()
+        block.observe_decode([0, 1, 0, 1])
+        with pytest.raises(RuntimeError):
+            block.observe_decode([0, 1, 0, 1])
+
+    def test_storage_and_netlist_sizing(self):
+        block = HammingMonitorBlock(0, (0, 1, 2, 3), HammingCode(7, 4))
+        assert block.storage_bits(13) == 13 * 3
+        netlist = block.build_netlist(13)
+        assert netlist.count("aon_dff", group="monitor") == 39
+        assert netlist.count("xor2", group="monitor") > 0
+
+
+class TestCRCMonitorBlock:
+    def test_clean_pass_no_detection(self):
+        circuit, chains = _setup(seed=6)
+        bank = MonitorBank(build_monitor_blocks(CRCCode.from_name("crc16"),
+                                                8, 4))
+        bank.encode_pass(chains)
+        reports = bank.decode_pass(chains)
+        assert len(reports) == 1
+        assert not reports[0].error_detected
+
+    def test_any_corruption_detected_but_not_corrected(self):
+        circuit, chains = _setup(seed=7)
+        bank = MonitorBank(build_monitor_blocks(CRCCode.from_name("crc16"),
+                                                8, 4))
+        bank.encode_pass(chains)
+        reference = circuit.snapshot()
+        chains[2].flops[1].flip()
+        chains[6].flops[7].flip()
+        reports = bank.decode_pass(chains)
+        assert reports[0].error_detected
+        assert reports[0].uncorrectable
+        assert reports[0].num_corrections == 0
+        # State unchanged by a detection-only monitor (errors remain).
+        assert circuit.snapshot().hamming_distance(reference) == 2
+
+    def test_decode_before_encode_rejected(self):
+        block = CRCMonitorBlock(0, (0, 1), CRCCode.from_name("crc16"))
+        with pytest.raises(RuntimeError):
+            block.begin_decode()
+
+    def test_storage_independent_of_chain_length(self):
+        block = CRCMonitorBlock(0, tuple(range(8)),
+                                CRCCode.from_name("crc16"))
+        assert block.storage_bits(13) == 16
+        assert block.storage_bits(260) == 16
+
+    def test_single_block_covers_all_chains(self):
+        blocks = build_monitor_blocks(CRCCode.from_name("crc16"), 80, 4)
+        assert len(blocks) == 1
+        assert blocks[0].width == 80
+
+
+class TestMonitorBank:
+    def test_hamming_plus_crc_verifies_corrected_stream(self):
+        # With a single error, the Hamming block corrects it and the CRC
+        # (observing the corrected feedback) stays clean.
+        circuit, chains = _setup(seed=8)
+        blocks = (build_monitor_blocks(HammingCode(7, 4), 8, 4)
+                  + build_monitor_blocks(CRCCode.from_name("crc16"), 8, 4))
+        bank = MonitorBank(blocks)
+        bank.encode_pass(chains)
+        chains[4].flops[2].flip()
+        reports = bank.decode_pass(chains)
+        crc_reports = [r for r, b in zip(reports, bank.blocks)
+                       if isinstance(b, CRCMonitorBlock)]
+        hamming_reports = [r for r, b in zip(reports, bank.blocks)
+                           if isinstance(b, HammingMonitorBlock)]
+        assert any(r.error_detected for r in hamming_reports)
+        assert not any(r.error_detected for r in crc_reports)
+
+    def test_crc_catches_hamming_miscorrection(self):
+        # Two errors in one codeword: the Hamming block mis-corrects,
+        # and the CRC over the corrected stream flags the damage.
+        circuit, chains = _setup(seed=9)
+        blocks = (build_monitor_blocks(HammingCode(7, 4), 8, 4)
+                  + build_monitor_blocks(CRCCode.from_name("crc16"), 8, 4))
+        bank = MonitorBank(blocks)
+        bank.encode_pass(chains)
+        chains[0].flops[4].flip()
+        chains[2].flops[4].flip()
+        reports = bank.decode_pass(chains)
+        crc_report = [r for r, b in zip(reports, bank.blocks)
+                      if isinstance(b, CRCMonitorBlock)][0]
+        assert crc_report.error_detected
+
+    def test_mismatched_chain_lengths_rejected(self):
+        circuit = make_random_state_circuit(10, seed=1)
+        chains = insert_scan_chains(circuit, 3)
+        bank = MonitorBank(build_monitor_blocks(CRCCode.from_name("crc16"),
+                                                3, 4))
+        with pytest.raises(ValueError):
+            bank.encode_pass(chains)
+
+    def test_total_storage_and_netlist(self):
+        blocks = build_monitor_blocks(HammingCode(7, 4), 80, 4)
+        bank = MonitorBank(blocks)
+        assert bank.num_blocks == 20
+        assert bank.total_storage_bits(13) == 20 * 13 * 3
+        netlist = bank.build_netlist(13)
+        assert netlist.count("aon_dff", group="monitor") == 780
+
+    def test_empty_bank_rejected(self):
+        with pytest.raises(ValueError):
+            MonitorBank([])

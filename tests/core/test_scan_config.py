@@ -1,0 +1,105 @@
+"""Tests for the scan-chain configuration arithmetic (paper Section III)."""
+
+import pytest
+
+from repro.core.scan_config import ScanChainConfig
+
+
+class TestGeometry:
+    def test_paper_fifo_configurations(self):
+        # The rows of Tables I and II: W in {4, 8, 16, 40, 80} for 1040
+        # flops gives l in {260, 130, 65, 26, 13}.
+        expected = {4: 260, 8: 130, 16: 65, 40: 26, 80: 13}
+        for chains, length in expected.items():
+            config = ScanChainConfig.paper_fifo(num_chains=chains)
+            assert config.chain_length == length
+            assert config.padding_cells == 0
+            assert config.encode_cycles == length
+
+    def test_latency_is_length_times_period(self):
+        config = ScanChainConfig.paper_fifo(num_chains=80)
+        assert config.encode_latency_ns == pytest.approx(130.0)
+        config = ScanChainConfig.paper_fifo(num_chains=4)
+        assert config.encode_latency_ns == pytest.approx(2600.0)
+
+    def test_section3_worked_example(self):
+        # 128 flops: 4 chains -> 32 cycles; 16 chains -> 8 cycles (4x).
+        baseline = ScanChainConfig(num_registers=128, num_chains=4,
+                                   monitor_width=4)
+        reconfigured = ScanChainConfig(num_registers=128, num_chains=16,
+                                       monitor_width=4)
+        assert baseline.encode_cycles == 32
+        assert reconfigured.encode_cycles == 8
+        assert reconfigured.speedup_over(baseline) == pytest.approx(4.0)
+        assert reconfigured.num_monitor_blocks == 4
+
+    def test_padding_when_not_divisible(self):
+        config = ScanChainConfig(num_registers=100, num_chains=8)
+        assert config.chain_length == 13
+        assert config.padded_registers == 104
+        assert config.padding_cells == 4
+
+    def test_monitor_block_count(self):
+        config = ScanChainConfig(num_registers=1040, num_chains=80,
+                                 monitor_width=4)
+        assert config.num_monitor_blocks == 20
+        config = ScanChainConfig(num_registers=1040, num_chains=57,
+                                 monitor_width=57)
+        assert config.num_monitor_blocks == 1
+
+    def test_block_chain_indices(self):
+        config = ScanChainConfig(num_registers=128, num_chains=16,
+                                 monitor_width=4)
+        assert config.block_chain_indices(0) == (0, 1, 2, 3)
+        assert config.block_chain_indices(3) == (12, 13, 14, 15)
+        with pytest.raises(IndexError):
+            config.block_chain_indices(4)
+
+    def test_describe_mentions_key_numbers(self):
+        text = ScanChainConfig.paper_fifo(num_chains=80).describe()
+        assert "80" in text and "13" in text and "130" in text
+
+
+class TestTestMode:
+    def test_fig5_test_mode_mapping(self):
+        # 16 monitoring chains, 4 test ports -> each test chain strings
+        # together 4 monitoring chains (Fig. 5(b)).
+        config = ScanChainConfig(num_registers=128, num_chains=16,
+                                 monitor_width=4, test_width=4)
+        mapping = config.test_mode_mapping()
+        assert mapping.test_width == 4
+        assert len(mapping.groups) == 4
+        assert all(len(group) == 4 for group in mapping.groups)
+        assert mapping.test_chain_length == 32
+        assert mapping.num_loopbacks == 12
+        assert config.test_cycles == 32
+
+    def test_test_mode_covers_every_chain_once(self):
+        config = ScanChainConfig(num_registers=1040, num_chains=80,
+                                 monitor_width=4, test_width=4)
+        mapping = config.test_mode_mapping()
+        covered = [c for group in mapping.groups for c in group]
+        assert sorted(covered) == list(range(80))
+
+    def test_test_mode_length_matches_total_state(self):
+        config = ScanChainConfig(num_registers=1040, num_chains=80,
+                                 test_width=4)
+        # 4 test ports scanning 1040 bits -> 260 cycles.
+        assert config.test_cycles == 260
+
+
+class TestValidation:
+    def test_invalid_configurations_rejected(self):
+        with pytest.raises(ValueError):
+            ScanChainConfig(num_registers=0, num_chains=1)
+        with pytest.raises(ValueError):
+            ScanChainConfig(num_registers=10, num_chains=0)
+        with pytest.raises(ValueError):
+            ScanChainConfig(num_registers=10, num_chains=20)
+        with pytest.raises(ValueError):
+            ScanChainConfig(num_registers=10, num_chains=5, monitor_width=0)
+        with pytest.raises(ValueError):
+            ScanChainConfig(num_registers=10, num_chains=5, test_width=8)
+        with pytest.raises(ValueError):
+            ScanChainConfig(num_registers=10, num_chains=5,
+                            clock_period_ns=0)

@@ -1,0 +1,107 @@
+"""Tests for the sleep/wake cycle trace log."""
+
+import random
+
+import pytest
+
+from repro.circuit.generators import make_random_state_circuit
+from repro.core.protected import ProtectedDesign
+from repro.core.trace import TraceEventKind, TraceLog, trace_cycles
+from repro.faults.patterns import (
+    ErrorPattern,
+    burst_error_pattern,
+    single_error_pattern,
+)
+
+
+@pytest.fixture
+def design():
+    circuit = make_random_state_circuit(64, seed=21)
+    return ProtectedDesign(circuit, codes=["hamming(7,4)", "crc16"],
+                           num_chains=8)
+
+
+class TestTraceLog:
+    def test_clean_cycle_events(self, design):
+        outcome = design.sleep_wake_cycle()
+        log = TraceLog(clock_period_ns=10.0)
+        log.record_cycle(outcome, design.chain_length)
+        kinds = [event.kind for event in log.events]
+        assert kinds[0] is TraceEventKind.ENCODE
+        assert TraceEventKind.SLEEP in kinds
+        assert TraceEventKind.WAKE in kinds
+        assert TraceEventKind.DECODE in kinds
+        assert TraceEventKind.INJECTION not in kinds
+        assert TraceEventKind.ERROR not in kinds
+        assert log.num_cycles == 1
+
+    def test_corrected_cycle_records_injection_and_correction(self, design):
+        pattern = single_error_pattern(design.num_chains,
+                                       design.chain_length, random.Random(1))
+        outcome = design.sleep_wake_cycle(injection=pattern)
+        log = TraceLog()
+        log.record_cycle(outcome, design.chain_length)
+        assert len(log.events_of(TraceEventKind.INJECTION)) == 1
+        assert len(log.events_of(TraceEventKind.CORRECTION)) == 1
+        assert len(log.events_of(TraceEventKind.ERROR)) == 0
+
+    def test_uncorrectable_cycle_records_error_and_recovery(self, design):
+        pattern = burst_error_pattern(design.num_chains, design.chain_length,
+                                      4, random.Random(3))
+        outcome = design.sleep_wake_cycle(injection=pattern)
+        log = TraceLog()
+        log.record_cycle(outcome, design.chain_length)
+        if outcome.error_code.value == "uncorrectable":
+            assert len(log.events_of(TraceEventKind.ERROR)) == 1
+            assert len(log.events_of(TraceEventKind.RECOVERY)) == 1
+
+    def test_time_advances_with_passes_and_sleep(self, design):
+        outcome = design.sleep_wake_cycle()
+        log = TraceLog(clock_period_ns=10.0)
+        log.record_cycle(outcome, design.chain_length,
+                         sleep_duration_ns=500.0)
+        # Two passes of l x T plus the sleep interval plus wake settle.
+        pass_ns = design.chain_length * 10.0
+        assert log.now_ns >= 2 * pass_ns + 500.0
+
+    def test_monitoring_overhead_accounts_both_passes(self, design):
+        outcome = design.sleep_wake_cycle()
+        log = TraceLog(clock_period_ns=10.0)
+        log.record_cycle(outcome, design.chain_length,
+                         sleep_duration_ns=500.0)
+        pass_ns = design.chain_length * 10.0
+        assert log.monitoring_overhead_ns() == pytest.approx(2 * pass_ns,
+                                                             rel=0.01)
+
+    def test_trace_cycles_helper_and_render(self, design):
+        rng = random.Random(5)
+        outcomes = [design.sleep_wake_cycle(
+            injection=single_error_pattern(design.num_chains,
+                                           design.chain_length, rng))
+            for _ in range(3)]
+        log = trace_cycles(design, outcomes)
+        assert log.num_cycles == 3
+        assert len(log.cycle_events(1)) > 0
+        text = log.render()
+        assert "encode" in text and "decode" in text
+        short = log.render(limit=2)
+        assert short.count("\n") == 2
+
+    def test_counts_histogram(self, design):
+        outcome = design.sleep_wake_cycle()
+        log = TraceLog()
+        log.record_cycle(outcome, design.chain_length)
+        log.note("campaign boundary")
+        counts = log.counts()
+        assert counts[TraceEventKind.ENCODE] == 1
+        assert counts[TraceEventKind.NOTE] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceLog(clock_period_ns=0)
+        log = TraceLog()
+        with pytest.raises(ValueError):
+            log.advance(-1.0)
+        outcome_log = TraceLog()
+        with pytest.raises(ValueError):
+            outcome_log.record_cycle(None, 0)

@@ -1,0 +1,94 @@
+"""Tests for the LFSR implementations."""
+
+import pytest
+
+from repro.faults.lfsr import DEFAULT_TAPS, GaloisLFSR, LFSR
+
+
+class TestFibonacciLFSR:
+    def test_maximal_period_small_widths(self):
+        for width in (2, 3, 4, 5, 6, 7, 8):
+            lfsr = LFSR(width, seed=1)
+            seen = set()
+            for _ in range((1 << width) - 1):
+                seen.add(lfsr.state)
+                lfsr.step()
+            # Maximal-length taps visit every non-zero state exactly once.
+            assert len(seen) == (1 << width) - 1
+            assert 0 not in seen
+
+    def test_never_reaches_zero_state(self):
+        lfsr = LFSR(16, seed=0xACE1)
+        for _ in range(10000):
+            lfsr.step()
+            assert lfsr.state != 0
+
+    def test_state_bits_msb_first(self):
+        lfsr = LFSR(4, seed=0b1010)
+        assert lfsr.state_bits == [1, 0, 1, 0]
+
+    def test_deterministic_sequences(self):
+        a = LFSR(16, seed=0x1234)
+        b = LFSR(16, seed=0x1234)
+        assert [a.step() for _ in range(100)] == [b.step() for _ in range(100)]
+
+    def test_randrange_in_bounds_and_covers_values(self):
+        lfsr = LFSR(16, seed=7)
+        values = [lfsr.randrange(13) for _ in range(500)]
+        assert all(0 <= v < 13 for v in values)
+        assert len(set(values)) == 13
+
+    def test_randrange_single_value(self):
+        assert LFSR(8, seed=3).randrange(1) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LFSR(1)
+        with pytest.raises(ValueError):
+            LFSR(8, seed=0)
+        with pytest.raises(ValueError):
+            LFSR(8, seed=1 << 9)
+        with pytest.raises(ValueError):
+            LFSR(8, taps=(7, 3), seed=1)    # highest tap must equal width
+        with pytest.raises(ValueError):
+            LFSR(21)                        # no default taps for width 21
+        with pytest.raises(ValueError):
+            LFSR(8, seed=1).randrange(0)
+
+    def test_next_value_bit_output(self):
+        lfsr = LFSR(8, seed=0x5A)
+        value = lfsr.next_value(bits=8)
+        assert 0 <= value < 256
+
+    def test_period_upper_bound(self):
+        assert LFSR(8, seed=1).period_upper_bound() == 255
+
+
+class TestGaloisLFSR:
+    def test_maximal_period_width_8(self):
+        lfsr = GaloisLFSR(8, seed=1)
+        seen = set()
+        for _ in range(255):
+            seen.add(lfsr.state)
+            lfsr.step()
+        assert len(seen) == 255
+
+    def test_default_polynomial_from_taps(self):
+        lfsr = GaloisLFSR(16, seed=1)
+        expected = 0
+        for tap in DEFAULT_TAPS[16]:
+            expected |= 1 << (tap - 1)
+        assert lfsr.poly == expected
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaloisLFSR(1)
+        with pytest.raises(ValueError):
+            GaloisLFSR(8, seed=0)
+        with pytest.raises(ValueError):
+            GaloisLFSR(23)
+
+    def test_next_value(self):
+        lfsr = GaloisLFSR(8, seed=0x3C)
+        assert 0 < lfsr.next_value() < 256
+        assert 0 <= lfsr.next_value(bits=4) < 16

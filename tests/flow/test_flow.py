@@ -1,0 +1,159 @@
+"""Tests for the reliability-aware synthesis flow emulation."""
+
+import pytest
+
+from repro.circuit.fifo import SyncFIFO
+from repro.circuit.generators import make_random_state_circuit
+from repro.flow.config import FlowConfig, OptimizationTarget
+from repro.flow.dft import insert_scan
+from repro.flow.report import format_cost_table, format_synthesis_report
+from repro.flow.synthesizer import ReliabilityAwareSynthesizer
+
+
+class TestFlowConfig:
+    def test_defaults(self):
+        config = FlowConfig()
+        assert config.codes == ["hamming(7,4)"]
+        assert config.clock_hz == pytest.approx(100e6)
+        assert config.target is OptimizationTarget.BALANCED
+
+    def test_text_round_trip(self):
+        config = FlowConfig(codes=["hamming(7,4)", "crc16"], num_chains=40,
+                            test_width=8, clock_mhz=50.0,
+                            target=OptimizationTarget.ENERGY,
+                            max_area_overhead_percent=20.0,
+                            max_latency_ns=500.0)
+        parsed = FlowConfig.from_text(config.to_text())
+        assert parsed.codes == config.codes
+        assert parsed.num_chains == 40
+        assert parsed.test_width == 8
+        assert parsed.clock_mhz == 50.0
+        assert parsed.target is OptimizationTarget.ENERGY
+        assert parsed.max_area_overhead_percent == 20.0
+        assert parsed.max_latency_ns == 500.0
+
+    def test_auto_chain_round_trip(self):
+        config = FlowConfig(num_chains=None, candidate_chains=[8, 16])
+        parsed = FlowConfig.from_text(config.to_text())
+        assert parsed.num_chains is None
+        assert parsed.candidate_chains == [8, 16]
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "flow.cfg"
+        config = FlowConfig(codes=["crc16"], num_chains=16)
+        config.save(path)
+        assert FlowConfig.load(path).codes == ["crc16"]
+
+    def test_malformed_text_rejected(self):
+        with pytest.raises(ValueError):
+            FlowConfig.from_text("codes crc16")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlowConfig(codes=[])
+        with pytest.raises(ValueError):
+            FlowConfig(clock_mhz=0)
+        with pytest.raises(ValueError):
+            FlowConfig(num_chains=0)
+        with pytest.raises(ValueError):
+            FlowConfig(num_chains=None, candidate_chains=[])
+
+    def test_target_accepts_string(self):
+        assert FlowConfig(target="area").target is OptimizationTarget.AREA
+
+
+class TestScanInsertion:
+    def test_insert_scan_reports_geometry(self):
+        circuit = make_random_state_circuit(128, seed=1)
+        result = insert_scan(circuit, num_chains=16, monitor_width=4)
+        assert result.num_chains == 16
+        assert result.chain_lengths == (8,) * 16
+        assert result.config.num_monitor_blocks == 4
+        assert result.test_mapping.test_width == 4
+        assert result.test_mapping.test_chain_length == 32
+
+
+class TestSynthesizer:
+    def test_fixed_chain_count(self):
+        circuit = make_random_state_circuit(128, seed=2)
+        config = FlowConfig(codes=["hamming(7,4)"], num_chains=16)
+        result = ReliabilityAwareSynthesizer(config).synthesize(circuit)
+        assert result.selected_chains == 16
+        assert len(result.explored) == 1
+        assert result.design.num_chains == 16
+
+    def test_latency_target_picks_most_chains(self):
+        circuit = make_random_state_circuit(128, seed=3)
+        config = FlowConfig(codes=["crc16"], num_chains=None,
+                            candidate_chains=[4, 8, 16, 32],
+                            target=OptimizationTarget.LATENCY)
+        result = ReliabilityAwareSynthesizer(config).synthesize(circuit)
+        assert result.selected_chains == 32
+
+    def test_area_target_picks_fewest_chains(self):
+        circuit = make_random_state_circuit(128, seed=4)
+        config = FlowConfig(codes=["crc16"], num_chains=None,
+                            candidate_chains=[4, 8, 16, 32],
+                            target=OptimizationTarget.AREA)
+        result = ReliabilityAwareSynthesizer(config).synthesize(circuit)
+        assert result.selected_chains == 4
+
+    def test_area_cap_excludes_expensive_configurations(self):
+        circuit = SyncFIFO(16, 16)
+        config = FlowConfig(codes=["hamming(7,4)"], num_chains=None,
+                            candidate_chains=[4, 8, 16],
+                            target=OptimizationTarget.LATENCY,
+                            max_area_overhead_percent=5.0)
+        result = ReliabilityAwareSynthesizer(config).synthesize(circuit)
+        # Nothing satisfies a 5% cap with Hamming; the synthesizer falls
+        # back to the best-scoring candidate rather than failing.
+        assert result.selected_chains in (4, 8, 16)
+        config_crc = FlowConfig(codes=["crc16"], num_chains=None,
+                                candidate_chains=[4, 8, 16],
+                                target=OptimizationTarget.LATENCY,
+                                max_area_overhead_percent=8.0)
+        result_crc = ReliabilityAwareSynthesizer(config_crc).synthesize(
+            circuit)
+        assert (result_crc.cost.area_overhead_percent <= 8.0
+                or len(result_crc.explored) == 3)
+
+    def test_candidates_larger_than_circuit_are_skipped(self):
+        circuit = make_random_state_circuit(12, seed=5)
+        config = FlowConfig(codes=["crc16"], num_chains=None,
+                            candidate_chains=[4, 8, 80])
+        result = ReliabilityAwareSynthesizer(config).synthesize(circuit)
+        assert result.selected_chains in (4, 8)
+
+    def test_no_feasible_candidate_raises(self):
+        circuit = make_random_state_circuit(2, seed=6)
+        config = FlowConfig(codes=["crc16"], num_chains=None,
+                            candidate_chains=[40, 80])
+        with pytest.raises(ValueError):
+            ReliabilityAwareSynthesizer(config).synthesize(circuit)
+
+    def test_synthesized_design_is_functional(self):
+        circuit = make_random_state_circuit(64, seed=7)
+        config = FlowConfig(codes=["hamming(7,4)", "crc16"], num_chains=8)
+        result = ReliabilityAwareSynthesizer(config).synthesize(circuit)
+        outcome = result.design.sleep_wake_cycle()
+        assert outcome.state_intact
+
+
+class TestReports:
+    def test_cost_table_contains_all_rows(self):
+        circuit = make_random_state_circuit(64, seed=8)
+        config = FlowConfig(codes=["crc16"], num_chains=None,
+                            candidate_chains=[4, 8, 16])
+        result = ReliabilityAwareSynthesizer(config).synthesize(circuit)
+        table = format_cost_table(result.explored, title="costs")
+        assert "costs" in table
+        assert table.count("\n") >= 4
+
+    def test_synthesis_report_mentions_key_fields(self):
+        circuit = make_random_state_circuit(64, seed=9)
+        config = FlowConfig(codes=["hamming(7,4)"], num_chains=8)
+        result = ReliabilityAwareSynthesizer(config).synthesize(circuit)
+        report = format_synthesis_report(result)
+        assert "hamming(7,4)" in report
+        assert "area overhead" in report
+        assert "encode latency" in report

@@ -1,0 +1,87 @@
+"""Integration tests for the extension features beyond the paper.
+
+Covers the SECDED upgrade of the monitoring block, the interleaved
+monitor on the scan path, and the RTL package for different code
+stacks -- features DESIGN.md lists as ablations/extensions of the
+paper's design choices.
+"""
+
+import random
+
+import pytest
+
+from repro.circuit.generators import make_random_state_circuit
+from repro.codes.hamming import HammingCode
+from repro.codes.interleave import InterleavedCode
+from repro.codes.secded import SECDEDCode
+from repro.core.controller import ErrorCode
+from repro.core.protected import ProtectedDesign
+from repro.faults.patterns import ErrorPattern, single_error_pattern
+from repro.rtl import emit_rtl_package
+
+
+class TestSECDEDMonitoring:
+    @pytest.fixture
+    def design(self):
+        circuit = make_random_state_circuit(128, seed=41)
+        return ProtectedDesign(circuit, codes=SECDEDCode(7, 4),
+                               num_chains=16)
+
+    def test_single_errors_still_corrected(self, design):
+        rng = random.Random(1)
+        for _ in range(5):
+            pattern = single_error_pattern(design.num_chains,
+                                           design.chain_length, rng)
+            outcome = design.sleep_wake_cycle(injection=pattern)
+            assert outcome.state_intact
+            assert outcome.error_code is ErrorCode.CORRECTED
+
+    def test_double_error_in_one_slice_flagged_uncorrectable(self, design):
+        # Two errors in the same cycle of the same monitoring block: a
+        # plain Hamming monitor would mis-correct silently (needing the
+        # CRC to catch it); SECDED flags it as uncorrectable by itself.
+        pattern = ErrorPattern(locations=frozenset({(0, 3), (1, 3)}))
+        outcome = design.sleep_wake_cycle(injection=pattern)
+        assert outcome.detected
+        assert outcome.error_code is ErrorCode.UNCORRECTABLE
+        assert not outcome.silent_corruption
+
+
+class TestInterleavedMonitoring:
+    def test_adjacent_chain_burst_corrected_end_to_end(self):
+        circuit = make_random_state_circuit(128, seed=43)
+        design = ProtectedDesign(
+            circuit,
+            codes=[InterleavedCode(HammingCode(7, 4), depth=4), "crc16"],
+            num_chains=16)
+        # Four adjacent chains corrupted at the same scan position: the
+        # interleaver spreads them across four inner codewords.
+        pattern = ErrorPattern(
+            locations=frozenset({(4, 2), (5, 2), (6, 2), (7, 2)}),
+            kind="burst")
+        outcome = design.sleep_wake_cycle(injection=pattern)
+        assert outcome.injected_errors == 4
+        assert outcome.detected
+        assert outcome.state_intact
+        assert outcome.error_code is ErrorCode.CORRECTED
+
+
+class TestRTLPackaging:
+    def test_hamming_only_package_has_no_crc_file(self):
+        circuit = make_random_state_circuit(64, seed=45)
+        design = ProtectedDesign(circuit, codes="hamming(15,11)",
+                                 num_chains=11)
+        package = emit_rtl_package(design)
+        assert "monitor_hamming_15_11.v" in package.files
+        assert not any(name.startswith("monitor_crc")
+                       for name in package.file_names)
+
+    def test_secded_stack_documented_not_dropped(self):
+        circuit = make_random_state_circuit(64, seed=46)
+        design = ProtectedDesign(circuit, codes=SECDEDCode(7, 4),
+                                 num_chains=8)
+        package = emit_rtl_package(design)
+        # SECDED has no dedicated emitter yet; the package must say so
+        # explicitly instead of silently omitting the monitor.
+        assert any(name.startswith("monitor_secdedcode")
+                   for name in package.file_names)

@@ -1,0 +1,116 @@
+"""Tests for the RLC rush-current / supply-droop model."""
+
+import math
+
+import pytest
+
+from repro.power.rush_current import (
+    DampingRegime,
+    RLCParameters,
+    RushCurrentModel,
+)
+
+
+class TestRLCParameters:
+    def test_damping_classification(self):
+        underdamped = RLCParameters(resistance=0.5, inductance=1e-9,
+                                    capacitance=200e-12)
+        assert underdamped.regime is DampingRegime.UNDERDAMPED
+        overdamped = RLCParameters(resistance=20.0, inductance=1e-9,
+                                   capacitance=200e-12)
+        assert overdamped.regime is DampingRegime.OVERDAMPED
+
+    def test_critical_damping(self):
+        # zeta == 1 when R == 2 * sqrt(L / C).
+        L, C = 1e-9, 100e-12
+        R = 2 * math.sqrt(L / C)
+        params = RLCParameters(resistance=R, inductance=L, capacitance=C)
+        assert params.regime is DampingRegime.CRITICALLY_DAMPED
+        assert params.damping_ratio == pytest.approx(1.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RLCParameters(vdd=0)
+        with pytest.raises(ValueError):
+            RLCParameters(resistance=-1)
+        with pytest.raises(ValueError):
+            RLCParameters(share_resistance=-0.1)
+
+
+class TestRushCurrentModel:
+    def test_current_is_zero_at_time_zero_and_before(self):
+        model = RushCurrentModel(RLCParameters())
+        assert model.current(0.0) == pytest.approx(0.0)
+        assert model.current(-1e-9) == 0.0
+
+    def test_current_rises_then_decays(self):
+        model = RushCurrentModel(RLCParameters())
+        peak_time_guess = None
+        peak = model.peak_current()
+        assert peak > 0
+        # Long after the transient the current is negligible.
+        late = model.current(model._time_horizon())
+        assert abs(late) < 0.05 * peak
+
+    def test_peak_current_bounded_by_ideal_step(self):
+        params = RLCParameters()
+        model = RushCurrentModel(params)
+        # The peak of an RLC step response never exceeds Vdd / (omega_d L)
+        # and is far above zero for an underdamped circuit.
+        assert 0 < model.peak_current() < params.vdd / (
+            params.omega0 * params.inductance) * 1.01
+
+    def test_droop_positive_and_bounded(self):
+        model = RushCurrentModel(RLCParameters())
+        droop = model.peak_droop()
+        assert droop > 0
+
+    def test_staggered_wakeup_reduces_peak_current_and_droop(self):
+        params = RLCParameters()
+        baseline = RushCurrentModel(params, num_switch_stages=1)
+        staggered = RushCurrentModel(params, num_switch_stages=4)
+        assert staggered.peak_current() < baseline.peak_current()
+        assert staggered.peak_droop() < baseline.peak_droop()
+
+    def test_total_charge_independent_of_staggering(self):
+        params = RLCParameters()
+        one = RushCurrentModel(params, num_switch_stages=1)
+        four = RushCurrentModel(params, num_switch_stages=4)
+        assert one.total_wakeup_charge() == pytest.approx(
+            four.total_wakeup_charge())
+        assert one.wakeup_energy() == pytest.approx(four.wakeup_energy())
+
+    def test_settle_time_positive_and_reasonable(self):
+        model = RushCurrentModel(RLCParameters())
+        settle = model.settle_time()
+        assert settle > 0
+        assert settle <= model._time_horizon()
+
+    def test_waveform_shapes(self):
+        model = RushCurrentModel(RLCParameters())
+        times, currents, droops = model.waveform(num_points=100)
+        assert len(times) == len(currents) == len(droops) == 100
+        assert times[0] == 0.0
+        assert max(currents) == pytest.approx(model.peak_current(), rel=0.1)
+
+    def test_waveform_rejects_bad_points(self):
+        with pytest.raises(ValueError):
+            RushCurrentModel(RLCParameters()).waveform(num_points=1)
+
+    def test_invalid_stage_count(self):
+        with pytest.raises(ValueError):
+            RushCurrentModel(RLCParameters(), num_switch_stages=0)
+
+    def test_overdamped_waveform_is_monotone_after_peak(self):
+        params = RLCParameters(resistance=50.0)
+        model = RushCurrentModel(params)
+        assert params.regime is DampingRegime.OVERDAMPED
+        times, currents, _ = model.waveform(num_points=400)
+        peak_index = currents.index(max(currents))
+        tail = currents[peak_index:]
+        assert all(a >= b - 1e-12 for a, b in zip(tail, tail[1:]))
+
+    def test_derivative_sign_change_at_peak(self):
+        model = RushCurrentModel(RLCParameters())
+        # di/dt is positive at t=0+ and negative well after the peak.
+        assert model.current_derivative(1e-12) > 0

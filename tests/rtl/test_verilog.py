@@ -1,0 +1,162 @@
+"""Tests for the Verilog emitters."""
+
+import re
+
+import pytest
+
+from repro.circuit.fifo import SyncFIFO
+from repro.codes.crc import CRCCode
+from repro.codes.hamming import HammingCode
+from repro.core.protected import ProtectedDesign
+from repro.rtl import (
+    crc_update_verilog,
+    emit_rtl_package,
+    hamming_decoder_verilog,
+    hamming_encoder_verilog,
+    monitored_controller_verilog,
+)
+from repro.rtl.monitor_rtl import crc_monitor_verilog, hamming_monitor_verilog
+
+
+def _balanced(text):
+    return text.count("module ") == text.count("endmodule")
+
+
+class TestParityEquations:
+    def test_equations_match_software_encoder(self):
+        # Each parity equation, evaluated on a data vector, must equal
+        # the corresponding bit from the software encoder.
+        for n, k in ((7, 4), (15, 11), (31, 26)):
+            code = HammingCode(n, k)
+            equations = code.parity_equations()
+            assert len(equations) == code.r
+            data = [(i * 5 + 1) % 2 for i in range(k)]
+            parity = code.parity_bits(data)
+            for p_idx, indices in enumerate(equations):
+                value = 0
+                for idx in indices:
+                    value ^= data[idx]
+                assert value == parity[p_idx]
+
+
+class TestHammingRTL:
+    def test_encoder_structure(self):
+        code = HammingCode(7, 4)
+        text = hamming_encoder_verilog(code)
+        assert _balanced(text)
+        assert "module encoder_hamming_7_4" in text
+        assert text.count("assign parity[") == 3
+        assert "data[3]" in text
+
+    def test_decoder_structure(self):
+        code = HammingCode(15, 11)
+        text = hamming_decoder_verilog(code)
+        assert _balanced(text)
+        assert "assign syndrome" in text
+        assert text.count("assign corrected[") == 11
+        assert "error" in text
+
+    def test_decoder_correction_positions_match_code(self):
+        code = HammingCode(7, 4)
+        text = hamming_decoder_verilog(code)
+        # Data bits live at positional indices 3, 5, 6, 7 of the
+        # codeword; the decoder must compare the syndrome against those.
+        for position in (3, 5, 6, 7):
+            assert f"syndrome == 3'd{position}" in text
+
+    def test_monitor_block_structure(self):
+        code = HammingCode(7, 4)
+        text = hamming_monitor_verilog(code, chain_length=13)
+        assert _balanced(text)
+        assert "localparam DEPTH = 13" in text
+        assert "state_monitor_hamming_7_4_b0" in text
+        assert "u_encoder" in text and "u_decoder" in text
+        assert "scan_in = (mode == 2'd2) ? corrected : scan_out" in text
+
+    def test_monitor_block_validates_length(self):
+        with pytest.raises(ValueError):
+            hamming_monitor_verilog(HammingCode(7, 4), chain_length=0)
+
+
+class TestCRCRTL:
+    def test_signature_register_structure(self):
+        code = CRCCode.from_name("crc16")
+        text = crc_update_verilog(code)
+        assert _balanced(text)
+        assert "signature[15]" in text
+        # Polynomial 0x8005: taps at bits 15, 2, 0 -> feedback XORs at
+        # bits 15 and 2 plus the bit-0 injection.
+        assert "signature[2] <= signature[1] ^ feedback;" in text
+        assert "signature[15] <= signature[14] ^ feedback;" in text
+        assert "signature[0] <= feedback;" in text
+        # Non-tapped bit is a plain shift.
+        assert "signature[7] <= signature[6];" in text
+
+    def test_monitor_block_structure(self):
+        code = CRCCode.from_name("crc16")
+        text = crc_monitor_verilog(code, num_inputs=80)
+        assert _balanced(text)
+        assert "state_monitor_crc16_b0" in text
+        assert "stored_signature" in text
+        assert "mismatch" in text
+
+    def test_monitor_validates_inputs(self):
+        with pytest.raises(ValueError):
+            crc_monitor_verilog(CRCCode.from_name("crc16"), num_inputs=0)
+
+
+class TestControllerRTL:
+    def test_all_states_present(self):
+        text = monitored_controller_verilog(counter_width=4)
+        assert _balanced(text)
+        for state in ("ST_ACTIVE", "ST_ENCODE", "ST_SLEEP_ENTRY", "ST_SLEEP",
+                      "ST_WAKE", "ST_DECODE", "ST_ERROR"):
+            assert state in text
+        assert "error_code" in text
+        assert "monitor_mode" in text
+
+    def test_counter_width_validation(self):
+        with pytest.raises(ValueError):
+            monitored_controller_verilog(counter_width=0)
+
+
+class TestRTLPackage:
+    @pytest.fixture(scope="class")
+    def package(self):
+        fifo = SyncFIFO(8, 8, name="fifo8x8")
+        design = ProtectedDesign(fifo, codes=["hamming(7,4)", "crc16"],
+                                 num_chains=8)
+        return emit_rtl_package(design)
+
+    def test_expected_files_emitted(self, package):
+        names = set(package.file_names)
+        assert "monitor_hamming_7_4.v" in names
+        assert "monitor_crc16.v" in names
+        assert "pg_controller_monitored.v" in names
+        assert "filelist.f" in names
+        assert "INTEGRATION.md" in names
+
+    def test_filelist_lists_only_verilog(self, package):
+        entries = package.files["filelist.f"].split()
+        assert all(entry.endswith(".v") for entry in entries)
+        assert len(entries) == 3
+
+    def test_integration_note_mentions_geometry(self, package):
+        note = package.files["INTEGRATION.md"]
+        assert "scan chains (monitor) : 8" in note
+        assert "hamming(7,4)" in note
+
+    def test_every_verilog_file_is_balanced(self, package):
+        for name, text in package.files.items():
+            if name.endswith(".v"):
+                assert _balanced(text), name
+
+    def test_total_lines_positive(self, package):
+        assert package.total_lines > 100
+
+    def test_write_to_directory(self, package, tmp_path):
+        target = package.write_to(tmp_path / "rtl")
+        written = {p.name for p in target.iterdir()}
+        assert written == set(package.file_names)
+        content = (target / "pg_controller_monitored.v").read_text()
+        assert "ST_DECODE" in content

@@ -1,0 +1,102 @@
+"""Tests for the standard-cell library model and area estimation."""
+
+import pytest
+
+from repro.circuit.fifo import SyncFIFO
+from repro.circuit.netlist import Netlist
+from repro.tech.area import AreaBreakdown, AreaEstimator
+from repro.tech.library import (
+    Cell,
+    ST120NM_CELLS,
+    StandardCellLibrary,
+    default_library,
+)
+
+
+class TestLibrary:
+    def test_default_library_has_core_cells(self):
+        library = default_library()
+        for name in ("inv", "nand2", "xor2", "mux2", "dff", "sdff", "rsdff",
+                     "aon_dff"):
+            assert name in library
+            cell = library.cell(name)
+            assert cell.area_um2 > 0
+
+    def test_unknown_cell_raises(self):
+        with pytest.raises(KeyError):
+            default_library().cell("magic_gate")
+
+    def test_sequential_cells_larger_than_combinational(self):
+        library = default_library()
+        assert library.cell("dff").area_um2 > library.cell("nand2").area_um2
+        # Retention flop carries the balloon latch, so it is the largest.
+        assert library.cell("rsdff").area_um2 > library.cell("sdff").area_um2
+        assert library.cell("sdff").area_um2 > library.cell("dff").area_um2
+
+    def test_scaling_creates_new_library(self):
+        library = default_library()
+        scaled = library.scaled("half", area_scale=0.5)
+        assert scaled.cell("inv").area_um2 == pytest.approx(
+            library.cell("inv").area_um2 * 0.5)
+        # Original untouched.
+        assert library.cell("inv").area_um2 == ST120NM_CELLS["inv"].area_um2
+
+    def test_add_cell_and_empty_library_rejected(self):
+        library = StandardCellLibrary("mini", {"inv": ST120NM_CELLS["inv"]})
+        library.add_cell(Cell("special", 1.0, 1.0, 1.0))
+        assert "special" in library
+        with pytest.raises(ValueError):
+            StandardCellLibrary("empty", {})
+
+    def test_negative_cell_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            Cell("bad", -1.0, 1.0, 1.0)
+
+
+class TestAreaEstimator:
+    def test_netlist_area_is_sum_of_cells(self):
+        estimator = AreaEstimator()
+        netlist = Netlist("x")
+        netlist.add_cells("inv", 10)
+        netlist.add_cells("dff", 2)
+        expected = (10 * estimator.cell_area("inv")
+                    + 2 * estimator.cell_area("dff"))
+        assert estimator.netlist_area(netlist) == pytest.approx(expected)
+
+    def test_breakdown_by_group(self):
+        estimator = AreaEstimator()
+        netlist = Netlist("x")
+        netlist.add_cells("dff", 4, group="fifo")
+        netlist.add_cells("xor2", 3, group="monitor")
+        breakdown = estimator.breakdown(netlist)
+        assert breakdown.group("fifo") > 0
+        assert breakdown.group("monitor") > 0
+        assert breakdown.total == pytest.approx(
+            breakdown.group("fifo") + breakdown.group("monitor"))
+
+    def test_overhead_fraction_counts_protection_groups_only(self):
+        breakdown = AreaBreakdown(by_group={
+            "fifo": 1000.0, "monitor": 100.0, "corrector": 50.0,
+            "controller": 25.0, "scan_routing": 25.0})
+        assert breakdown.base_area == pytest.approx(1000.0)
+        assert breakdown.protection_area == pytest.approx(200.0)
+        assert breakdown.overhead_fraction == pytest.approx(0.2)
+
+    def test_empty_breakdown(self):
+        breakdown = AreaBreakdown(by_group={})
+        assert breakdown.total == 0.0
+        assert breakdown.overhead_fraction == 0.0
+
+    def test_merged_breakdowns(self):
+        a = AreaBreakdown(by_group={"fifo": 10.0})
+        b = AreaBreakdown(by_group={"fifo": 5.0, "monitor": 2.0})
+        merged = a.merged_with(b)
+        assert merged.group("fifo") == 15.0
+        assert merged.group("monitor") == 2.0
+
+    def test_fifo_base_area_near_paper_value(self):
+        # The paper reports 71,628 um^2 for the bare 32x32 FIFO; the
+        # calibrated cost model should land within ~10 %.
+        fifo = SyncFIFO(32, 32)
+        area = AreaEstimator().netlist_area(fifo.netlist)
+        assert area == pytest.approx(71628, rel=0.10)

@@ -1,0 +1,115 @@
+"""Tests for the dynamic-power estimator and energy calculator."""
+
+import pytest
+
+from repro.circuit.fifo import SyncFIFO
+from repro.circuit.netlist import Netlist
+from repro.tech.energy import CodingCost, EnergyCalculator
+from repro.tech.power import (
+    DEFAULT_SCAN_ACTIVITY,
+    PowerBreakdown,
+    PowerEstimator,
+)
+
+
+class TestPowerEstimator:
+    def test_power_scales_with_frequency(self):
+        netlist = Netlist("x")
+        netlist.add_cells("rsdff", 100, group="fifo")
+        slow = PowerEstimator(clock_hz=50e6).scan_mode_power(netlist)
+        fast = PowerEstimator(clock_hz=100e6).scan_mode_power(netlist)
+        assert fast.total == pytest.approx(2 * slow.total)
+
+    def test_power_scales_with_cell_count(self):
+        small = Netlist("s")
+        small.add_cells("rsdff", 10, group="fifo")
+        large = Netlist("l")
+        large.add_cells("rsdff", 100, group="fifo")
+        estimator = PowerEstimator()
+        assert estimator.scan_mode_power(large).total == pytest.approx(
+            10 * estimator.scan_mode_power(small).total)
+
+    def test_sequential_cells_dominate_combinational(self):
+        seq = Netlist("seq")
+        seq.add_cells("rsdff", 10, group="fifo")
+        comb = Netlist("comb")
+        comb.add_cells("nand2", 10, group="fifo")
+        estimator = PowerEstimator()
+        assert (estimator.scan_mode_power(seq).total
+                > estimator.scan_mode_power(comb).total)
+
+    def test_breakdown_by_group_and_merge(self):
+        netlist = Netlist("x")
+        netlist.add_cells("rsdff", 10, group="fifo")
+        netlist.add_cells("aon_dff", 5, group="monitor")
+        breakdown = PowerEstimator().scan_mode_power(netlist)
+        assert set(breakdown.by_group) == {"fifo", "monitor"}
+        merged = breakdown.merged_with(
+            PowerBreakdown(by_group={"fifo": 1e-3}))
+        assert merged.group("fifo") == pytest.approx(
+            breakdown.group("fifo") + 1e-3)
+
+    def test_custom_activity_map(self):
+        netlist = Netlist("x")
+        netlist.add_cells("rsdff", 10, group="fifo")
+        estimator = PowerEstimator()
+        idle = estimator.netlist_power(netlist, {"fifo": 0.0})
+        busy = estimator.netlist_power(netlist, {"fifo": 1.0})
+        assert idle.total == 0.0
+        assert busy.total > 0.0
+
+    def test_invalid_clock(self):
+        with pytest.raises(ValueError):
+            PowerEstimator(clock_hz=0)
+
+    def test_fifo_scan_power_in_milliwatt_range(self):
+        # The paper reports ~5 mW of encode/decode power at 100 MHz for
+        # the 1040-flop FIFO; the model should be in the same ballpark.
+        fifo = SyncFIFO(32, 32)
+        power = PowerEstimator(clock_hz=100e6).scan_mode_power(fifo.netlist)
+        assert 2e-3 < power.total < 10e-3
+
+    def test_default_activity_covers_all_protection_groups(self):
+        for group in ("fifo", "monitor", "corrector", "controller",
+                      "scan_routing"):
+            assert group in DEFAULT_SCAN_ACTIVITY
+
+
+class TestEnergyCalculator:
+    def _netlist(self):
+        netlist = Netlist("x")
+        netlist.add_cells("rsdff", 1000, group="fifo")
+        netlist.add_cells("mux2", 50, group="corrector")
+        return netlist
+
+    def test_latency_is_chain_length_times_period(self):
+        calc = EnergyCalculator(PowerEstimator(clock_hz=100e6))
+        cost = calc.encode_cost(self._netlist(), chain_length=260)
+        assert cost.latency_ns == pytest.approx(2600.0)
+        cost = calc.encode_cost(self._netlist(), chain_length=13)
+        assert cost.latency_ns == pytest.approx(130.0)
+
+    def test_energy_is_power_times_latency(self):
+        calc = EnergyCalculator(PowerEstimator(clock_hz=100e6))
+        cost = calc.encode_cost(self._netlist(), chain_length=100)
+        assert cost.energy_j == pytest.approx(cost.power_w * cost.latency_s)
+        assert cost.energy_nj == pytest.approx(cost.energy_j * 1e9)
+
+    def test_decode_cost_at_least_encode_cost(self):
+        calc = EnergyCalculator(PowerEstimator(clock_hz=100e6))
+        netlist = self._netlist()
+        encode = calc.encode_cost(netlist, 64)
+        decode = calc.decode_cost(netlist, 64)
+        assert decode.power_w >= encode.power_w
+
+    def test_invalid_chain_length(self):
+        calc = EnergyCalculator()
+        with pytest.raises(ValueError):
+            calc.encode_cost(self._netlist(), 0)
+
+    def test_coding_cost_units(self):
+        cost = CodingCost(cycles=13, clock_hz=100e6, power_w=5e-3)
+        assert cost.latency_s == pytest.approx(130e-9)
+        assert cost.latency_ns == pytest.approx(130.0)
+        assert cost.power_mw == pytest.approx(5.0)
+        assert cost.energy_nj == pytest.approx(0.65)

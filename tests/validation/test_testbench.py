@@ -1,0 +1,161 @@
+"""Tests for the FPGA-style validation test bench and campaigns."""
+
+import pytest
+
+from repro.circuit.fifo import SyncFIFO
+from repro.circuit.generators import make_counter
+from repro.core.protected import ProtectedDesign
+from repro.faults.patterns import ErrorPattern
+from repro.validation.campaign import (
+    run_multiple_error_campaign,
+    run_single_error_campaign,
+)
+from repro.validation.comparator import Comparator
+from repro.validation.stimulus import StimulusGenerator
+from repro.validation.testbench import FIFOTestbench
+
+
+def _make_testbench(width=8, depth=8, codes=("hamming(7,4)", "crc16"),
+                    num_chains=10, seed=2010):
+    fifo = SyncFIFO(width, depth, name="dut_fifo")
+    design = ProtectedDesign(fifo, codes=list(codes), num_chains=num_chains)
+    return FIFOTestbench(design, seed=seed)
+
+
+class TestStimulusGenerator:
+    def test_reproducible_streams(self):
+        a = StimulusGenerator(16, seed=1)
+        b = StimulusGenerator(16, seed=1)
+        assert a.burst(10) == b.burst(10)
+
+    def test_word_width(self):
+        generator = StimulusGenerator(32, seed=2)
+        assert len(generator.next_word()) == 32
+        assert 0 <= generator.next_int() < 2 ** 32
+
+    def test_reset_restarts_stream(self):
+        generator = StimulusGenerator(8, seed=3)
+        first = generator.burst(5)
+        generator.reset()
+        assert generator.burst(5) == first
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StimulusGenerator(0)
+        with pytest.raises(ValueError):
+            list(StimulusGenerator(8).words(-1))
+
+
+class TestComparator:
+    def test_identical_fifos_match(self):
+        a, b = SyncFIFO(8, 4), SyncFIFO(8, 4)
+        for value in (1, 2, 3):
+            a.push_int(value)
+            b.push_int(value)
+        result = Comparator().compare(a, b)
+        assert result.match
+        assert result.words_compared == 3
+
+    def test_word_mismatch_detected(self):
+        a, b = SyncFIFO(8, 4), SyncFIFO(8, 4)
+        a.push_int(0x0F)
+        b.push_int(0x0E)
+        result = Comparator().compare(a, b)
+        assert not result.match
+        assert result.mismatched_words == (0,)
+        assert result.bit_mismatches == 1
+
+    def test_occupancy_mismatch_is_structural(self):
+        a, b = SyncFIFO(8, 4), SyncFIFO(8, 4)
+        a.push_int(1)
+        result = Comparator().compare(a, b)
+        assert result.structural_mismatch
+        assert not result.match
+
+    def test_history_recorded(self):
+        comparator = Comparator()
+        comparator.compare(SyncFIFO(8, 2), SyncFIFO(8, 2))
+        assert len(comparator.history) == 1
+
+
+class TestFIFOTestbench:
+    def test_requires_fifo_circuit(self):
+        counter_design = ProtectedDesign(make_counter(16), codes="crc16",
+                                         num_chains=4)
+        with pytest.raises(TypeError):
+            FIFOTestbench(counter_design)
+
+    def test_reference_geometry_must_match(self):
+        testbench_design = ProtectedDesign(SyncFIFO(8, 8), codes="crc16",
+                                           num_chains=8)
+        with pytest.raises(ValueError):
+            FIFOTestbench(testbench_design, reference_fifo=SyncFIFO(8, 4))
+
+    def test_clean_sequence_matches_reference(self):
+        testbench = _make_testbench()
+        result = testbench.run_sequence()
+        assert not result.error_reported
+        assert not result.mismatch_reported
+        assert result.outcome_consistent
+        assert result.words_written == 4
+
+    def test_single_error_sequence_corrected_and_consistent(self):
+        testbench = _make_testbench()
+        pattern = ErrorPattern(locations=frozenset({(3, 2)}), kind="single")
+        result = testbench.run_sequence(pattern)
+        assert result.error_reported
+        assert not result.mismatch_reported
+        assert result.outcome_consistent
+
+    def test_sequences_are_independent(self):
+        testbench = _make_testbench()
+        corrupted = testbench.run_sequence(
+            ErrorPattern(locations=frozenset({(0, 0), (1, 0)})))
+        clean = testbench.run_sequence()
+        assert not clean.error_reported
+        assert not clean.mismatch_reported
+
+
+class TestCampaigns:
+    def test_single_error_campaign_matches_paper_claims(self):
+        # Paper Section IV, first experiment: every single error is
+        # detected and corrected; FIFO_A and FIFO_B never mismatch.
+        testbench = _make_testbench()
+        result = run_single_error_campaign(testbench, num_sequences=30)
+        assert result.stats.num_sequences == 30
+        assert result.stats.detection_rate() == 1.0
+        assert result.stats.correction_rate() == 1.0
+        assert result.mismatches_reported_by_comparator == 0
+        assert result.stats.silent_corruptions == 0
+
+    def test_multiple_error_campaign_detects_everything(self):
+        # Paper Section IV, second experiment: clustered bursts are not
+        # corrected but always detected.
+        testbench = _make_testbench()
+        result = run_multiple_error_campaign(testbench, num_sequences=30,
+                                             burst_size=4)
+        assert result.stats.detection_rate() == 1.0
+        assert result.stats.correction_rate() < 1.0
+        assert result.stats.silent_corruptions == 0
+        assert result.inconsistent_sequences == 0
+
+    def test_campaign_summary_text(self):
+        testbench = _make_testbench()
+        result = run_single_error_campaign(testbench, num_sequences=5)
+        summary = result.summary()
+        assert "detection rate" in summary
+        assert "comparator mismatches" in summary
+
+    def test_campaign_requires_positive_sequences(self):
+        testbench = _make_testbench()
+        with pytest.raises(ValueError):
+            run_single_error_campaign(testbench, num_sequences=0)
+
+    def test_spread_multi_errors_often_corrected(self):
+        # With clustered=False the errors are spread uniformly and a
+        # Hamming(7,4) monitor corrects most of them (cf. Fig. 10).
+        testbench = _make_testbench(width=16, depth=16, num_chains=16)
+        result = run_multiple_error_campaign(testbench, num_sequences=20,
+                                             burst_size=2, clustered=False)
+        assert result.stats.detection_rate() == 1.0
+        assert result.stats.correction_rate() > 0.5
