@@ -43,6 +43,16 @@ contribution:
 ``repro.analysis``
     Parameter sweeps and Monte-Carlo campaigns that regenerate every
     table and figure of the paper's evaluation section.
+
+``repro.fastpath``
+    Packed-integer fast simulation engine: chain state and bit streams
+    as big-int bitmasks (:class:`~repro.fastpath.packed_chain.
+    PackedScanChain`), table-driven CRC and mask-based Hamming/SECDED
+    (:mod:`repro.codes.packed`), batch fault injection, and a
+    bit-exact packed replacement for the monitor bank's encode/decode
+    passes.  Opt in per design with
+    ``ProtectedDesign(..., engine="packed")`` (or ``set_engine``); the
+    default remains the bit-serial reference.
 """
 
 from repro.core.protected import ProtectedDesign
@@ -60,10 +70,11 @@ from repro.codes import (
     get_code,
 )
 from repro.circuit.fifo import SyncFIFO
+from repro.fastpath import PackedScanChain
 from repro.flow.synthesizer import ReliabilityAwareSynthesizer
 from repro.flow.config import FlowConfig
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ProtectedDesign",
@@ -77,6 +88,7 @@ __all__ = [
     "SECDEDCode",
     "get_code",
     "SyncFIFO",
+    "PackedScanChain",
     "ReliabilityAwareSynthesizer",
     "FlowConfig",
     "__version__",

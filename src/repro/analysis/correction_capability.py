@@ -99,30 +99,68 @@ def _simulate_sequence(code: HammingCode, num_bits: int, num_errors: int,
     return corrected, corrected == num_errors
 
 
+def _simulate_sequence_packed(code: HammingCode, num_bits: int,
+                              num_errors: int,
+                              rng: random.Random) -> Tuple[int, bool]:
+    """Bitmask variant of :func:`_simulate_sequence` (same RNG draws).
+
+    Codeword hits are tracked in two integers -- ``seen`` (word hit at
+    least once) and ``multi`` (word hit more than once) -- instead of a
+    dict, so the per-trial cost is a handful of shift/mask operations.
+    The random draw is identical, so for the same ``rng`` state the two
+    simulators return exactly the same result.
+    """
+    positions = rng.sample(range(num_bits), num_errors)
+    n = code.n
+    seen = 0
+    multi = 0
+    for pos in positions:
+        bit = 1 << (pos // n)
+        multi |= seen & bit
+        seen |= bit
+    corrected = sum(1 for pos in positions
+                    if not (multi >> (pos // n)) & 1)
+    return corrected, corrected == num_errors
+
+
+#: Sequence simulators selectable via the campaigns' ``engine`` option.
+SEQUENCE_ENGINES = {
+    "reference": _simulate_sequence,
+    "packed": _simulate_sequence_packed,
+}
+
+
 def correction_capability_curve(code: HammingCode,
                                 error_counts: Sequence[int] = tuple(
                                     range(1, 11)),
                                 num_bits: int = 1000,
                                 sequences: int = 2000,
-                                seed: Optional[int] = 1234
+                                seed: Optional[int] = 1234,
+                                engine: str = "reference"
                                 ) -> List[CorrectionCapabilityResult]:
     """Monte-Carlo correction-capability curve for one code.
 
     Parameters mirror the paper's setup (1000-bit sequences, 1--10
     injected errors); ``sequences`` trades accuracy against runtime
     (the paper used 10^6, the default here is CI-sized and the
-    benchmark harness can raise it).
+    benchmark harness can raise it).  ``engine="packed"`` selects the
+    bitmask trial simulator, which draws the same random positions and
+    therefore returns identical statistics, just faster.
     """
     if num_bits < max(error_counts):
         raise ValueError("cannot inject more errors than there are bits")
+    if engine not in SEQUENCE_ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; choose from "
+            f"{tuple(SEQUENCE_ENGINES)}")
+    simulate = SEQUENCE_ENGINES[engine]
     rng = random.Random(seed)
     results: List[CorrectionCapabilityResult] = []
     for num_errors in error_counts:
         corrected_total = 0
         fully_corrected = 0
         for _ in range(sequences):
-            corrected, full = _simulate_sequence(code, num_bits, num_errors,
-                                                 rng)
+            corrected, full = simulate(code, num_bits, num_errors, rng)
             corrected_total += corrected
             fully_corrected += 1 if full else 0
         results.append(CorrectionCapabilityResult(
@@ -138,7 +176,8 @@ def fig10_curves(error_counts: Sequence[int] = tuple(range(1, 11)),
                  num_bits: int = 1000,
                  sequences: int = 2000,
                  seed: Optional[int] = 1234,
-                 family: Sequence[Tuple[int, int]] = PAPER_HAMMING_CODES
+                 family: Sequence[Tuple[int, int]] = PAPER_HAMMING_CODES,
+                 engine: str = "reference"
                  ) -> Dict[Tuple[int, int], List[CorrectionCapabilityResult]]:
     """Regenerate all four curves of the paper's Fig. 10."""
     curves: Dict[Tuple[int, int], List[CorrectionCapabilityResult]] = {}
@@ -147,12 +186,13 @@ def fig10_curves(error_counts: Sequence[int] = tuple(range(1, 11)),
         curve_seed = None if seed is None else seed + offset
         curves[(n, k)] = correction_capability_curve(
             code, error_counts=error_counts, num_bits=num_bits,
-            sequences=sequences, seed=curve_seed)
+            sequences=sequences, seed=curve_seed, engine=engine)
     return curves
 
 
 __all__ = [
     "CorrectionCapabilityResult",
+    "SEQUENCE_ENGINES",
     "analytic_correction_probability",
     "correction_capability_curve",
     "fig10_curves",

@@ -13,6 +13,31 @@ This module provides:
   ``W`` chains (the scan-insertion step of the synthesis flow, Fig. 4);
 * :func:`balance_chains` -- the chain-balancing policy used when the
   register count does not divide evenly.
+
+Bit-order conventions
+---------------------
+
+Two orders coexist and must never be mixed (the round-trip tests in
+``tests/circuit/test_scan_order.py`` pin them down):
+
+* **scan order** (*scan-in side first*): position 0 is the flop at the
+  scan-in port, position ``l - 1`` the flop at the scan-out port.
+  :meth:`ScanChain.read_state` and :meth:`ScanChain.load_state` use
+  scan order.
+* **emission order** (*scan-out side first*): streams observed on the
+  scan-out wire are time-ordered, and the scan-out-side flop leaves
+  first.  :meth:`ScanChain.shift_many` and :meth:`ScanChain.circulate`
+  return emission order -- ``circulate()`` is exactly
+  ``read_state()`` reversed.
+
+Consequently the bit observed at shift cycle ``c`` of a pass
+originates from scan position ``l - 1 - c``; every consumer translates
+with that formula (`repro.core.corrector.ErrorCorrectionBlock.
+corrected_flops` for correction events, ``repro.faults.injector`` for
+injection coordinates, and the packed engine in ``repro.fastpath``).
+Re-shifting an emission-order stream into an equal-length chain
+restores the original state: the first-emitted bit travels all the way
+back to the scan-out side.
 """
 
 from __future__ import annotations

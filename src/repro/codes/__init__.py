@@ -16,6 +16,10 @@ after wake-up.  Two families of codes are evaluated in the paper:
 All codes implement the :class:`~repro.codes.base.BlockCode` or
 :class:`~repro.codes.base.StreamCode` interfaces so that the monitoring
 logic (:mod:`repro.core.monitor`) is agnostic of the concrete code.
+
+:mod:`repro.codes.packed` provides bit-exact packed-integer fast paths
+(table-driven byte-wise CRC, mask-based Hamming/SECDED via popcount)
+used by the :mod:`repro.fastpath` simulation engine.
 """
 
 from repro.codes.base import (
@@ -30,6 +34,13 @@ from repro.codes.secded import SECDEDCode
 from repro.codes.parity import ParityCode
 from repro.codes.crc import CRCCode, CRC_POLYNOMIALS
 from repro.codes.interleave import InterleavedCode
+from repro.codes.packed import (
+    PackedCRC,
+    PackedHamming,
+    PackedSECDED,
+    packed_block_code,
+    packed_stream_code,
+)
 from repro.codes.registry import get_code, register_code, available_codes
 
 __all__ = [
@@ -44,6 +55,11 @@ __all__ = [
     "CRCCode",
     "CRC_POLYNOMIALS",
     "InterleavedCode",
+    "PackedCRC",
+    "PackedHamming",
+    "PackedSECDED",
+    "packed_block_code",
+    "packed_stream_code",
     "get_code",
     "register_code",
     "available_codes",

@@ -176,7 +176,17 @@ class ProtectedDesign:
         explicitly instead).
     lfsr_seed:
         Seed of the error injector's LFSRs.
+    engine:
+        Simulation engine for the encode/decode passes:
+        ``"reference"`` (default) drives the bit-serial per-flop
+        models in :mod:`repro.core.monitor`; ``"packed"`` runs the
+        bit-exact packed-integer fast path of
+        :class:`repro.fastpath.engine.PackedMonitorEngine` instead.
+        Results are identical either way (property-tested); only the
+        wall-clock cost of :meth:`sleep_wake_cycle` changes.
     """
+
+    ENGINES = ("reference", "packed")
 
     def __init__(self, circuit: SequentialCircuit,
                  codes: Union[CodeSpec, Sequence[CodeSpec]] = "hamming(7,4)",
@@ -188,7 +198,8 @@ class ProtectedDesign:
                  switches: Optional[SwitchNetwork] = None,
                  rlc: Optional[RLCParameters] = None,
                  upset_model: Optional[RetentionUpsetModel] = None,
-                 lfsr_seed: int = 0xACE1):
+                 lfsr_seed: int = 0xACE1,
+                 engine: str = "reference"):
         self.circuit = circuit
         self.library = library if library is not None else default_library()
         self.clock_hz = clock_hz
@@ -230,6 +241,9 @@ class ProtectedDesign:
         self._power_estimator = PowerEstimator(self.library,
                                                clock_hz=clock_hz)
         self._energy_calculator = EnergyCalculator(self._power_estimator)
+
+        self._engine = self._check_engine(engine)
+        self._packed_engine = None  # built lazily on first packed pass
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -274,6 +288,71 @@ class ProtectedDesign:
                 padded[start:start + target_length],
                 name=f"{self.circuit.name}_mon_chain{index}"))
         return chains
+
+    # ------------------------------------------------------------------
+    # Engine selection (bit-serial reference vs packed fast path)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_engine(engine: str) -> str:
+        if engine not in ProtectedDesign.ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; choose from "
+                f"{ProtectedDesign.ENGINES}")
+        return engine
+
+    @property
+    def engine(self) -> str:
+        """The active simulation engine (``"reference"`` or ``"packed"``)."""
+        return self._engine
+
+    def set_engine(self, engine: str) -> None:
+        """Switch the simulation engine for subsequent cycles."""
+        self._engine = self._check_engine(engine)
+
+    def _get_packed_engine(self):
+        if self._packed_engine is None:
+            from repro.fastpath.engine import PackedMonitorEngine
+            self._packed_engine = PackedMonitorEngine(
+                self.monitor_bank, self.num_chains, self.chain_length)
+        return self._packed_engine
+
+    def _pack_chains(self) -> Tuple[List[int], List[int]]:
+        """Snapshot the chains into packed (states, knowns) integers.
+
+        Bit ``i`` of chain ``c``'s state is the flop at scan position
+        ``i``; unknown (``None``) flops have a 0 known bit and a 0
+        state bit, matching the monitors' treat-X-as-0 rule.
+        """
+        from repro.fastpath.packed_chain import pack_state
+        states: List[int] = []
+        knowns: List[int] = []
+        for chain in self.chains:
+            state, known = pack_state([flop.q for flop in chain.flops])
+            states.append(state)
+            knowns.append(known)
+        return states, knowns
+
+    def _write_back_chains(self, old_states: List[int],
+                           old_knowns: List[int],
+                           new_states: List[int]) -> None:
+        """Write packed decode results back into the flop objects.
+
+        Only bits that changed value (or were unknown and are now
+        driven to a known value) are touched, so a clean decode pass
+        costs no per-flop writes at all.
+        """
+        full = (1 << self.chain_length) - 1
+        for chain, old, known, new in zip(self.chains, old_states,
+                                          old_knowns, new_states):
+            stale = (old ^ new) | (full & ~known)
+            if not stale:
+                continue
+            flops = chain.flops
+            while stale:
+                low = stale & -stale
+                stale ^= low
+                i = low.bit_length() - 1
+                flops[i].force((new >> i) & 1)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -338,7 +417,11 @@ class ProtectedDesign:
 
         # -- encode sequence ------------------------------------------------
         self.controller.sleep_request()
-        self.monitor_bank.encode_pass(self.chains)
+        if self._engine == "packed":
+            states, knowns = self._pack_chains()
+            self._get_packed_engine().encode_pass(states, knowns)
+        else:
+            self.monitor_bank.encode_pass(self.chains)
         self.controller.encode_completed()
 
         # -- sleep sequence ------------------------------------------------
@@ -366,7 +449,13 @@ class ProtectedDesign:
         injected_errors = pre_state.hamming_distance(corrupted_state)
 
         # -- decode sequence -------------------------------------------------
-        reports = self.monitor_bank.decode_pass(self.chains)
+        if self._engine == "packed":
+            states, knowns = self._pack_chains()
+            reports, corrected = self._get_packed_engine().decode_pass(
+                states, knowns)
+            self._write_back_chains(states, knowns, corrected)
+        else:
+            reports = self.monitor_bank.decode_pass(self.chains)
         for report in reports:
             self.corrector.record(report.corrections)
 

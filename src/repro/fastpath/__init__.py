@@ -1,0 +1,55 @@
+"""Packed-integer fast simulation engine.
+
+The reference models in :mod:`repro.circuit` and :mod:`repro.core`
+simulate every scan shift as a Python method call on a per-flop object
+and carry every bit stream around as a tuple of ints.  That is ideal
+for auditing the methodology cycle by cycle, but one ``circulate()`` of
+the paper's 32x32 FIFO already costs on the order of a million Python
+operations, and the Monte-Carlo campaigns multiply that by thousands of
+sequences.
+
+This package provides drop-in *packed* equivalents where chain state
+and bit streams are plain Python integers (arbitrary-precision
+bitmasks) and each operation is a handful of mask-and-shift operations
+per chain or per slice instead of per bit:
+
+``repro.fastpath.packed_chain``
+    :class:`PackedScanChain` -- scan-chain state as an integer;
+    ``shift_many``/``circulate`` are O(1) big-int operations instead of
+    O(l) method calls per cycle.
+
+``repro.fastpath.inject``
+    :class:`PackedErrorInjector` -- batch fault injection that applies
+    row/column error masks with a single XOR per chain.
+
+``repro.fastpath.engine``
+    :class:`PackedMonitorEngine` -- complete encode/decode monitoring
+    passes over packed chain state, bit-exact against
+    :class:`repro.core.monitor.MonitorBank` (same reports, same
+    correction events, same final state).
+
+The packed implementations of the codes themselves (table-driven CRC,
+mask-based Hamming/SECDED) live next to their reference counterparts in
+:mod:`repro.codes.packed`.
+
+Every packed component is property-tested for bit-exact equivalence
+against the bit-serial reference; selecting
+``ProtectedDesign(..., engine="packed")`` changes wall-clock time, not
+results.
+"""
+
+from repro.fastpath.engine import PackedMonitorEngine
+from repro.fastpath.inject import PackedErrorInjector
+from repro.fastpath.packed_chain import (
+    PackedScanChain,
+    pack_state,
+    unpack_state,
+)
+
+__all__ = [
+    "PackedScanChain",
+    "PackedMonitorEngine",
+    "PackedErrorInjector",
+    "pack_state",
+    "unpack_state",
+]

@@ -1,0 +1,118 @@
+"""Batch fault injection over packed chain state.
+
+The reference :class:`~repro.faults.injector.ScanErrorInjector` flips
+bits by circulating the chains (O(W * l^2) flop operations per
+injection) or by per-flop ``flip()`` calls.  The packed injector turns
+an :class:`~repro.faults.patterns.ErrorPattern` into one XOR mask per
+affected chain and applies it with a single XOR -- including the
+hardware-style row/column form of the paper's Fig. 6, where a row mask
+selects chains and a column mask selects bit positions and every
+selected chain receives the same column mask.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.fastpath.packed_chain import PackedScanChain
+from repro.faults.patterns import ErrorPattern
+
+
+def pattern_masks(pattern: ErrorPattern, num_chains: int,
+                  chain_length: int) -> Dict[int, int]:
+    """Per-chain XOR masks (bit ``p`` = scan position ``p``) of a pattern."""
+    masks: Dict[int, int] = {}
+    for chain, position in pattern.locations:
+        if chain >= num_chains or position >= chain_length:
+            raise ValueError(
+                f"error location ({chain}, {position}) outside the "
+                f"{num_chains}x{chain_length} scan array")
+        masks[chain] = masks.get(chain, 0) | (1 << position)
+    return masks
+
+
+def row_column_masks(pattern: ErrorPattern, num_chains: int,
+                     chain_length: int) -> Tuple[int, int]:
+    """The pattern's row/column injector registers as packed masks.
+
+    Bit ``c`` of the row mask selects chain ``c``; bit ``p`` of the
+    column mask selects scan position ``p`` -- the packed form of
+    :class:`repro.faults.injector.InjectionPlan`'s ``row_vector`` and
+    ``column_vector``.
+    """
+    row = 0
+    column = 0
+    for chain, position in pattern.locations:
+        if chain >= num_chains or position >= chain_length:
+            raise ValueError(
+                f"error location ({chain}, {position}) outside the "
+                f"{num_chains}x{chain_length} scan array")
+        row |= 1 << chain
+        column |= 1 << position
+    return row, column
+
+
+class PackedErrorInjector:
+    """Applies error patterns to packed chains with one XOR per chain.
+
+    Parameters
+    ----------
+    chains:
+        The packed chains of the design under attack; all must have the
+        same length.
+    """
+
+    def __init__(self, chains: Sequence[PackedScanChain]):
+        if not chains:
+            raise ValueError("at least one scan chain is required")
+        lengths = {chain.length for chain in chains}
+        if len(lengths) != 1:
+            raise ValueError(
+                f"all chains must have equal length for injection, got "
+                f"lengths {sorted(lengths)}")
+        self.chains: List[PackedScanChain] = list(chains)
+        self.chain_length = lengths.pop()
+        self.num_chains = len(self.chains)
+
+    def inject(self, pattern: ErrorPattern) -> int:
+        """Flip the pattern's coordinates; returns bits actually flipped.
+
+        Unknown bits are skipped, matching the reference injector's
+        behaviour on ``None``-valued flops.
+        """
+        flipped = 0
+        for chain_index, mask in pattern_masks(
+                pattern, self.num_chains, self.chain_length).items():
+            chain = self.chains[chain_index]
+            effective = mask & chain.known
+            chain.apply_flips(mask)
+            flipped += effective.bit_count()
+        return flipped
+
+    def inject_row_column(self, row_mask: int, column_mask: int) -> int:
+        """Hardware-style injection: flip ``column_mask`` in every
+        selected chain (the full row x column conjunction of Fig. 6).
+
+        Returns the number of bits actually flipped.
+        """
+        if not (0 <= row_mask < (1 << self.num_chains)):
+            raise ValueError("row mask does not fit the chain count")
+        if not (0 <= column_mask < (1 << self.chain_length)):
+            raise ValueError("column mask does not fit the chain length")
+        flipped = 0
+        remaining = row_mask
+        while remaining:
+            low = remaining & -remaining
+            chain_index = low.bit_length() - 1
+            remaining ^= low
+            chain = self.chains[chain_index]
+            flipped += (column_mask & chain.known).bit_count()
+            chain.apply_flips(column_mask)
+        return flipped
+
+
+__all__ = [
+    "PackedErrorInjector",
+    "pattern_masks",
+    "row_column_masks",
+]

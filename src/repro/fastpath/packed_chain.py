@@ -1,0 +1,230 @@
+"""Packed-integer scan-chain model.
+
+A :class:`~repro.circuit.scan.ScanChain` stores one Python object per
+flip-flop and spends O(l) method calls per shift cycle;
+:class:`PackedScanChain` stores the whole chain in two integers and
+shifts any number of cycles with a constant number of big-int
+operations.
+
+Bit conventions (shared with :mod:`repro.codes.packed` and
+:mod:`repro.fastpath.engine`):
+
+* **State integers** are indexed by scan position: bit ``i`` of
+  ``state`` is the flop at scan position ``i``, where position 0 is the
+  scan-in side and position ``l - 1`` is the scan-out side (the same
+  order as ``ScanChain.read_state()``).
+* **Stream integers** are packed MSB first in time: the first bit on
+  the wire is the most significant bit of the integer, matching
+  :func:`repro.codes.base.bits_to_int`.
+* **Unknown bits** (the reference model's ``None``) are tracked in a
+  parallel ``known`` mask; an unknown bit always has value 0 in
+  ``state`` so that masked arithmetic matches the reference model's
+  "treat X as 0" behaviour at the monitoring blocks.
+
+Under these conventions a full :meth:`PackedScanChain.circulate` is the
+identity on the state and its observed scan-out stream (scan-out-side
+bit first) *is* the state integer itself -- one rotation of the paper's
+32x32 FIFO costs a few integer copies instead of ~a million Python
+operations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.circuit.scan import ScanChain
+
+
+def pack_state(values: Sequence[Optional[int]]) -> Tuple[int, int]:
+    """Pack scan-in-side-first values into ``(state, known)`` integers.
+
+    ``values[i]`` (scan position ``i``) lands in bit ``i``.  ``None``
+    marks an unknown bit: its ``known`` bit is 0 and its ``state`` bit
+    is forced to 0.
+    """
+    state = 0
+    known = 0
+    for i, value in enumerate(values):
+        if value is None:
+            continue
+        v = int(value)
+        if v not in (0, 1):
+            raise ValueError(f"bit values must be 0, 1 or None; got {value!r}")
+        known |= 1 << i
+        if v:
+            state |= 1 << i
+    return state, known
+
+
+def unpack_state(state: int, known: int,
+                 length: int) -> List[Optional[int]]:
+    """Inverse of :func:`pack_state`: scan-in-side-first value list."""
+    return [((state >> i) & 1) if (known >> i) & 1 else None
+            for i in range(length)]
+
+
+class PackedScanChain:
+    """A scan chain whose state lives in two integers.
+
+    Mirrors the cycle-level semantics of
+    :class:`~repro.circuit.scan.ScanChain` exactly (the test suite
+    checks bit-exact equivalence over randomized states and shift
+    schedules) while making ``shift_many``/``circulate`` cost O(1)
+    big-int operations per call instead of O(l) method calls per cycle.
+
+    Parameters
+    ----------
+    length:
+        Number of flops in the chain (the paper's ``l``).
+    state:
+        Initial packed state (bit ``i`` = scan position ``i``).
+    known:
+        Mask of known bits; defaults to all-known.  Bits of ``state``
+        outside ``known`` must be zero.
+    """
+
+    __slots__ = ("name", "length", "_mask", "state", "known")
+
+    def __init__(self, length: int, state: int = 0,
+                 known: Optional[int] = None, name: str = ""):
+        if length <= 0:
+            raise ValueError("a scan chain needs at least one flip-flop")
+        self.length = length
+        self.name = name
+        self._mask = (1 << length) - 1
+        if known is None:
+            known = self._mask
+        if not (0 <= known <= self._mask):
+            raise ValueError(f"known mask does not fit in {length} bits")
+        if not (0 <= state <= self._mask):
+            raise ValueError(f"state does not fit in {length} bits")
+        if state & ~known:
+            raise ValueError("unknown bits must be 0 in the packed state")
+        self.state = state
+        self.known = known
+
+    # ------------------------------------------------------------------
+    # Construction / conversion
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_values(cls, values: Sequence[Optional[int]],
+                    name: str = "") -> "PackedScanChain":
+        """Build from a scan-in-side-first value list (may contain None)."""
+        state, known = pack_state(values)
+        return cls(len(values), state=state, known=known, name=name)
+
+    @classmethod
+    def from_scan_chain(cls, chain: ScanChain) -> "PackedScanChain":
+        """Snapshot a reference :class:`ScanChain` into packed form."""
+        return cls.from_values(chain.read_state(), name=chain.name)
+
+    def read_state(self) -> List[Optional[int]]:
+        """Register values in scan order (scan-in side first)."""
+        return unpack_state(self.state, self.known, self.length)
+
+    def load_state(self, values: Sequence[Optional[int]]) -> None:
+        """Directly load register values in scan order."""
+        if len(values) != self.length:
+            raise ValueError(
+                f"expected {self.length} values, got {len(values)}")
+        self.state, self.known = pack_state(values)
+
+    def write_to(self, chain: ScanChain) -> None:
+        """Copy this packed state back into a reference chain."""
+        chain.load_state(self.read_state())
+
+    def __len__(self) -> int:
+        return self.length
+
+    # ------------------------------------------------------------------
+    # Shifting
+    # ------------------------------------------------------------------
+    @property
+    def scan_out(self) -> Optional[int]:
+        """Value currently visible at the scan-out port (position l-1)."""
+        top = 1 << (self.length - 1)
+        if not self.known & top:
+            return None
+        return 1 if self.state & top else 0
+
+    def shift(self, scan_in: Optional[int]) -> Optional[int]:
+        """One scan-shift clock cycle; returns the scanned-out bit."""
+        out = self.scan_out
+        self.state = (self.state << 1) & self._mask
+        self.known = (self.known << 1) & self._mask
+        if scan_in is not None:
+            v = int(scan_in)
+            if v not in (0, 1):
+                raise ValueError(
+                    f"bit values must be 0, 1 or None; got {scan_in!r}")
+            self.known |= 1
+            self.state |= v
+        return out
+
+    def shift_many(self, stream: int, count: int,
+                   known_stream: Optional[int] = None
+                   ) -> Tuple[int, int]:
+        """Shift ``count`` bits in; returns the scanned-out stream.
+
+        ``stream`` is the scan-in bit stream packed MSB first in time
+        (the first bit shifted in is bit ``count - 1``); the returned
+        ``(out, out_known)`` pair uses the same packing for the stream
+        that left the scan-out port.  ``known_stream`` marks which input
+        bits are known (default: all).
+        """
+        if count < 0:
+            raise ValueError("shift count must be non-negative")
+        full_in = (1 << count) - 1
+        if known_stream is None:
+            known_stream = full_in
+        if not (0 <= stream <= full_in and 0 <= known_stream <= full_in):
+            raise ValueError(f"stream does not fit in {count} bits")
+        stream &= known_stream
+        l = self.length
+        if count <= l:
+            out = self.state >> (l - count)
+            out_known = self.known >> (l - count)
+            self.state = ((self.state << count) | stream) & self._mask
+            self.known = ((self.known << count) | known_stream) & self._mask
+        else:
+            out = (self.state << (count - l)) | (stream >> l)
+            out_known = (self.known << (count - l)) | (known_stream >> l)
+            self.state = stream & self._mask
+            self.known = known_stream & self._mask
+        return out, out_known
+
+    def circulate(self) -> Tuple[int, int]:
+        """One full rotation with scan-out looped back to scan-in.
+
+        The state is unchanged (every flop ends where it started) and
+        the observed scan-out stream -- scan-out-side register first,
+        exactly like ``ScanChain.circulate()`` -- packed MSB first in
+        time is the state integer itself.  Returns
+        ``(stream, known_stream)``.
+        """
+        return self.state, self.known
+
+    def circulate_bits(self) -> List[Optional[int]]:
+        """:meth:`circulate` as a bit list (scan-out-side first).
+
+        Provided for direct comparison against
+        ``ScanChain.circulate()``; the packed form is the fast path.
+        """
+        return [((self.state >> i) & 1) if (self.known >> i) & 1 else None
+                for i in range(self.length - 1, -1, -1)]
+
+    # ------------------------------------------------------------------
+    def apply_flips(self, flip_mask: int) -> None:
+        """XOR a position mask into the state (fault injection).
+
+        Unknown bits stay unknown (the reference model's ``flip()`` is
+        a no-op on ``None``), so the mask is gated by ``known``.
+        """
+        self.state ^= flip_mask & self.known & self._mask
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"PackedScanChain(name={self.name!r}, "
+                f"length={self.length}, state=0x{self.state:x})")
+
+
+__all__ = ["PackedScanChain", "pack_state", "unpack_state"]

@@ -6,15 +6,45 @@ injected error locations are pseudo-random but cheap to generate in
 hardware.  Both the Fibonacci (external XOR) and Galois (internal XOR)
 forms are provided; maximal-length tap sets are included for common
 register widths.
+
+Tap and polynomial conventions
+------------------------------
+
+A tap set ``(w, t2, t3, ...)`` names the exponents of the feedback
+polynomial ``p(x) = x**w + x**t2 + x**t3 + ... + 1`` (the standard
+table convention, e.g. ``(16, 15, 13, 4)`` for CRC-style
+``x^16+x^15+x^13+x^4+1``).  Concretely, in this implementation:
+
+* the **Fibonacci** form shifts left with the output at the MSB; tap
+  ``t`` reads register bit ``t - 1`` (so the highest tap, ``t = w``,
+  is the output bit itself).  The generated output sequence obeys the
+  recurrence ``a[n] = a[n-t2] ^ ... ^ a[n-w]``, i.e. the *reciprocal*
+  polynomial of ``p`` is its characteristic polynomial -- the usual
+  situation for table-driven Fibonacci LFSRs, and maximal-length
+  whenever ``p`` is (a polynomial is primitive iff its reciprocal is);
+* the **Galois** form shifts right with the output at the LSB and XORs
+  ``poly`` into the register when a 1 falls out; mask bit ``i``
+  corresponds to the monomial ``x**(i+1)``, so the mask for a tap set
+  is ``p`` with the constant term dropped and divided by ``x`` --
+  exactly ``1 << (t - 1)`` per tap.
+
+With these orientations the two forms are *sequence-equivalent*: for
+any tap set the Galois output stream is a phase-shifted copy of the
+Fibonacci output stream, and both achieve the full period
+``2**w - 1`` for every width in :data:`DEFAULT_TAPS`.  Both properties
+are enforced by the test suite -- by brute force for small widths and
+through :func:`is_maximal_length` (a GF(2) polynomial-order check) for
+widths 24 and 32, whose periods are too long to enumerate.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-#: Maximal-length feedback tap positions (1-based, from the MSB side) for
-#: common LFSR widths.  Taken from the standard primitive-polynomial
-#: tables used in BIST literature.
+#: Maximal-length feedback tap positions for common LFSR widths: the
+#: exponents of a primitive feedback polynomial (see the module
+#: docstring for the exact register orientation).  Taken from the
+#: standard primitive-polynomial tables used in BIST literature.
 DEFAULT_TAPS: Dict[int, Tuple[int, ...]] = {
     2: (2, 1),
     3: (3, 2),
@@ -40,6 +70,104 @@ DEFAULT_TAPS: Dict[int, Tuple[int, ...]] = {
 }
 
 
+def taps_to_feedback_poly(width: int, taps: Iterable[int]) -> int:
+    """Feedback polynomial ``p(x)`` of a tap set, as a bit mask.
+
+    Bit ``i`` of the result is the coefficient of ``x**i``; the
+    constant term is always set.  For ``DEFAULT_TAPS[4] == (4, 3)``
+    this returns ``0b11001`` (``x^4 + x^3 + 1``).
+    """
+    poly = 1
+    for tap in taps:
+        t = int(tap)
+        if not (1 <= t <= width):
+            raise ValueError(
+                f"tap positions must be in 1..{width}, got {t}")
+        poly |= 1 << t
+    if not (poly >> width) & 1:
+        raise ValueError(f"the highest tap must equal the width ({width})")
+    return poly
+
+
+def galois_mask(width: int, taps: Iterable[int]) -> int:
+    """Galois XOR mask for a tap set (``taps_to_feedback_poly(...) >> 1``).
+
+    Mask bit ``i`` corresponds to the monomial ``x**(i+1)`` of the
+    feedback polynomial, matching :class:`GaloisLFSR`'s ``poly``
+    parameter; the MSB (bit ``width - 1``, the ``x**width`` term) is
+    always set.
+    """
+    return taps_to_feedback_poly(width, taps) >> 1
+
+
+def _poly_mul_mod(a: int, b: int, modulus: int, width: int) -> int:
+    """GF(2) polynomial product ``a * b mod modulus`` (degree ``width``)."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        b >>= 1
+        a <<= 1
+        if (a >> width) & 1:
+            a ^= modulus
+    return result
+
+
+def _poly_pow_mod(base: int, exponent: int, modulus: int, width: int) -> int:
+    """GF(2) polynomial power ``base ** exponent mod modulus``."""
+    result = 1
+    while exponent:
+        if exponent & 1:
+            result = _poly_mul_mod(result, base, modulus, width)
+        base = _poly_mul_mod(base, base, modulus, width)
+        exponent >>= 1
+    return result
+
+
+def _prime_factors(n: int) -> List[int]:
+    factors = []
+    d = 2
+    while d * d <= n:
+        if n % d == 0:
+            factors.append(d)
+            while n % d == 0:
+                n //= d
+        d += 1
+    if n > 1:
+        factors.append(n)
+    return factors
+
+
+def is_maximal_length(width: int,
+                      taps: Optional[Iterable[int]] = None) -> bool:
+    """Whether a tap set generates the full period ``2**width - 1``.
+
+    Checks that the feedback polynomial is *primitive* over GF(2): the
+    multiplicative order of ``x`` modulo ``p(x)`` must be exactly
+    ``2**width - 1``.  This decides maximality for widths whose periods
+    are far too long to enumerate (the brute-force check for width 32
+    would need ~4 * 10^9 steps; this needs a few hundred modular
+    multiplications).  Because a polynomial is primitive iff its
+    reciprocal is, the verdict applies to both the Fibonacci and the
+    Galois register orientation.
+    """
+    if width <= 1:
+        raise ValueError("LFSR width must be at least 2")
+    if taps is None:
+        if width not in DEFAULT_TAPS:
+            raise ValueError(f"no default taps for width {width}")
+        taps = DEFAULT_TAPS[width]
+    poly = taps_to_feedback_poly(width, taps)
+    order = (1 << width) - 1
+    x = 0b10
+    if _poly_pow_mod(x, order, poly, width) != 1:
+        return False
+    for factor in _prime_factors(order):
+        if _poly_pow_mod(x, order // factor, poly, width) == 1:
+            return False
+    return True
+
+
 class LFSR:
     """A Fibonacci (external-XOR) linear feedback shift register.
 
@@ -48,8 +176,9 @@ class LFSR:
     width:
         Register width in bits.
     taps:
-        Feedback tap positions, 1-based counting from the output (MSB)
-        side.  Defaults to a maximal-length set from
+        Feedback polynomial exponents (see the module docstring); tap
+        ``t`` reads register bit ``t - 1`` and the highest tap must
+        equal ``width``.  Defaults to a maximal-length set from
         :data:`DEFAULT_TAPS` when available.
     seed:
         Initial register contents; must be non-zero (the all-zero state
@@ -140,8 +269,11 @@ class GaloisLFSR:
         Register width in bits.
     poly:
         Feedback polynomial as a bit mask (bit ``i`` set means the
-        monomial ``x**(i+1)`` participates).  Defaults to the mask
-        equivalent of :data:`DEFAULT_TAPS` for the width.
+        monomial ``x**(i+1)`` participates, so bit ``width - 1`` -- the
+        ``x**width`` term -- must be set).  Defaults to
+        :func:`galois_mask` over :data:`DEFAULT_TAPS` for the width,
+        which makes the output stream a phase-shifted copy of the
+        matching Fibonacci :class:`LFSR`'s.
     seed:
         Non-zero initial value.
     """
@@ -153,9 +285,14 @@ class GaloisLFSR:
             if width not in DEFAULT_TAPS:
                 raise ValueError(
                     f"no default polynomial for width {width}")
-            poly = 0
-            for tap in DEFAULT_TAPS[width]:
-                poly |= 1 << (tap - 1)
+            poly = galois_mask(width, DEFAULT_TAPS[width])
+        if not (0 < poly < (1 << width)):
+            raise ValueError(
+                f"polynomial mask 0x{poly:x} does not fit in {width} bits")
+        if not (poly >> (width - 1)) & 1:
+            raise ValueError(
+                f"polynomial mask 0x{poly:x} lacks the x**{width} term "
+                f"(bit {width - 1} must be set)")
         if seed == 0:
             raise ValueError("the all-zero seed locks up an LFSR")
         if not (0 < seed < (1 << width)):
@@ -188,4 +325,11 @@ class GaloisLFSR:
         return value
 
 
-__all__ = ["LFSR", "GaloisLFSR", "DEFAULT_TAPS"]
+__all__ = [
+    "LFSR",
+    "GaloisLFSR",
+    "DEFAULT_TAPS",
+    "taps_to_feedback_poly",
+    "galois_mask",
+    "is_maximal_length",
+]

@@ -119,6 +119,11 @@ class PowerDomain:
         self.upset_model = upset_model
         self._state = DomainState.ACTIVE
         self._wake_history: List[WakeEvent] = []
+        # The wake-up transient depends only on the (frozen) RLC
+        # parameters and the switch staging, so its numeric searches
+        # are evaluated once and reused across sleep/wake cycles.
+        self._transient_key: Optional[tuple] = None
+        self._transient: tuple = ()
 
     # ------------------------------------------------------------------
     @property
@@ -156,11 +161,14 @@ class PowerDomain:
         """
         if self._state is DomainState.ACTIVE:
             raise RuntimeError("domain is already active")
-        rush = RushCurrentModel(self.rlc,
-                                num_switch_stages=self.switches.stages)
-        peak_current = rush.peak_current()
-        peak_droop = rush.peak_droop()
-        settle = rush.settle_time()
+        key = (self.rlc, self.switches.stages)
+        if self._transient_key != key:
+            rush = RushCurrentModel(self.rlc,
+                                    num_switch_stages=self.switches.stages)
+            self._transient = (rush.peak_current(), rush.peak_droop(),
+                               rush.settle_time(), rush.wakeup_energy())
+            self._transient_key = key
+        peak_current, peak_droop, settle, wakeup_energy = self._transient
         upsets: tuple = ()
         if self.upset_model is not None:
             flipped = self.upset_model.sample_upsets(
@@ -173,7 +181,7 @@ class PowerDomain:
             peak_current_a=peak_current,
             peak_droop_v=peak_droop,
             settle_time_s=settle,
-            wakeup_energy_j=rush.wakeup_energy(),
+            wakeup_energy_j=wakeup_energy,
             upset_indices=upsets)
         self._wake_history.append(event)
         return event

@@ -96,31 +96,51 @@ class ValidationCampaign:
         error pattern to inject (or None for a clean sequence).
     seed:
         Seed of the campaign RNG (pattern placement).
+    engine:
+        Optional simulation-engine override used while this campaign
+        runs: ``"packed"`` selects the bit-exact packed-integer fast
+        path of :mod:`repro.fastpath` (the natural choice for large
+        campaigns), ``"reference"`` the bit-serial models.  ``None``
+        keeps the design's current engine.  The design's own engine
+        setting is restored when :meth:`run` returns.
     """
 
     def __init__(self, testbench: FIFOTestbench,
                  pattern_factory: PatternFactory,
-                 seed: Optional[int] = 20100308):
+                 seed: Optional[int] = 20100308,
+                 engine: Optional[str] = None):
         self.testbench = testbench
         self.pattern_factory = pattern_factory
         self._rng = random.Random(seed)
+        if engine is not None:
+            # Validate eagerly so a typo fails at construction time.
+            testbench.dut_design._check_engine(engine)
+        self.engine = engine
 
     def run(self, num_sequences: int,
             inject_phase: str = "sleep") -> CampaignResult:
         """Run ``num_sequences`` test sequences and aggregate the outcome."""
         if num_sequences <= 0:
             raise ValueError("the campaign needs at least one sequence")
-        result = CampaignResult()
-        for _ in range(num_sequences):
-            pattern = self.pattern_factory(self._rng)
-            sequence = self.testbench.run_sequence(pattern, inject_phase)
-            result.add(sequence)
-        return result
+        design = self.testbench.dut_design
+        previous_engine = design.engine
+        if self.engine is not None:
+            design.set_engine(self.engine)
+        try:
+            result = CampaignResult()
+            for _ in range(num_sequences):
+                pattern = self.pattern_factory(self._rng)
+                sequence = self.testbench.run_sequence(pattern, inject_phase)
+                result.add(sequence)
+            return result
+        finally:
+            design.set_engine(previous_engine)
 
 
 def run_single_error_campaign(testbench: FIFOTestbench, num_sequences: int,
                               seed: Optional[int] = 20100308,
-                              inject_phase: str = "sleep") -> CampaignResult:
+                              inject_phase: str = "sleep",
+                              engine: Optional[str] = None) -> CampaignResult:
     """The paper's first experiment: one random error per sequence."""
     design = testbench.dut_design
 
@@ -128,7 +148,8 @@ def run_single_error_campaign(testbench: FIFOTestbench, num_sequences: int,
         return single_error_pattern(design.num_chains, design.chain_length,
                                     rng)
 
-    campaign = ValidationCampaign(testbench, factory, seed=seed)
+    campaign = ValidationCampaign(testbench, factory, seed=seed,
+                                  engine=engine)
     return campaign.run(num_sequences, inject_phase=inject_phase)
 
 
@@ -136,7 +157,8 @@ def run_multiple_error_campaign(testbench: FIFOTestbench, num_sequences: int,
                                 burst_size: int = 4,
                                 clustered: bool = True,
                                 seed: Optional[int] = 20100308,
-                                inject_phase: str = "sleep"
+                                inject_phase: str = "sleep",
+                                engine: Optional[str] = None
                                 ) -> CampaignResult:
     """The paper's second experiment: clustered multi-bit errors.
 
@@ -154,7 +176,8 @@ def run_multiple_error_campaign(testbench: FIFOTestbench, num_sequences: int,
         return multi_error_pattern(design.num_chains, design.chain_length,
                                    burst_size, rng)
 
-    campaign = ValidationCampaign(testbench, factory, seed=seed)
+    campaign = ValidationCampaign(testbench, factory, seed=seed,
+                                  engine=engine)
     return campaign.run(num_sequences, inject_phase=inject_phase)
 
 

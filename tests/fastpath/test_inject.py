@@ -1,0 +1,96 @@
+"""Packed batch fault injection equivalence and mask semantics."""
+
+import random
+
+import pytest
+
+from repro.circuit.flipflop import ScanFlipFlop
+from repro.circuit.scan import ScanChain
+from repro.faults.injector import ScanErrorInjector
+from repro.faults.patterns import ErrorPattern, multi_error_pattern
+from repro.fastpath.inject import (
+    PackedErrorInjector,
+    pattern_masks,
+    row_column_masks,
+)
+from repro.fastpath.packed_chain import PackedScanChain
+
+
+def _chains(rng, num_chains, length):
+    reference = []
+    packed = []
+    for c in range(num_chains):
+        values = [rng.randint(0, 1) for _ in range(length)]
+        reference.append(ScanChain(
+            [ScanFlipFlop(name=f"c{c}f{i}", init=v)
+             for i, v in enumerate(values)], name=f"chain{c}"))
+        packed.append(PackedScanChain.from_values(values, name=f"chain{c}"))
+    return reference, packed
+
+
+class TestPatternMasks:
+    def test_masks_set_the_named_positions(self):
+        pattern = ErrorPattern(locations=frozenset({(0, 1), (0, 3), (2, 0)}))
+        masks = pattern_masks(pattern, num_chains=3, chain_length=5)
+        assert masks == {0: 0b01010, 2: 0b00001}
+
+    def test_row_column_masks(self):
+        pattern = ErrorPattern(locations=frozenset({(0, 1), (2, 4)}))
+        row, column = row_column_masks(pattern, num_chains=3, chain_length=5)
+        assert row == 0b101
+        assert column == 0b10010
+
+    def test_out_of_range_locations_rejected(self):
+        pattern = ErrorPattern(locations=frozenset({(3, 0)}))
+        with pytest.raises(ValueError):
+            pattern_masks(pattern, num_chains=3, chain_length=5)
+        with pytest.raises(ValueError):
+            row_column_masks(pattern, num_chains=3, chain_length=5)
+
+
+class TestPackedInjector:
+    def test_matches_reference_inject_direct(self):
+        rng = random.Random(21)
+        reference, packed = _chains(rng, 4, 9)
+        ref_injector = ScanErrorInjector(reference)
+        packed_injector = PackedErrorInjector(packed)
+        for trial in range(10):
+            pattern = multi_error_pattern(4, 9, rng.randint(1, 5),
+                                          random.Random(trial))
+            plan = ref_injector.inject_direct(pattern)
+            flipped = packed_injector.inject(pattern)
+            assert flipped == plan.num_flipped
+            for ref_chain, packed_chain in zip(reference, packed):
+                assert packed_chain.read_state() == ref_chain.read_state()
+
+    def test_skips_unknown_bits(self):
+        packed = [PackedScanChain.from_values([1, None, 0])]
+        injector = PackedErrorInjector(packed)
+        pattern = ErrorPattern(locations=frozenset({(0, 0), (0, 1)}))
+        assert injector.inject(pattern) == 1
+        assert packed[0].read_state() == [0, None, 0]
+
+    def test_row_column_injection_is_full_conjunction(self):
+        rng = random.Random(8)
+        _, packed = _chains(rng, 3, 5)
+        before = [chain.read_state() for chain in packed]
+        injector = PackedErrorInjector(packed)
+        flipped = injector.inject_row_column(row_mask=0b101,
+                                             column_mask=0b00011)
+        assert flipped == 4  # 2 selected chains x 2 selected positions
+        for c, chain in enumerate(packed):
+            for p, bit in enumerate(chain.read_state()):
+                expected = before[c][p] ^ (1 if (0b101 >> c) & 1
+                                           and (0b00011 >> p) & 1 else 0)
+                assert bit == expected
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            PackedErrorInjector([])
+        with pytest.raises(ValueError):
+            PackedErrorInjector([PackedScanChain(3), PackedScanChain(4)])
+        injector = PackedErrorInjector([PackedScanChain(3)])
+        with pytest.raises(ValueError):
+            injector.inject_row_column(0b10, 0b1)
+        with pytest.raises(ValueError):
+            injector.inject_row_column(0b1, 0b1000)

@@ -1,0 +1,125 @@
+"""Equivalence of PackedScanChain against the bit-serial ScanChain."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.flipflop import ScanFlipFlop
+from repro.circuit.scan import ScanChain
+from repro.codes.base import bits_to_int
+from repro.fastpath.packed_chain import (
+    PackedScanChain,
+    pack_state,
+    unpack_state,
+)
+
+tri_bits = st.one_of(st.none(), st.integers(min_value=0, max_value=1))
+
+
+def tri_lists(min_size=1, max_size=24):
+    return st.lists(tri_bits, min_size=min_size, max_size=max_size)
+
+
+def make_reference(values):
+    return ScanChain([ScanFlipFlop(name=f"ff{i}", init=v)
+                      for i, v in enumerate(values)])
+
+
+class TestPacking:
+    @given(tri_lists())
+    def test_pack_unpack_round_trip(self, values):
+        state, known = pack_state(values)
+        assert unpack_state(state, known, len(values)) == values
+        assert state & ~known == 0
+
+    def test_pack_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            pack_state([0, 2, 1])
+
+    @given(tri_lists())
+    def test_from_scan_chain_round_trip(self, values):
+        packed = PackedScanChain.from_scan_chain(make_reference(values))
+        assert packed.read_state() == values
+        target = make_reference([0] * len(values))
+        packed.write_to(target)
+        assert target.read_state() == values
+
+
+class TestShiftEquivalence:
+    @given(tri_lists(), st.lists(tri_bits, min_size=0, max_size=40))
+    @settings(max_examples=80, deadline=None)
+    def test_shift_matches_reference(self, values, in_bits):
+        reference = make_reference(values)
+        packed = PackedScanChain.from_values(values)
+        for bit in in_bits:
+            assert packed.scan_out == reference.scan_out
+            assert packed.shift(bit) == reference.shift(bit)
+        assert packed.read_state() == reference.read_state()
+
+    @given(tri_lists(), st.lists(st.integers(0, 1), min_size=0, max_size=60))
+    @settings(max_examples=80, deadline=None)
+    def test_shift_many_matches_reference(self, values, in_bits):
+        reference = make_reference(values)
+        packed = PackedScanChain.from_values(values)
+        ref_out = reference.shift_many(in_bits)
+        count = len(in_bits)
+        out, out_known = packed.shift_many(bits_to_int(in_bits), count)
+        # The packed out stream is MSB first in time; unknown reference
+        # bits (None) appear as 0 data with a cleared known bit.
+        for t in range(count):
+            bit = (out >> (count - 1 - t)) & 1
+            known = (out_known >> (count - 1 - t)) & 1
+            assert (bit if known else None) == ref_out[t]
+        assert packed.read_state() == reference.read_state()
+
+    @given(tri_lists())
+    def test_circulate_matches_reference(self, values):
+        reference = make_reference(values)
+        packed = PackedScanChain.from_values(values)
+        observed = reference.circulate()
+        assert packed.circulate_bits() == observed
+        stream, known = packed.circulate()
+        # State unchanged and the packed stream is the state integer.
+        assert (stream, known) == (packed.state, packed.known)
+        assert packed.read_state() == reference.read_state() == values
+
+    def test_shift_many_longer_than_chain(self):
+        values = [1, 0, 1]
+        in_bits = [0, 1, 1, 0, 1, 0, 0, 1]
+        reference = make_reference(values)
+        packed = PackedScanChain.from_values(values)
+        ref_out = reference.shift_many(in_bits)
+        out, _known = packed.shift_many(bits_to_int(in_bits), len(in_bits))
+        assert list(map(int, ref_out)) == [
+            (out >> (len(in_bits) - 1 - t)) & 1 for t in range(len(in_bits))]
+        assert packed.read_state() == reference.read_state()
+
+
+class TestValidation:
+    def test_rejects_empty_chain(self):
+        with pytest.raises(ValueError):
+            PackedScanChain(0)
+
+    def test_rejects_state_outside_known(self):
+        with pytest.raises(ValueError):
+            PackedScanChain(4, state=0b1010, known=0b0010)
+
+    def test_rejects_oversized_state(self):
+        with pytest.raises(ValueError):
+            PackedScanChain(3, state=0b1000)
+
+    def test_load_state_validates_length(self):
+        packed = PackedScanChain(3)
+        with pytest.raises(ValueError):
+            packed.load_state([0, 1])
+
+    def test_shift_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            PackedScanChain(3).shift(2)
+
+
+class TestApplyFlips:
+    def test_flips_known_bits_only(self):
+        packed = PackedScanChain.from_values([1, None, 0, 1])
+        packed.apply_flips(0b1111)
+        assert packed.read_state() == [0, None, 1, 0]

@@ -1,0 +1,193 @@
+"""Bit-exact equivalence of the packed codes against the references."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes.base import CodeError, bits_to_int, int_to_bits
+from repro.codes.crc import CRC_POLYNOMIALS, CRCCode
+from repro.codes.hamming import PAPER_HAMMING_CODES, HammingCode
+from repro.codes.interleave import InterleavedCode
+from repro.codes.packed import (
+    PackedBlockAdapter,
+    PackedCRC,
+    PackedHamming,
+    PackedParity,
+    PackedSECDED,
+    PackedStreamAdapter,
+    packed_block_code,
+    packed_stream_code,
+)
+from repro.codes.parity import ParityCode
+from repro.codes.secded import SECDEDCode
+
+
+class TestPackedCRC:
+    @given(st.sampled_from(sorted(CRC_POLYNOMIALS)),
+           st.lists(st.integers(0, 1), min_size=0, max_size=130))
+    @settings(max_examples=120, deadline=None)
+    def test_signature_matches_reference(self, name, stream):
+        code = CRCCode.from_name(name)
+        packed = PackedCRC(code)
+        expected = code.signature_int(stream)
+        assert packed.signature_int(bits_to_int(stream),
+                                    len(stream)) == expected
+
+    def test_non_byte_aligned_lengths(self):
+        code = CRCCode.from_name("crc16")
+        packed = PackedCRC(code)
+        rng = random.Random(3)
+        for nbits in range(0, 40):
+            stream = [rng.randint(0, 1) for _ in range(nbits)]
+            assert packed.signature_int(bits_to_int(stream), nbits) == \
+                code.signature_int(stream)
+
+    def test_incremental_fold_matches_whole_stream(self):
+        code = CRCCode.from_name("crc32")
+        packed = PackedCRC(code)
+        rng = random.Random(4)
+        stream = [rng.randint(0, 1) for _ in range(77)]
+        register = packed.init
+        for start in (0, 13, 40):
+            end = {0: 13, 13: 40, 40: 77}[start]
+            chunk = stream[start:end]
+            register = packed.fold(register, bits_to_int(chunk), len(chunk))
+        assert register == code.signature_int(stream)
+
+    def test_stream_adapter_fallback(self):
+        code = CRCCode.from_name("crc16-ccitt")
+        adapter = PackedStreamAdapter(code)
+        rng = random.Random(5)
+        stream = [rng.randint(0, 1) for _ in range(50)]
+        assert adapter.signature_int(bits_to_int(stream), len(stream)) == \
+            code.signature_int(stream)
+
+    def test_factory_picks_table_implementation(self):
+        assert isinstance(packed_stream_code(CRCCode.from_name("crc16")),
+                          PackedCRC)
+
+    def test_fold_rejects_oversized_stream(self):
+        packed = PackedCRC(CRCCode.from_name("crc8"))
+        with pytest.raises(CodeError):
+            packed.fold(0, 0b100, 2)
+
+
+class TestPackedHamming:
+    @given(st.sampled_from(PAPER_HAMMING_CODES), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_parity_matches_reference(self, params, data):
+        n, k = params
+        code = HammingCode(n, k)
+        packed = PackedHamming(code)
+        word = data.draw(st.integers(0, (1 << k) - 1))
+        assert packed.parity(word) == bits_to_int(
+            code.parity_bits(int_to_bits(word, k)))
+
+    @given(st.sampled_from(PAPER_HAMMING_CODES), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_decode_matches_reference(self, params, data):
+        n, k = params
+        code = HammingCode(n, k)
+        packed = PackedHamming(code)
+        word = data.draw(st.integers(0, (1 << k) - 1))
+        stored = packed.parity(word)
+        nflips = data.draw(st.integers(0, 3))
+        flip_positions = data.draw(
+            st.lists(st.integers(0, n - 1), min_size=nflips,
+                     max_size=nflips, unique=True))
+        received_data, received_parity = word, stored
+        for pos in flip_positions:
+            if pos < k:
+                received_data ^= 1 << (k - 1 - pos)
+            else:
+                received_parity ^= 1 << (n - 1 - pos)
+        expected = code.check(int_to_bits(received_data, k),
+                              int_to_bits(received_parity, n - k))
+        status, corrected, positions = packed.decode_slice(received_data,
+                                                           received_parity)
+        assert status is expected.status
+        assert corrected == bits_to_int(expected.data)
+        assert positions == expected.corrected_positions
+
+    def test_rejects_secded_subclass(self):
+        with pytest.raises(CodeError):
+            PackedHamming(SECDEDCode(7, 4))
+
+
+class TestPackedSECDED:
+    @pytest.mark.parametrize("params", [(7, 4), (15, 11)])
+    def test_all_zero_one_and_two_bit_errors(self, params):
+        n, k = params
+        code = SECDEDCode(n, k)
+        packed = PackedSECDED(code)
+        rng = random.Random(11)
+        for _ in range(20):
+            word = rng.getrandbits(k)
+            stored = packed.parity(word)
+            assert stored == bits_to_int(
+                code.parity_bits(int_to_bits(word, k)))
+            total = code.n  # extended codeword length
+            error_sets = [()] + [(i,) for i in range(total)] + [
+                tuple(rng.sample(range(total), 2)) for _ in range(6)]
+            for errors in error_sets:
+                received_data, received_parity = word, stored
+                for pos in errors:
+                    if pos < k:
+                        received_data ^= 1 << (k - 1 - pos)
+                    else:
+                        received_parity ^= 1 << (total - 1 - pos)
+                expected = code.check(
+                    int_to_bits(received_data, k),
+                    int_to_bits(received_parity, total - k))
+                status, corrected, positions = packed.decode_slice(
+                    received_data, received_parity)
+                assert status is expected.status
+                assert corrected == bits_to_int(expected.data)
+                assert positions == expected.corrected_positions
+
+
+class TestPackedParityAndAdapters:
+    @given(st.integers(2, 12), st.booleans(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_parity_code(self, k, odd, data):
+        code = ParityCode(k, odd=odd)
+        packed = PackedParity(code)
+        word = data.draw(st.integers(0, (1 << k) - 1))
+        stored = packed.parity(word)
+        assert stored == bits_to_int(code.parity_bits(int_to_bits(word, k)))
+        flip = data.draw(st.integers(0, k - 1))
+        received = word ^ (1 << (k - 1 - flip))
+        expected = code.check(int_to_bits(received, k),
+                              int_to_bits(stored, 1))
+        status, corrected, positions = packed.decode_slice(received, stored)
+        assert status is expected.status
+        assert corrected == bits_to_int(expected.data)
+
+    def test_block_adapter_runs_interleaved_codes(self):
+        inner = HammingCode(7, 4)
+        code = InterleavedCode(inner, depth=2)
+        packed = packed_block_code(code)
+        assert isinstance(packed, PackedBlockAdapter)
+        rng = random.Random(17)
+        for _ in range(20):
+            word = rng.getrandbits(code.k)
+            stored = packed.parity(word)
+            assert stored == bits_to_int(
+                code.parity_bits(int_to_bits(word, code.k)))
+            received = word ^ (1 << rng.randrange(code.k))
+            expected = code.check(int_to_bits(received, code.k),
+                                  int_to_bits(stored, code.r))
+            status, corrected, positions = packed.decode_slice(received,
+                                                               stored)
+            assert status is expected.status
+            assert corrected == bits_to_int(expected.data)
+            assert positions == expected.corrected_positions
+
+    def test_factory_dispatch(self):
+        assert isinstance(packed_block_code(HammingCode(7, 4)),
+                          PackedHamming)
+        assert isinstance(packed_block_code(SECDEDCode(7, 4)),
+                          PackedSECDED)
+        assert isinstance(packed_block_code(ParityCode(8)), PackedParity)

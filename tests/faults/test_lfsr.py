@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.faults.lfsr import DEFAULT_TAPS, GaloisLFSR, LFSR
+from repro.faults.lfsr import (
+    DEFAULT_TAPS,
+    GaloisLFSR,
+    LFSR,
+    galois_mask,
+    is_maximal_length,
+    taps_to_feedback_poly,
+)
 
 
 class TestFibonacciLFSR:
@@ -92,3 +99,95 @@ class TestGaloisLFSR:
         lfsr = GaloisLFSR(8, seed=0x3C)
         assert 0 < lfsr.next_value() < 256
         assert 0 <= lfsr.next_value(bits=4) < 16
+
+    def test_poly_mask_validation(self):
+        with pytest.raises(ValueError):
+            GaloisLFSR(8, poly=0)                 # empty mask
+        with pytest.raises(ValueError):
+            GaloisLFSR(8, poly=1 << 8)            # does not fit the width
+        with pytest.raises(ValueError):
+            GaloisLFSR(8, poly=0b0010_1101)       # missing the x**8 term
+
+
+class TestTapConventions:
+    def test_taps_to_feedback_poly(self):
+        # DEFAULT_TAPS[4] == (4, 3) names x^4 + x^3 + 1.
+        assert taps_to_feedback_poly(4, (4, 3)) == 0b11001
+        assert taps_to_feedback_poly(8, (8, 6, 5, 4)) == 0b1_0111_0001
+
+    def test_galois_mask_is_poly_without_constant(self):
+        for width, taps in DEFAULT_TAPS.items():
+            assert galois_mask(width, taps) == \
+                taps_to_feedback_poly(width, taps) >> 1
+            # The x**width term must always be present.
+            assert (galois_mask(width, taps) >> (width - 1)) & 1
+
+    def test_highest_tap_must_equal_width(self):
+        with pytest.raises(ValueError):
+            taps_to_feedback_poly(8, (7, 3))
+        with pytest.raises(ValueError):
+            taps_to_feedback_poly(8, (9, 3))
+
+
+class TestMaximalLength:
+    """Every DEFAULT_TAPS width reaches the full period in both forms.
+
+    Small widths are brute-forced through every state; the larger ones
+    (notably 24 and 32, whose periods are up to ~4 * 10^9 states) are
+    decided by the GF(2) primitivity check, which the brute-forced
+    widths also validate against.
+    """
+
+    BRUTE_FORCE_LIMIT = 16
+
+    @staticmethod
+    def _period(step, state, width):
+        start = state()
+        count = 0
+        limit = 1 << width
+        while True:
+            step()
+            count += 1
+            if state() == start:
+                return count
+            assert count <= limit, "no cycle found"
+
+    def test_primitivity_check_all_default_widths(self):
+        for width in DEFAULT_TAPS:
+            assert is_maximal_length(width), (
+                f"DEFAULT_TAPS[{width}] is not a maximal-length tap set")
+
+    def test_primitivity_check_rejects_non_primitive(self):
+        # x^4 + x^2 + 1 = (x^2 + x + 1)^2 is not even irreducible.
+        assert not is_maximal_length(4, taps=(4, 2))
+        # x^8 + 1 is not primitive either.
+        assert not is_maximal_length(8, taps=(8,))
+
+    def test_full_period_both_forms_brute_force(self):
+        for width, taps in DEFAULT_TAPS.items():
+            if width > self.BRUTE_FORCE_LIMIT:
+                continue
+            full = (1 << width) - 1
+            fib = LFSR(width, taps=taps, seed=1)
+            assert self._period(fib.step, lambda: fib.state, width) == full
+            gal = GaloisLFSR(width, seed=1)
+            assert self._period(gal.step, lambda: gal.state, width) == full
+
+    def test_galois_stream_is_phase_shift_of_fibonacci(self):
+        """The two orientations realise the same cyclic sequence.
+
+        A wrong tap->mask orientation would generate the time-reversed
+        sequence instead (the reciprocal polynomial's), which for a
+        maximal-length LFSR is *not* a rotation of the original unless
+        the tap set is symmetric -- this is the regression test for
+        the orientation audit.
+        """
+        for width in (3, 5, 8, 10, 12):
+            full = (1 << width) - 1
+            fib = LFSR(width, seed=1)
+            fib_stream = "".join(str(fib.step()) for _ in range(full))
+            gal = GaloisLFSR(width, seed=1)
+            gal_stream = "".join(str(gal.step()) for _ in range(full))
+            assert gal_stream in (fib_stream + fib_stream), (
+                f"width {width}: Galois output is not a rotation of the "
+                f"Fibonacci output")

@@ -1,0 +1,78 @@
+"""Engine selection on the campaign drivers (packed vs reference)."""
+
+from repro.analysis.correction_capability import correction_capability_curve
+from repro.circuit.fifo import SyncFIFO
+from repro.codes.hamming import HammingCode
+from repro.core.protected import ProtectedDesign
+from repro.validation.campaign import (
+    run_multiple_error_campaign,
+    run_single_error_campaign,
+)
+from repro.validation.testbench import FIFOTestbench
+
+
+def _testbench(engine="reference"):
+    fifo = SyncFIFO(4, 4, name="fifo4x4")
+    design = ProtectedDesign(fifo, codes=["hamming(7,4)", "crc16"],
+                             num_chains=4, engine=engine)
+    return FIFOTestbench(design, words_per_sequence=2, seed=77)
+
+
+class TestValidationCampaignEngine:
+    def test_engine_override_is_scoped_to_the_run(self):
+        testbench = _testbench("reference")
+        run_single_error_campaign(testbench, num_sequences=2, engine="packed")
+        # The override applies while the campaign runs, then the
+        # design's own engine setting is restored.
+        assert testbench.dut_design.engine == "reference"
+
+    def test_engine_override_validated_eagerly(self):
+        from repro.validation.campaign import ValidationCampaign
+        testbench = _testbench("reference")
+        try:
+            ValidationCampaign(testbench, lambda rng: None, engine="fpga")
+        except ValueError as err:
+            assert "fpga" in str(err)
+        else:  # pragma: no cover
+            raise AssertionError("expected ValueError")
+
+    def test_campaign_statistics_match_across_engines(self):
+        results = {}
+        for engine in ("reference", "packed"):
+            testbench = _testbench()
+            single = run_single_error_campaign(
+                testbench, num_sequences=6, seed=123, engine=engine)
+            multi = run_multiple_error_campaign(
+                testbench, num_sequences=6, burst_size=3, seed=321,
+                engine=engine)
+            results[engine] = (
+                single.stats.num_sequences, single.stats.detected_sequences,
+                single.stats.corrected_sequences,
+                single.errors_reported_by_dut,
+                single.mismatches_reported_by_comparator,
+                multi.stats.detected_sequences,
+                multi.stats.corrected_sequences,
+                multi.stats.silent_corruptions,
+                multi.mismatches_reported_by_comparator)
+        assert results["packed"] == results["reference"]
+
+
+class TestAnalysisCampaignEngine:
+    def test_fig10_trials_identical_across_engines(self):
+        code = HammingCode(7, 4)
+        reference = correction_capability_curve(
+            code, error_counts=(1, 3, 5), num_bits=200, sequences=150,
+            seed=9, engine="reference")
+        packed = correction_capability_curve(
+            code, error_counts=(1, 3, 5), num_bits=200, sequences=150,
+            seed=9, engine="packed")
+        assert packed == reference
+
+    def test_unknown_engine_rejected(self):
+        code = HammingCode(7, 4)
+        try:
+            correction_capability_curve(code, sequences=1, engine="fpga")
+        except ValueError as err:
+            assert "fpga" in str(err)
+        else:  # pragma: no cover
+            raise AssertionError("expected ValueError")
