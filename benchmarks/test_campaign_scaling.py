@@ -1,0 +1,106 @@
+"""Benchmark E9: sharded campaign throughput and scaling.
+
+The paper's validation campaigns run 10^8 test sequences on the FPGA;
+the sharded runner of :mod:`repro.campaigns` is the software path
+toward that scale.  This benchmark runs the paper's single-error
+campaign (32x32 FIFO, 80 chains, Hamming(7,4) + CRC-16, packed engine)
+through the runner at several worker counts, prints the throughput
+table, and checks the two properties the subsystem guarantees:
+
+* the merged statistics are bit-identical for every worker count;
+* the result is a flat counter object -- resident statistics memory is
+  O(1) in the sequence count, so only wall-clock time stands between a
+  CI-sized run and the paper's 10^8 (set ``REPRO_BENCH_SEQUENCES`` to
+  scale up, e.g. to the 10^6 acceptance campaign).
+"""
+
+import json
+import time
+
+import pytest
+
+from benchmarks.conftest import bench_sequences, print_section
+from repro.analysis import paper_data
+from repro.analysis.tables import format_validation_summary
+from repro.analysis.tradeoff import section4_validation_rows
+from repro.campaigns.runner import ShardedCampaignRunner
+from repro.campaigns.stats import StreamingCampaignResult
+from repro.campaigns.tasks import FIFOValidationCampaignTask
+
+WORKER_SWEEP = (1, 2, 4)
+
+
+def _paper_task():
+    return FIFOValidationCampaignTask(
+        width=32, depth=32, codes=("hamming(7,4)", "crc16"), num_chains=80,
+        pattern="single", engine="packed", words_per_sequence=16)
+
+
+@pytest.mark.benchmark(group="campaign-scaling")
+def test_sharded_campaign_scaling(benchmark):
+    sequences = bench_sequences(48)
+    chunk_size = max(1, sequences // 16)
+    task = _paper_task()
+
+    timings = {}
+    results = {}
+    for workers in WORKER_SWEEP:
+        start = time.perf_counter()
+        results[workers] = ShardedCampaignRunner(
+            task, sequences, seed=20100308, chunk_size=chunk_size,
+            num_workers=workers).run()
+        timings[workers] = time.perf_counter() - start
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    # Determinism: bit-identical statistics at every worker count.
+    assert results[2] == results[1]
+    assert results[4] == results[1]
+
+    # The paper's single-error headline holds at scale.
+    stats = results[1].stats
+    assert stats.num_sequences == sequences
+    assert stats.detection_rate() == 1.0
+    assert stats.correction_rate() == 1.0
+    assert results[1].mismatches_reported_by_comparator == 0
+
+    # O(1) statistics memory: the result is a flat counter object whose
+    # serialized size is independent of the campaign length.
+    assert isinstance(results[1], StreamingCampaignResult)
+    assert not hasattr(results[1], "sequences")
+    small = ShardedCampaignRunner(task, max(1, sequences // 4),
+                                  seed=20100308,
+                                  chunk_size=chunk_size).run()
+    assert len(json.dumps(results[1].to_dict())) == pytest.approx(
+        len(json.dumps(small.to_dict())), rel=0.1)
+
+    base = timings[1]
+    lines = ["workers  seq/s      speedup"]
+    for workers in WORKER_SWEEP:
+        rate = sequences / timings[workers]
+        lines.append(f"{workers:>7}  {rate:>9.1f}  {base / timings[workers]:>6.2f}x")
+    print_section(
+        f"Campaign scaling -- sharded single-error campaign "
+        f"({sequences} sequences, chunk={chunk_size}, packed engine)",
+        "\n".join(lines))
+
+
+@pytest.mark.benchmark(group="campaign-scaling")
+def test_section4_summary_via_sharded_runner(benchmark):
+    sequences = bench_sequences(24)
+    rows = benchmark.pedantic(
+        lambda: section4_validation_rows(num_sequences=sequences,
+                                         num_workers=2),
+        rounds=1, iterations=1)
+
+    single = rows["single_error"].stats
+    multiple = rows["multiple_error"].stats
+    assert single.detection_rate() == 1.0
+    assert single.correction_rate() == 1.0
+    assert multiple.detection_rate() == 1.0
+    assert multiple.correction_rate() < 0.5
+    assert multiple.silent_corruptions == 0
+
+    print_section(
+        f"Section IV campaign headlines ({sequences} sequences each, "
+        f"2 workers)",
+        format_validation_summary(rows, paper_data.VALIDATION_SUMMARY))

@@ -12,7 +12,13 @@ an event counter -- and runs the two campaigns the paper reports:
 
 Run with::
 
-    python examples/fault_injection_campaign.py [num_sequences]
+    python examples/fault_injection_campaign.py [num_sequences] [num_workers]
+
+With ``num_workers > 1`` the campaigns run through the sharded
+streaming runner of :mod:`repro.campaigns` (the path toward the
+paper's 10^8-sequence scale): multiprocessing workers, O(1)-memory
+counter statistics, and results that are bit-identical for any worker
+count.
 """
 
 import sys
@@ -23,13 +29,48 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro import ProtectedDesign, SyncFIFO
 from repro.validation.campaign import (
     run_multiple_error_campaign,
+    run_sharded_multiple_error_campaign,
+    run_sharded_single_error_campaign,
     run_single_error_campaign,
 )
 from repro.validation.testbench import FIFOTestbench
 
 
+def main_sharded(num_sequences: int, num_workers: int) -> None:
+    """The same two campaigns, fanned out over worker processes."""
+    print(f"running {num_sequences} sequences per campaign over "
+          f"{num_workers} workers (packed engine, streaming stats)\n")
+
+    def progress(event):
+        print(f"  ... {event.sequences_completed}/{event.total_sequences} "
+              f"sequences", flush=True)
+
+    print("=" * 60)
+    print("experiment 1: single error per test sequence (sharded)")
+    print("=" * 60)
+    single = run_sharded_single_error_campaign(
+        num_sequences, width=32, depth=32, num_chains=80,
+        words_per_sequence=16, engine="packed", num_workers=num_workers,
+        progress_callback=progress)
+    print(single.summary())
+
+    print()
+    print("=" * 60)
+    print("experiment 2: clustered multi-bit errors (sharded)")
+    print("=" * 60)
+    multiple = run_sharded_multiple_error_campaign(
+        num_sequences, burst_size=4, clustered=True, width=32, depth=32,
+        num_chains=80, words_per_sequence=16, engine="packed",
+        num_workers=num_workers, progress_callback=progress)
+    print(multiple.summary())
+
+
 def main() -> None:
     num_sequences = int(sys.argv[1]) if len(sys.argv) > 1 else 50
+    num_workers = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+    if num_workers > 1:
+        main_sharded(num_sequences, num_workers)
+        return
 
     # FIFO_A: the paper's 32x32 FIFO in the 80-chain configuration,
     # with Hamming(7,4) correction and CRC-16 verification.

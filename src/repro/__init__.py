@@ -53,6 +53,13 @@ contribution:
     passes.  Opt in per design with
     ``ProtectedDesign(..., engine="packed")`` (or ``set_engine``); the
     default remains the bit-serial reference.
+
+``repro.campaigns``
+    Campaign orchestration toward the paper's 10^8-sequence scale:
+    streaming O(1)-memory mergeable statistics, hash-based
+    seed-splitting, and a sharded multiprocessing runner with
+    checkpoint/resume whose results are bit-identical for any worker
+    count.
 """
 
 from repro.core.protected import ProtectedDesign

@@ -18,10 +18,12 @@ from repro.analysis.tradeoff import (
     table2_hamming74,
     table3_hamming_family,
     fig9_series,
+    section4_validation_rows,
     HammingFamilyRow,
 )
 from repro.analysis.correction_capability import (
     CorrectionCapabilityResult,
+    CorrectionCapabilityTask,
     correction_capability_curve,
     analytic_correction_probability,
     fig10_curves,
@@ -38,6 +40,7 @@ from repro.analysis.tables import (
     format_measured_vs_paper,
     format_family_table,
     format_fig10_table,
+    format_validation_summary,
 )
 
 __all__ = [
@@ -51,8 +54,10 @@ __all__ = [
     "table2_hamming74",
     "table3_hamming_family",
     "fig9_series",
+    "section4_validation_rows",
     "HammingFamilyRow",
     "CorrectionCapabilityResult",
+    "CorrectionCapabilityTask",
     "correction_capability_curve",
     "analytic_correction_probability",
     "fig10_curves",
@@ -60,4 +65,5 @@ __all__ = [
     "format_measured_vs_paper",
     "format_family_table",
     "format_fig10_table",
+    "format_validation_summary",
 ]

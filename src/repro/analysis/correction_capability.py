@@ -20,9 +20,11 @@ they agree.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.campaigns.runner import CampaignTask, ShardedCampaignRunner
+from repro.campaigns.seeding import child_seed
 from repro.codes.hamming import PAPER_HAMMING_CODES, HammingCode
 
 
@@ -130,13 +132,74 @@ SEQUENCE_ENGINES = {
 }
 
 
+@dataclass
+class CorrectionCounters:
+    """Mergeable counters of one correction-capability shard."""
+
+    sequences: int = 0
+    corrected_bits: int = 0
+    fully_corrected: int = 0
+
+    def merge(self, other: "CorrectionCounters") -> "CorrectionCounters":
+        """Add another shard's counters into this one (in place)."""
+        self.sequences += other.sequences
+        self.corrected_bits += other.corrected_bits
+        self.fully_corrected += other.fully_corrected
+        return self
+
+    def to_dict(self) -> Dict[str, int]:
+        """Plain-dict form (JSON-safe) for checkpoints."""
+        return {"sequences": self.sequences,
+                "corrected_bits": self.corrected_bits,
+                "fully_corrected": self.fully_corrected}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, int]) -> "CorrectionCounters":
+        """Rebuild the counters from :meth:`to_dict` output."""
+        return cls(sequences=int(payload["sequences"]),
+                   corrected_bits=int(payload["corrected_bits"]),
+                   fully_corrected=int(payload["fully_corrected"]))
+
+
+@dataclass(frozen=True)
+class CorrectionCapabilityTask(CampaignTask):
+    """One chunk of the Fig. 10 Monte-Carlo study, for the sharded
+    runner of :mod:`repro.campaigns`."""
+
+    code_n: int
+    code_k: int
+    num_bits: int
+    num_errors: int
+    engine: str = "reference"
+
+    def empty_result(self) -> CorrectionCounters:
+        return CorrectionCounters()
+
+    def run_chunk(self, chunk_seed: int,
+                  num_sequences: int) -> CorrectionCounters:
+        simulate = SEQUENCE_ENGINES[self.engine]
+        code = HammingCode(self.code_n, self.code_k)
+        rng = random.Random(chunk_seed)
+        counters = CorrectionCounters()
+        for _ in range(num_sequences):
+            corrected, full = simulate(code, self.num_bits,
+                                       self.num_errors, rng)
+            counters.sequences += 1
+            counters.corrected_bits += corrected
+            counters.fully_corrected += 1 if full else 0
+        return counters
+
+
 def correction_capability_curve(code: HammingCode,
                                 error_counts: Sequence[int] = tuple(
                                     range(1, 11)),
                                 num_bits: int = 1000,
                                 sequences: int = 2000,
-                                seed: Optional[int] = 1234,
-                                engine: str = "reference"
+                                seed: Optional[Union[int, str]] = 1234,
+                                engine: str = "reference",
+                                num_workers: int = 1,
+                                chunk_size: Optional[int] = None,
+                                progress_callback=None
                                 ) -> List[CorrectionCapabilityResult]:
     """Monte-Carlo correction-capability curve for one code.
 
@@ -146,6 +209,12 @@ def correction_capability_curve(code: HammingCode,
     benchmark harness can raise it).  ``engine="packed"`` selects the
     bitmask trial simulator, which draws the same random positions and
     therefore returns identical statistics, just faster.
+
+    The trials run through the sharded runner of
+    :mod:`repro.campaigns`: each error count gets its own seed-split
+    campaign, so ``num_workers`` processes produce statistics that are
+    bit-identical to the single-process result for any worker count
+    (given the same ``chunk_size``).
     """
     if num_bits < max(error_counts):
         raise ValueError("cannot inject more errors than there are bits")
@@ -153,45 +222,64 @@ def correction_capability_curve(code: HammingCode,
         raise ValueError(
             f"unknown engine {engine!r}; choose from "
             f"{tuple(SEQUENCE_ENGINES)}")
-    simulate = SEQUENCE_ENGINES[engine]
-    rng = random.Random(seed)
     results: List[CorrectionCapabilityResult] = []
     for num_errors in error_counts:
-        corrected_total = 0
-        fully_corrected = 0
-        for _ in range(sequences):
-            corrected, full = simulate(code, num_bits, num_errors, rng)
-            corrected_total += corrected
-            fully_corrected += 1 if full else 0
+        task = CorrectionCapabilityTask(
+            code_n=code.n, code_k=code.k, num_bits=num_bits,
+            num_errors=num_errors, engine=engine)
+        runner = ShardedCampaignRunner(
+            task, sequences,
+            seed=None if seed is None else child_seed(seed, "errors",
+                                                      num_errors),
+            num_workers=num_workers, chunk_size=chunk_size,
+            progress_callback=progress_callback)
+        counters = runner.run()
         results.append(CorrectionCapabilityResult(
             code_n=code.n, code_k=code.k,
             num_errors=num_errors,
-            sequences=sequences,
-            corrected_fraction=corrected_total / (sequences * num_errors),
-            sequences_fully_corrected=fully_corrected))
+            sequences=counters.sequences,
+            corrected_fraction=(
+                counters.corrected_bits / (counters.sequences * num_errors)
+                if num_errors > 0 else 1.0),
+            sequences_fully_corrected=counters.fully_corrected))
     return results
 
 
 def fig10_curves(error_counts: Sequence[int] = tuple(range(1, 11)),
                  num_bits: int = 1000,
                  sequences: int = 2000,
-                 seed: Optional[int] = 1234,
+                 seed: Optional[Union[int, str]] = 1234,
                  family: Sequence[Tuple[int, int]] = PAPER_HAMMING_CODES,
-                 engine: str = "reference"
+                 engine: str = "reference",
+                 num_workers: int = 1,
+                 chunk_size: Optional[int] = None
                  ) -> Dict[Tuple[int, int], List[CorrectionCapabilityResult]]:
-    """Regenerate all four curves of the paper's Fig. 10."""
+    """Regenerate all four curves of the paper's Fig. 10.
+
+    Each curve derives its root seed with hash-based seed-splitting
+    (``child_seed(seed, "fig10", n, k)``) instead of the historical
+    ``seed + offset`` scheme, under which the same integer seed could
+    serve two different (code, error count) campaigns -- e.g. curve 0
+    with user seed ``s + 1`` and curve 1 with user seed ``s`` --
+    silently correlating samples that the statistics assume are
+    independent.
+    """
     curves: Dict[Tuple[int, int], List[CorrectionCapabilityResult]] = {}
-    for offset, (n, k) in enumerate(family):
+    for n, k in family:
         code = HammingCode(n, k)
-        curve_seed = None if seed is None else seed + offset
+        curve_seed = (None if seed is None
+                      else child_seed(seed, "fig10", n, k))
         curves[(n, k)] = correction_capability_curve(
             code, error_counts=error_counts, num_bits=num_bits,
-            sequences=sequences, seed=curve_seed, engine=engine)
+            sequences=sequences, seed=curve_seed, engine=engine,
+            num_workers=num_workers, chunk_size=chunk_size)
     return curves
 
 
 __all__ = [
     "CorrectionCapabilityResult",
+    "CorrectionCapabilityTask",
+    "CorrectionCounters",
     "SEQUENCE_ENGINES",
     "analytic_correction_probability",
     "correction_capability_curve",

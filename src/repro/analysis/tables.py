@@ -10,6 +10,7 @@ from typing import Dict, List, Mapping, Sequence, Tuple
 
 from repro.analysis.correction_capability import CorrectionCapabilityResult
 from repro.analysis.tradeoff import HammingFamilyRow
+from repro.campaigns.stats import StreamingCampaignResult
 from repro.core.protected import CostReport
 
 
@@ -104,8 +105,41 @@ def format_fig10_table(curves: Mapping[Tuple[int, int],
     return _format_table(headers, rows, title)
 
 
+def format_validation_summary(measured: Mapping[str,
+                                                StreamingCampaignResult],
+                              published: Mapping[str, Mapping[str, float]],
+                              title: str = "") -> str:
+    """Render the Section IV campaign headlines, measured vs paper.
+
+    ``measured`` maps campaign names (``"single_error"``,
+    ``"multiple_error"``) to streaming results, as produced by
+    :func:`repro.analysis.tradeoff.section4_validation_rows`;
+    ``published`` is
+    :data:`repro.analysis.paper_data.VALIDATION_SUMMARY`.
+    """
+    headers = ["campaign", "source", "sequences", "det %", "corr %",
+               "silent", "mismatch"]
+    rows: List[List[str]] = []
+    for name, result in measured.items():
+        rows.append([
+            name, "measured", str(result.stats.num_sequences),
+            f"{result.stats.detection_rate() * 100:.2f}",
+            f"{result.stats.correction_rate() * 100:.2f}",
+            str(result.stats.silent_corruptions),
+            str(result.mismatches_reported_by_comparator)])
+        paper_row = published.get(name)
+        if paper_row is not None:
+            rows.append([
+                name, "paper", "1e8",
+                f"{paper_row['detection_rate'] * 100:.2f}",
+                f"{paper_row['correction_rate'] * 100:.2f}",
+                "0", "-"])
+    return _format_table(headers, rows, title)
+
+
 __all__ = [
     "format_measured_vs_paper",
     "format_family_table",
     "format_fig10_table",
+    "format_validation_summary",
 ]

@@ -10,11 +10,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.campaigns.seeding import child_seed
+from repro.campaigns.stats import StreamingCampaignResult
 from repro.circuit.base import SequentialCircuit
 from repro.circuit.fifo import SyncFIFO
 from repro.codes.hamming import PAPER_HAMMING_CODES, HammingCode
 from repro.core.protected import CostReport, ProtectedDesign
 from repro.tech.library import StandardCellLibrary
+from repro.validation.campaign import (
+    run_sharded_multiple_error_campaign,
+    run_sharded_single_error_campaign,
+)
 
 #: The scan-chain counts swept in Tables I and II.
 PAPER_CHAIN_SWEEP: Tuple[int, ...] = (4, 8, 16, 40, 80)
@@ -167,6 +173,36 @@ def fig9_series(chain_counts: Sequence[int] = PAPER_CHAIN_SWEEP,
     return series
 
 
+def section4_validation_rows(num_sequences: int = 100,
+                             burst_size: int = 4,
+                             width: int = 32, depth: int = 32,
+                             num_chains: int = 80,
+                             seed: Optional[int] = 20100308,
+                             engine: Optional[str] = "packed",
+                             num_workers: int = 1,
+                             chunk_size: Optional[int] = None
+                             ) -> Dict[str, StreamingCampaignResult]:
+    """Regenerate the Section IV campaign headlines, sharded.
+
+    Runs the paper's two FPGA validation campaigns (single error per
+    sequence, clustered multi-bit burst per sequence) through the
+    :mod:`repro.campaigns` runner on the paper's 32x32 FIFO / 80-chain
+    configuration and returns their streaming statistics, keyed
+    ``"single_error"`` / ``"multiple_error"`` to match
+    :data:`repro.analysis.paper_data.VALIDATION_SUMMARY`.
+    """
+    single = run_sharded_single_error_campaign(
+        num_sequences, width=width, depth=depth, num_chains=num_chains,
+        seed=None if seed is None else child_seed(seed, "single"),
+        engine=engine, num_workers=num_workers, chunk_size=chunk_size)
+    multiple = run_sharded_multiple_error_campaign(
+        num_sequences, burst_size=burst_size, clustered=True,
+        width=width, depth=depth, num_chains=num_chains,
+        seed=None if seed is None else child_seed(seed, "multiple"),
+        engine=engine, num_workers=num_workers, chunk_size=chunk_size)
+    return {"single_error": single, "multiple_error": multiple}
+
+
 __all__ = [
     "PAPER_CHAIN_SWEEP",
     "PAPER_FAMILY_CHAINS",
@@ -176,4 +212,5 @@ __all__ = [
     "table3_hamming_family",
     "HammingFamilyRow",
     "fig9_series",
+    "section4_validation_rows",
 ]

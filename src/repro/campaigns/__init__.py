@@ -1,0 +1,52 @@
+"""Campaign orchestration: streaming statistics and sharded execution.
+
+The paper validates the methodology with 10^8-sequence FPGA campaigns;
+this package is the software path toward that scale:
+
+* :mod:`repro.campaigns.stats` -- counter-based, O(1)-memory,
+  mergeable campaign statistics (the streaming replacement for the
+  historical record-list bookkeeping);
+* :mod:`repro.campaigns.seeding` -- SeedSequence-style deterministic
+  seed-splitting (hash-derived child seeds, immune to the ``seed +
+  offset`` aliasing class of bugs);
+* :mod:`repro.campaigns.runner` -- the sharded, chunked campaign
+  runner: ``multiprocessing`` fan-out with worker-count-independent
+  results, JSON checkpoint/resume and progress callbacks;
+* :mod:`repro.campaigns.tasks` -- picklable task descriptions (the
+  Fig. 8 FIFO validation campaign; the Fig. 10 correction-capability
+  task lives with its driver in
+  :mod:`repro.analysis.correction_capability`).
+
+The legacy entry points (`repro.validation.campaign`,
+`repro.analysis.correction_capability`) remain available as thin
+wrappers over this subsystem.
+"""
+
+from repro.campaigns.stats import (
+    InjectionRecord,
+    StreamingCampaignStats,
+    StreamingCampaignResult,
+    injection_record_from_sequence,
+)
+from repro.campaigns.seeding import child_seed, spawn_seeds
+from repro.campaigns.runner import (
+    CampaignProgress,
+    CampaignTask,
+    ShardedCampaignRunner,
+    default_chunk_size,
+)
+from repro.campaigns.tasks import FIFOValidationCampaignTask
+
+__all__ = [
+    "InjectionRecord",
+    "StreamingCampaignStats",
+    "StreamingCampaignResult",
+    "injection_record_from_sequence",
+    "child_seed",
+    "spawn_seeds",
+    "CampaignProgress",
+    "CampaignTask",
+    "ShardedCampaignRunner",
+    "default_chunk_size",
+    "FIFOValidationCampaignTask",
+]

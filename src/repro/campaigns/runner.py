@@ -1,0 +1,340 @@
+"""Sharded, chunked campaign execution with checkpoint/resume.
+
+The paper's validation campaigns run 10^8 test sequences; the sharded
+runner brings the software reproduction toward that scale by splitting
+a campaign into fixed-size **chunks** and fanning the chunks out over
+``multiprocessing`` workers:
+
+* the chunk plan (boundaries and per-chunk seeds, derived with
+  :func:`repro.campaigns.seeding.spawn_seeds`) depends only on the
+  campaign's total size, chunk size and root seed -- never on the
+  worker count -- and the streamed statistics merge by integer
+  addition, so the final result is **bit-identical for any number of
+  workers**;
+* each completed chunk's statistics are appended to an optional JSON
+  **checkpoint** (written atomically), so an interrupted campaign
+  resumes from the last completed chunk instead of restarting;
+* a **progress callback** fires in the parent process after every
+  chunk, carrying completed/total sequence counts;
+* the per-chunk results are O(1)-size counter objects
+  (:mod:`repro.campaigns.stats`), so resident memory stays flat no
+  matter how many sequences the campaign runs.
+
+Work is described by a :class:`CampaignTask`: a small picklable object
+that knows how to run one chunk from one chunk seed.  Tasks build
+their (unpicklable) simulation state -- test benches, protected
+designs -- inside ``run_chunk``, in the worker process.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import multiprocessing
+import os
+import random
+import sys
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.campaigns.seeding import child_seed, spawn_seeds
+
+#: JSON checkpoint schema version.
+CHECKPOINT_FORMAT = 1
+
+
+class CampaignTask:
+    """Picklable description of a campaign's unit of work.
+
+    Subclasses implement :meth:`run_chunk` and :meth:`empty_result`;
+    results must be mergeable counter objects exposing ``merge``,
+    ``to_dict`` and a ``from_dict`` classmethod (see
+    :mod:`repro.campaigns.stats`).  Keep task fields down to plain
+    primitives so the task pickles cheaply to worker processes; any
+    heavyweight simulation state belongs inside :meth:`run_chunk`.
+    """
+
+    def run_chunk(self, chunk_seed: int, num_sequences: int) -> Any:
+        """Run ``num_sequences`` sequences seeded from ``chunk_seed``."""
+        raise NotImplementedError
+
+    def empty_result(self) -> Any:
+        """A zero-valued result object (the merge identity)."""
+        raise NotImplementedError
+
+    def result_from_dict(self, payload: Dict[str, Any]) -> Any:
+        """Rebuild one chunk result from its checkpointed dict form."""
+        return type(self.empty_result()).from_dict(payload)
+
+    def fingerprint(self) -> str:
+        """Identity string stored in checkpoints.
+
+        A resumed run refuses a checkpoint whose fingerprint differs,
+        so statistics from one campaign configuration are never merged
+        into another.  Dataclass tasks get a faithful default from
+        ``repr``.
+        """
+        return repr(self)
+
+
+@dataclass(frozen=True)
+class CampaignProgress:
+    """Progress snapshot passed to the runner's callback."""
+
+    chunk_index: int
+    chunks_completed: int
+    num_chunks: int
+    sequences_completed: int
+    total_sequences: int
+    from_checkpoint: bool = False
+
+    @property
+    def fraction(self) -> float:
+        """Completed fraction of the campaign, in [0, 1]."""
+        return self.sequences_completed / self.total_sequences
+
+
+ProgressCallback = Callable[[CampaignProgress], None]
+
+
+def default_chunk_size(total_sequences: int) -> int:
+    """Default chunk size: ~64 chunks per campaign.
+
+    Depends only on the total sequence count (worker-count independent,
+    as required for determinism) and keeps enough chunks in flight to
+    load-balance a typical worker pool while amortising per-chunk
+    test-bench construction.
+    """
+    return max(1, math.ceil(total_sequences / 64))
+
+
+def _run_chunk_job(job: Tuple[CampaignTask, int, int, int]
+                   ) -> Tuple[int, int, Any]:
+    """Worker-side entry point: run one chunk, return its result."""
+    task, index, chunk_seed, count = job
+    return index, count, task.run_chunk(chunk_seed, count)
+
+
+def _init_worker(parent_sys_path: List[str]) -> None:
+    """Make spawned workers see the parent's import path.
+
+    With the ``spawn`` start method a fresh interpreter imports this
+    module from scratch; when the parent runs from a source checkout
+    (``sys.path`` patched by conftest rather than PYTHONPATH), the
+    child needs the same entries to unpickle the task.
+    """
+    for entry in reversed(parent_sys_path):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+
+
+class ShardedCampaignRunner:
+    """Fan a campaign out over processes, deterministically.
+
+    Parameters
+    ----------
+    task:
+        The :class:`CampaignTask` describing one chunk's work.
+    total_sequences:
+        Campaign size in test sequences.
+    seed:
+        Campaign root seed (int or str).  Chunk seeds are spawned from
+        it via :mod:`repro.campaigns.seeding`; equal ``(seed,
+        total_sequences, chunk_size)`` triples give bit-identical
+        results for **any** ``num_workers``.  ``None`` draws a random
+        root (recorded in the checkpoint so a resume stays coherent).
+    num_workers:
+        Process count; ``1`` runs inline (no multiprocessing), which is
+        also the fallback when only one chunk is pending.
+    chunk_size:
+        Sequences per chunk; defaults to :func:`default_chunk_size`.
+        This is the determinism granularity *and* the checkpoint
+        granularity -- do not change it between a run and its resume.
+    checkpoint_path:
+        Optional JSON file; every completed chunk's counters are
+        appended (atomic replace).  An existing file is validated
+        against the campaign parameters and its chunks are not re-run.
+    progress_callback:
+        Called in the parent after each chunk with a
+        :class:`CampaignProgress`.
+    start_method:
+        ``multiprocessing`` start method; default prefers ``fork``
+        (cheap, inherits ``sys.path``) and falls back to ``spawn``.
+    """
+
+    def __init__(self, task: CampaignTask, total_sequences: int,
+                 seed: Optional[Union[int, str]] = None,
+                 num_workers: int = 1,
+                 chunk_size: Optional[int] = None,
+                 checkpoint_path: Optional[str] = None,
+                 progress_callback: Optional[ProgressCallback] = None,
+                 start_method: Optional[str] = None):
+        if total_sequences <= 0:
+            raise ValueError("the campaign needs at least one sequence")
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.task = task
+        self.total_sequences = total_sequences
+        self.num_workers = num_workers
+        self.chunk_size = (chunk_size if chunk_size is not None
+                           else default_chunk_size(total_sequences))
+        self.checkpoint_path = checkpoint_path
+        self.progress_callback = progress_callback
+        self._start_method = start_method
+        self._seed = seed
+        self._root = self._resolve_root(seed)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _resolve_root(seed: Optional[Union[int, str]]) -> Union[int, str]:
+        if seed is None:
+            return random.SystemRandom().getrandbits(64)
+        return seed
+
+    @property
+    def root_seed(self) -> Union[int, str]:
+        """The effective campaign root seed (drawn when ``seed=None``)."""
+        return self._root
+
+    @property
+    def num_chunks(self) -> int:
+        """Number of chunks in the campaign plan."""
+        return math.ceil(self.total_sequences / self.chunk_size)
+
+    def plan_chunks(self) -> List[Tuple[int, int, int]]:
+        """The deterministic chunk plan: ``(index, chunk_seed, count)``.
+
+        Only the final chunk may be short.  The plan is a pure function
+        of ``(root_seed, total_sequences, chunk_size)``.
+        """
+        seeds = spawn_seeds(self._root, self.num_chunks, "chunk")
+        plan = []
+        remaining = self.total_sequences
+        for index, seed in enumerate(seeds):
+            count = min(self.chunk_size, remaining)
+            plan.append((index, seed, count))
+            remaining -= count
+        return plan
+
+    # -- checkpointing --------------------------------------------------
+    def _checkpoint_header(self) -> Dict[str, Any]:
+        return {
+            "format": CHECKPOINT_FORMAT,
+            "total_sequences": self.total_sequences,
+            "chunk_size": self.chunk_size,
+            "root_seed": self._root,
+            "task": self.task.fingerprint(),
+        }
+
+    def _load_checkpoint(self) -> Dict[int, Any]:
+        """Return previously completed chunk results, keyed by index."""
+        path = self.checkpoint_path
+        if path is None or not os.path.exists(path):
+            return {}
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        header = self._checkpoint_header()
+        if self._seed is None:
+            # Adopt the recorded root so the resumed plan matches.
+            self._root = payload.get("root_seed", self._root)
+            header = self._checkpoint_header()
+        mismatched = [key for key, value in header.items()
+                      if payload.get(key) != value]
+        if mismatched:
+            raise ValueError(
+                f"checkpoint {path!r} does not match this campaign "
+                f"(stale fields: {', '.join(sorted(mismatched))}); "
+                f"delete the file to start over")
+        return {int(index): self.task.result_from_dict(result)
+                for index, result in payload.get("completed", {}).items()}
+
+    def _save_checkpoint(self, completed: Dict[int, Any]) -> None:
+        path = self.checkpoint_path
+        if path is None:
+            return
+        payload = self._checkpoint_header()
+        payload["completed"] = {str(index): result.to_dict()
+                                for index, result in completed.items()}
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_path, path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+
+    # -- execution ------------------------------------------------------
+    def _emit_progress(self, chunk_index: int, completed: Dict[int, Any],
+                       counts: Dict[int, int],
+                       from_checkpoint: bool = False) -> None:
+        if self.progress_callback is None:
+            return
+        self.progress_callback(CampaignProgress(
+            chunk_index=chunk_index,
+            chunks_completed=len(completed),
+            num_chunks=self.num_chunks,
+            sequences_completed=sum(counts[i] for i in completed),
+            total_sequences=self.total_sequences,
+            from_checkpoint=from_checkpoint))
+
+    def _pool_context(self):
+        method = self._start_method
+        if method is None:
+            available = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in available else "spawn"
+        return multiprocessing.get_context(method)
+
+    def run(self) -> Any:
+        """Execute the campaign and return the merged statistics."""
+        completed = self._load_checkpoint()
+        plan = self.plan_chunks()
+        counts = {index: count for index, _, count in plan}
+        unknown = set(completed) - set(counts)
+        if unknown:
+            raise ValueError(
+                f"checkpoint contains chunks outside the campaign plan: "
+                f"{sorted(unknown)}")
+        if completed:
+            self._emit_progress(max(completed), completed, counts,
+                                from_checkpoint=True)
+        pending = [chunk for chunk in plan if chunk[0] not in completed]
+
+        if self.num_workers == 1 or len(pending) <= 1:
+            for index, seed, count in pending:
+                result = self.task.run_chunk(seed, count)
+                completed[index] = result
+                self._save_checkpoint(completed)
+                self._emit_progress(index, completed, counts)
+        elif pending:
+            jobs = [(self.task, index, seed, count)
+                    for index, seed, count in pending]
+            context = self._pool_context()
+            workers = min(self.num_workers, len(jobs))
+            with context.Pool(workers, initializer=_init_worker,
+                              initargs=(list(sys.path),)) as pool:
+                for index, _, result in pool.imap_unordered(
+                        _run_chunk_job, jobs):
+                    completed[index] = result
+                    self._save_checkpoint(completed)
+                    self._emit_progress(index, completed, counts)
+
+        merged = self.task.empty_result()
+        for index in sorted(completed):
+            merged.merge(completed[index])
+        return merged
+
+
+__all__ = [
+    "CampaignTask",
+    "CampaignProgress",
+    "ShardedCampaignRunner",
+    "default_chunk_size",
+    "child_seed",
+]

@@ -1,0 +1,140 @@
+"""Campaign tasks: picklable work descriptions for the sharded runner.
+
+A task carries only plain parameters (geometry, code names, pattern
+kind); the unpicklable simulation objects -- the protected design, the
+FIFO test bench -- are built *inside* ``run_chunk`` in the worker
+process, with all per-chunk random streams (stimulus data, error
+placement, injector LFSRs) derived from the chunk seed via
+:mod:`repro.campaigns.seeding`.  That is what makes chunks independent
+and the campaign's result a pure function of the root seed and chunk
+plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.campaigns.runner import CampaignTask
+from repro.campaigns.seeding import child_seed
+from repro.campaigns.stats import StreamingCampaignResult
+
+#: Error patterns a validation task can inject per sequence.
+VALIDATION_PATTERNS = ("single", "burst", "multiple", "none")
+
+
+@dataclass(frozen=True)
+class FIFOValidationCampaignTask(CampaignTask):
+    """One chunk of a Fig. 8 FIFO validation campaign.
+
+    Mirrors the paper's test bench: a protected ``width x depth``
+    SyncFIFO (FIFO_A) against an error-free reference (FIFO_B), with
+    one error pattern injected per sleep/wake sequence.
+
+    Parameters
+    ----------
+    width, depth:
+        FIFO geometry (the paper's case study is 32x32).
+    codes:
+        Monitoring code names (paper FPGA setup: Hamming(7,4)
+        correction plus CRC-16 verification).
+    num_chains:
+        Scan chains ``W`` in monitoring mode.
+    pattern:
+        Per-sequence injection: ``"single"`` (Fig. 7(a)), ``"burst"``
+        (clustered, Fig. 7(b)), ``"multiple"`` (uniform spread) or
+        ``"none"`` (clean sequences).
+    burst_size:
+        Errors per sequence for the multi-error patterns.
+    inject_phase:
+        ``"sleep"`` corrupts the retention latches, ``"post_wake"``
+        injects through the scan chains (Fig. 6).
+    engine:
+        Simulation engine override (``"packed"`` for large campaigns);
+        ``None`` keeps :class:`~repro.core.protected.ProtectedDesign`'s
+        default.
+    words_per_sequence:
+        Words written in stage 2 of each sequence (default: half the
+        FIFO depth).
+    """
+
+    width: int = 32
+    depth: int = 32
+    codes: Tuple[str, ...] = ("hamming(7,4)", "crc16")
+    num_chains: int = 80
+    pattern: str = "single"
+    burst_size: int = 4
+    inject_phase: str = "sleep"
+    engine: Optional[str] = None
+    words_per_sequence: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        # Accept a bare code name the way ProtectedDesign does, rather
+        # than letting tuple("crc16") explode it into characters.
+        if isinstance(self.codes, str):
+            object.__setattr__(self, "codes", (self.codes,))
+        else:
+            object.__setattr__(self, "codes", tuple(self.codes))
+        if self.pattern not in VALIDATION_PATTERNS:
+            raise ValueError(
+                f"unknown pattern {self.pattern!r}; choose from "
+                f"{VALIDATION_PATTERNS}")
+        if self.engine is not None:
+            # Validate eagerly so a typo fails at task construction,
+            # not inside a worker process.
+            from repro.core.protected import ProtectedDesign
+            ProtectedDesign.validate_engine(self.engine)
+
+    def empty_result(self) -> StreamingCampaignResult:
+        return StreamingCampaignResult()
+
+    def _pattern_factory(self, num_chains: int, chain_length: int):
+        from repro.faults.patterns import (
+            burst_error_pattern,
+            multi_error_pattern,
+            single_error_pattern,
+        )
+        if self.pattern == "single":
+            return lambda rng: single_error_pattern(num_chains, chain_length,
+                                                    rng)
+        if self.pattern == "burst":
+            return lambda rng: burst_error_pattern(num_chains, chain_length,
+                                                   self.burst_size, rng)
+        if self.pattern == "multiple":
+            return lambda rng: multi_error_pattern(num_chains, chain_length,
+                                                   self.burst_size, rng)
+        return lambda rng: None
+
+    def run_chunk(self, chunk_seed: int,
+                  num_sequences: int) -> StreamingCampaignResult:
+        """Build a fresh test bench and run one chunk of sequences."""
+        # Heavy imports stay inside the worker-side call so the task
+        # module itself is import-cycle-free and cheap to pickle.
+        from repro.circuit.fifo import SyncFIFO
+        from repro.core.protected import ProtectedDesign
+        from repro.validation.testbench import FIFOTestbench
+
+        import random
+
+        fifo = SyncFIFO(self.width, self.depth,
+                        name=f"fifo{self.width}x{self.depth}")
+        engine_kwargs = {} if self.engine is None else {"engine": self.engine}
+        design = ProtectedDesign(
+            fifo, codes=list(self.codes), num_chains=self.num_chains,
+            lfsr_seed=child_seed(chunk_seed, "lfsr"), **engine_kwargs)
+        testbench = FIFOTestbench(
+            design, words_per_sequence=self.words_per_sequence,
+            seed=child_seed(chunk_seed, "stimulus"))
+        factory = self._pattern_factory(design.num_chains,
+                                        design.chain_length)
+        rng = random.Random(child_seed(chunk_seed, "pattern"))
+
+        result = StreamingCampaignResult()
+        for _ in range(num_sequences):
+            sequence = testbench.run_sequence(factory(rng),
+                                              self.inject_phase)
+            result.add(sequence)
+        return result
+
+
+__all__ = ["FIFOValidationCampaignTask", "VALIDATION_PATTERNS"]

@@ -242,7 +242,7 @@ class ProtectedDesign:
                                                clock_hz=clock_hz)
         self._energy_calculator = EnergyCalculator(self._power_estimator)
 
-        self._engine = self._check_engine(engine)
+        self._engine = self.validate_engine(engine)
         self._packed_engine = None  # built lazily on first packed pass
 
     # ------------------------------------------------------------------
@@ -292,12 +292,25 @@ class ProtectedDesign:
     # ------------------------------------------------------------------
     # Engine selection (bit-serial reference vs packed fast path)
     # ------------------------------------------------------------------
-    @staticmethod
-    def _check_engine(engine: str) -> str:
-        if engine not in ProtectedDesign.ENGINES:
+    @classmethod
+    def available_engines(cls) -> Tuple[str, ...]:
+        """The simulation engines this design class supports."""
+        return tuple(cls.ENGINES)
+
+    @classmethod
+    def validate_engine(cls, engine: str) -> str:
+        """Check an engine name, returning it; raise ``ValueError`` if
+        unknown.
+
+        This is the public entry point for anything that selects an
+        engine on a design's behalf (campaign drivers, sharded tasks):
+        validate eagerly here so a typo fails at configuration time,
+        not deep inside a worker process.
+        """
+        if engine not in cls.ENGINES:
             raise ValueError(
                 f"unknown engine {engine!r}; choose from "
-                f"{ProtectedDesign.ENGINES}")
+                f"{cls.available_engines()}")
         return engine
 
     @property
@@ -307,7 +320,7 @@ class ProtectedDesign:
 
     def set_engine(self, engine: str) -> None:
         """Switch the simulation engine for subsequent cycles."""
-        self._engine = self._check_engine(engine)
+        self._engine = self.validate_engine(engine)
 
     def _get_packed_engine(self):
         if self._packed_engine is None:

@@ -3,140 +3,32 @@
 The paper's FPGA test bench (Fig. 8) contains a "Counter" block that
 "records each event when the errors are reported by FIFO_A and when the
 mismatches are reported by comparator".  :class:`CampaignStats` is that
-counter: it accumulates per-sequence records and produces the
+counter: it accumulates per-sequence outcomes and produces the
 detection / correction / silent-corruption statistics quoted in
 Section IV.
+
+Since the streaming-campaign rework the implementation lives in
+:mod:`repro.campaigns.stats`: the counters are O(1)-memory and
+mergeable (the historical per-sequence ``records`` list is gone --
+campaigns at paper scale cannot afford it), while every rate and
+summary API keeps its original name and semantics.  This module
+remains the import location for fault-injection consumers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from repro.campaigns.stats import InjectionRecord, StreamingCampaignStats
 
 
-@dataclass(frozen=True)
-class InjectionRecord:
-    """Outcome of one sleep/wake test sequence with injection.
+class CampaignStats(StreamingCampaignStats):
+    """Aggregated statistics over a fault-injection campaign.
 
-    Attributes
-    ----------
-    injected:
-        Number of bit errors injected in this sequence.
-    detected:
-        Whether the monitoring logic reported *any* error.
-    corrected:
-        Whether the monitoring + correction logic repaired every
-        injected error (i.e. the post-decode state equals the
-        pre-sleep state).
-    state_intact:
-        Whether the architectural state after the sequence matches the
-        reference (from the comparator, independent of what the monitor
-        reported).
-    residual_errors:
-        Number of register bits still wrong after correction.
+    A thin alias of
+    :class:`~repro.campaigns.stats.StreamingCampaignStats` kept for the
+    fault-injection API: ``add`` per-sequence records, read the
+    ``*_sequences`` counters, the three rates and ``summary()`` exactly
+    as before -- in constant memory, and mergeable across shards.
     """
-
-    injected: int
-    detected: bool
-    corrected: bool
-    state_intact: bool
-    residual_errors: int = 0
-
-    @property
-    def silent_corruption(self) -> bool:
-        """True when state was corrupted but nothing was reported."""
-        return (not self.state_intact) and (not self.detected)
-
-
-@dataclass
-class CampaignStats:
-    """Aggregated statistics over a fault-injection campaign."""
-
-    records: List[InjectionRecord] = field(default_factory=list)
-
-    def add(self, record: InjectionRecord) -> None:
-        """Append one sequence's outcome."""
-        self.records.append(record)
-
-    # ------------------------------------------------------------------
-    @property
-    def num_sequences(self) -> int:
-        """Number of test sequences run."""
-        return len(self.records)
-
-    @property
-    def total_injected(self) -> int:
-        """Total number of injected bit errors across the campaign."""
-        return sum(r.injected for r in self.records)
-
-    @property
-    def sequences_with_errors(self) -> int:
-        """Sequences in which at least one error was injected."""
-        return sum(1 for r in self.records if r.injected > 0)
-
-    @property
-    def detected_sequences(self) -> int:
-        """Sequences in which the monitor reported an error."""
-        return sum(1 for r in self.records if r.detected)
-
-    @property
-    def corrected_sequences(self) -> int:
-        """Sequences in which every injected error was corrected."""
-        return sum(1 for r in self.records if r.corrected)
-
-    @property
-    def silent_corruptions(self) -> int:
-        """Sequences with corrupted state and no report (the bad case)."""
-        return sum(1 for r in self.records if r.silent_corruption)
-
-    @property
-    def intact_sequences(self) -> int:
-        """Sequences whose final state matches the reference."""
-        return sum(1 for r in self.records if r.state_intact)
-
-    # ------------------------------------------------------------------
-    def detection_rate(self) -> float:
-        """Fraction of error-carrying sequences that were detected."""
-        with_errors = self.sequences_with_errors
-        if with_errors == 0:
-            return 1.0
-        detected = sum(
-            1 for r in self.records if r.injected > 0 and r.detected)
-        return detected / with_errors
-
-    def correction_rate(self) -> float:
-        """Fraction of error-carrying sequences fully corrected."""
-        with_errors = self.sequences_with_errors
-        if with_errors == 0:
-            return 1.0
-        corrected = sum(
-            1 for r in self.records if r.injected > 0 and r.corrected)
-        return corrected / with_errors
-
-    def bit_correction_rate(self) -> float:
-        """Fraction of injected *bits* that ended up corrected.
-
-        This is the metric plotted in the paper's Fig. 10 ("errors
-        corrected %").
-        """
-        injected = self.total_injected
-        if injected == 0:
-            return 1.0
-        residual = sum(r.residual_errors for r in self.records)
-        return (injected - residual) / injected
-
-    def summary(self) -> str:
-        """Human-readable multi-line summary of the campaign."""
-        lines = [
-            f"sequences run            : {self.num_sequences}",
-            f"sequences with injection : {self.sequences_with_errors}",
-            f"total bits injected      : {self.total_injected}",
-            f"detection rate           : {self.detection_rate():.4%}",
-            f"full-correction rate     : {self.correction_rate():.4%}",
-            f"bit correction rate      : {self.bit_correction_rate():.4%}",
-            f"silent corruptions       : {self.silent_corruptions}",
-        ]
-        return "\n".join(lines)
 
 
 __all__ = ["InjectionRecord", "CampaignStats"]

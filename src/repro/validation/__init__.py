@@ -23,6 +23,9 @@ from repro.validation.campaign import (
     CampaignResult,
     run_single_error_campaign,
     run_multiple_error_campaign,
+    run_sharded_campaign,
+    run_sharded_single_error_campaign,
+    run_sharded_multiple_error_campaign,
 )
 
 __all__ = [
@@ -35,4 +38,7 @@ __all__ = [
     "CampaignResult",
     "run_single_error_campaign",
     "run_multiple_error_campaign",
+    "run_sharded_campaign",
+    "run_sharded_single_error_campaign",
+    "run_sharded_multiple_error_campaign",
 ]

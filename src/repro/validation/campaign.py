@@ -11,17 +11,23 @@ test sequences (10^8 on the FPGA):
   but every one was detected, as confirmed by the comparator.
 
 :class:`ValidationCampaign` runs either campaign (or a custom one) over
-a :class:`~repro.validation.testbench.FIFOTestbench` with configurable
-sequence counts, and aggregates the results into the same statistics.
+a :class:`~repro.validation.testbench.FIFOTestbench` in a single
+process; the ``run_sharded_*`` entry points fan the same campaigns out
+over the :mod:`repro.campaigns` subsystem -- multiprocessing workers,
+O(1)-memory streaming statistics, checkpoint/resume -- which is the
+path toward the paper's 10^8-sequence scale.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Union
 
-from repro.faults.campaign import CampaignStats, InjectionRecord
+from repro.campaigns.runner import ShardedCampaignRunner
+from repro.campaigns.stats import StreamingCampaignResult
+from repro.campaigns.tasks import FIFOValidationCampaignTask
+from repro.faults.campaign import CampaignStats
 from repro.faults.patterns import (
     ErrorPattern,
     burst_error_pattern,
@@ -34,13 +40,18 @@ PatternFactory = Callable[[random.Random], Optional[ErrorPattern]]
 
 
 @dataclass
-class CampaignResult:
-    """Aggregated outcome of a validation campaign.
+class CampaignResult(StreamingCampaignResult):
+    """Aggregated outcome of a single-process validation campaign.
 
-    Wraps the generic :class:`~repro.faults.campaign.CampaignStats`
-    with the test-bench-specific counters of the paper's Fig. 8
-    ("Counter" block): errors reported by FIFO_A and mismatches reported
-    by the comparator.
+    Extends the streaming counters of
+    :class:`~repro.campaigns.stats.StreamingCampaignResult` (the
+    Fig. 8 "Counter" block: errors reported by FIFO_A, comparator
+    mismatches) with the per-sequence
+    :class:`~repro.validation.testbench.TestSequenceResult` log, which
+    single-process campaigns keep for detailed inspection.  Sharded
+    campaigns return the plain streaming result instead -- at 10^6+
+    sequences the log is exactly the memory bound this subsystem
+    removes.
     """
 
     stats: CampaignStats = field(default_factory=CampaignStats)
@@ -49,39 +60,32 @@ class CampaignResult:
     def add(self, result: TestSequenceResult) -> None:
         """Record one test sequence."""
         self.sequences.append(result)
-        self.stats.add(InjectionRecord(
-            injected=result.cycle.injected_errors,
-            detected=result.cycle.detected,
-            corrected=(result.cycle.injected_errors > 0
-                       and result.cycle.state_intact),
-            state_intact=result.cycle.state_intact,
-            residual_errors=result.cycle.residual_errors))
+        super().add(result)
 
-    # -- Fig. 8 counters -------------------------------------------------
-    @property
-    def errors_reported_by_dut(self) -> int:
-        """Sequences in which FIFO_A's monitor reported an error."""
-        return sum(1 for s in self.sequences if s.error_reported)
+    def merge(self, other: StreamingCampaignResult) -> "CampaignResult":
+        """Merge counters and, when ``other`` has one, the sequence log."""
+        super().merge(other)
+        self.sequences.extend(getattr(other, "sequences", ()))
+        return self
 
-    @property
-    def mismatches_reported_by_comparator(self) -> int:
-        """Sequences in which the comparator found a data mismatch."""
-        return sum(1 for s in self.sequences if s.mismatch_reported)
+    def to_dict(self):
+        """Counter-only dict form; the sequence log is not serialized."""
+        return super().to_dict()
 
-    @property
-    def inconsistent_sequences(self) -> int:
-        """Sequences where monitor verdict and comparator disagree."""
-        return sum(1 for s in self.sequences if not s.outcome_consistent)
+    @classmethod
+    def from_dict(cls, payload) -> "CampaignResult":
+        """Rebuild from :meth:`to_dict` output.
 
-    def summary(self) -> str:
-        """Human-readable campaign summary."""
-        lines = [
-            self.stats.summary(),
-            f"errors reported by DUT   : {self.errors_reported_by_dut}",
-            f"comparator mismatches    : {self.mismatches_reported_by_comparator}",
-            f"inconsistent sequences   : {self.inconsistent_sequences}",
-        ]
-        return "\n".join(lines)
+        Only the counters round-trip; ``sequences`` comes back empty
+        (checkpoints are deliberately O(1)-sized).
+        """
+        streamed = StreamingCampaignResult.from_dict(payload)
+        return cls(
+            stats=CampaignStats.from_dict(streamed.stats.to_dict()),
+            errors_reported_by_dut=streamed.errors_reported_by_dut,
+            mismatches_reported_by_comparator=(
+                streamed.mismatches_reported_by_comparator),
+            inconsistent_sequences=streamed.inconsistent_sequences)
 
 
 class ValidationCampaign:
@@ -114,7 +118,7 @@ class ValidationCampaign:
         self._rng = random.Random(seed)
         if engine is not None:
             # Validate eagerly so a typo fails at construction time.
-            testbench.dut_design._check_engine(engine)
+            testbench.dut_design.validate_engine(engine)
         self.engine = engine
 
     def run(self, num_sequences: int,
@@ -181,9 +185,94 @@ def run_multiple_error_campaign(testbench: FIFOTestbench, num_sequences: int,
     return campaign.run(num_sequences, inject_phase=inject_phase)
 
 
+# ----------------------------------------------------------------------
+# Sharded entry points (the scaling path: repro.campaigns)
+# ----------------------------------------------------------------------
+def run_sharded_campaign(task: FIFOValidationCampaignTask,
+                         num_sequences: int,
+                         seed: Optional[Union[int, str]] = 20100308,
+                         num_workers: int = 1,
+                         chunk_size: Optional[int] = None,
+                         checkpoint_path: Optional[str] = None,
+                         progress_callback=None) -> StreamingCampaignResult:
+    """Run a validation campaign task through the sharded runner.
+
+    The result is bit-identical for any ``num_workers`` given the same
+    ``(seed, num_sequences, chunk_size)``; see
+    :class:`~repro.campaigns.runner.ShardedCampaignRunner` for the
+    checkpoint/resume and progress semantics.  Note the sharded
+    campaigns build their test benches per chunk from seed-split
+    streams, so their statistics are not sequence-for-sequence
+    identical to a single-process :class:`ValidationCampaign` run --
+    the two are statistically equivalent samplings of the same
+    experiment.
+    """
+    runner = ShardedCampaignRunner(
+        task, num_sequences, seed=seed, num_workers=num_workers,
+        chunk_size=chunk_size, checkpoint_path=checkpoint_path,
+        progress_callback=progress_callback)
+    return runner.run()
+
+
+def run_sharded_single_error_campaign(
+        num_sequences: int,
+        width: int = 32, depth: int = 32,
+        codes=("hamming(7,4)", "crc16"),
+        num_chains: int = 80,
+        seed: Optional[Union[int, str]] = 20100308,
+        inject_phase: str = "sleep",
+        engine: Optional[str] = None,
+        words_per_sequence: Optional[int] = None,
+        num_workers: int = 1,
+        chunk_size: Optional[int] = None,
+        checkpoint_path: Optional[str] = None,
+        progress_callback=None) -> StreamingCampaignResult:
+    """Sharded form of :func:`run_single_error_campaign`."""
+    task = FIFOValidationCampaignTask(
+        width=width, depth=depth, codes=codes, num_chains=num_chains,
+        pattern="single", inject_phase=inject_phase, engine=engine,
+        words_per_sequence=words_per_sequence)
+    return run_sharded_campaign(task, num_sequences, seed=seed,
+                                num_workers=num_workers,
+                                chunk_size=chunk_size,
+                                checkpoint_path=checkpoint_path,
+                                progress_callback=progress_callback)
+
+
+def run_sharded_multiple_error_campaign(
+        num_sequences: int,
+        burst_size: int = 4,
+        clustered: bool = True,
+        width: int = 32, depth: int = 32,
+        codes=("hamming(7,4)", "crc16"),
+        num_chains: int = 80,
+        seed: Optional[Union[int, str]] = 20100308,
+        inject_phase: str = "sleep",
+        engine: Optional[str] = None,
+        words_per_sequence: Optional[int] = None,
+        num_workers: int = 1,
+        chunk_size: Optional[int] = None,
+        checkpoint_path: Optional[str] = None,
+        progress_callback=None) -> StreamingCampaignResult:
+    """Sharded form of :func:`run_multiple_error_campaign`."""
+    task = FIFOValidationCampaignTask(
+        width=width, depth=depth, codes=codes, num_chains=num_chains,
+        pattern="burst" if clustered else "multiple",
+        burst_size=burst_size, inject_phase=inject_phase, engine=engine,
+        words_per_sequence=words_per_sequence)
+    return run_sharded_campaign(task, num_sequences, seed=seed,
+                                num_workers=num_workers,
+                                chunk_size=chunk_size,
+                                checkpoint_path=checkpoint_path,
+                                progress_callback=progress_callback)
+
+
 __all__ = [
     "CampaignResult",
     "ValidationCampaign",
     "run_single_error_campaign",
     "run_multiple_error_campaign",
+    "run_sharded_campaign",
+    "run_sharded_single_error_campaign",
+    "run_sharded_multiple_error_campaign",
 ]

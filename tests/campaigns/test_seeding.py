@@ -1,0 +1,67 @@
+"""Seed-splitting: determinism, independence, no ``seed + offset`` aliasing."""
+
+import itertools
+
+import pytest
+
+from repro.campaigns.seeding import SEED_BITS, child_seed, spawn_seeds
+
+
+class TestChildSeed:
+    def test_deterministic(self):
+        assert child_seed(1234, "fig10", 7, 4) == child_seed(1234, "fig10",
+                                                             7, 4)
+
+    def test_in_64_bit_range(self):
+        for seed in (0, 1, -5, 2**80, "campaign"):
+            value = child_seed(seed, "x")
+            assert 0 <= value < 2**SEED_BITS
+
+    def test_distinct_across_paths(self):
+        seeds = {child_seed(99, *path)
+                 for path in [("a",), ("b",), ("a", "b"), ("a", 0),
+                              ("a", 1), (0, "a"), (1,), ("1",)]}
+        assert len(seeds) == 8
+
+    def test_concatenation_is_unambiguous(self):
+        # Length-prefixed encoding: ("ab", "c") must differ from
+        # ("a", "bc") even though the concatenated text is equal.
+        assert child_seed(0, "ab", "c") != child_seed(0, "a", "bc")
+        # ...and int 12 must differ from str "12".
+        assert child_seed(0, 12) != child_seed(0, "12")
+
+    def test_no_offset_aliasing(self):
+        """The bug class this replaces: with ``seed + offset``, curve
+        ``i`` at user seed ``s`` collides with curve ``i - d`` at user
+        seed ``s + d``.  Hash-split children never alias that way."""
+        user_seeds = range(1000, 1010)
+        offsets = range(10)
+        derived = [child_seed(seed, "curve", offset)
+                   for seed, offset in itertools.product(user_seeds, offsets)]
+        assert len(set(derived)) == len(derived)
+
+    def test_rejects_unsupported_types(self):
+        with pytest.raises(TypeError):
+            child_seed(0, 1.5)
+        with pytest.raises(TypeError):
+            child_seed(0, True)
+
+
+class TestSpawnSeeds:
+    def test_matches_indexed_children(self):
+        assert spawn_seeds(7, 4, "chunk") == [
+            child_seed(7, "chunk", index) for index in range(4)]
+
+    def test_all_distinct(self):
+        seeds = spawn_seeds(20100308, 512, "chunk")
+        assert len(set(seeds)) == 512
+
+    def test_prefix_stability(self):
+        """Growing a campaign keeps the existing chunk seeds, so a
+        checkpoint of the first N chunks stays valid."""
+        assert spawn_seeds(3, 8, "chunk")[:5] == spawn_seeds(3, 5, "chunk")
+
+    def test_count_validation(self):
+        assert spawn_seeds(0, 0) == []
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)

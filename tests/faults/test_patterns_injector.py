@@ -227,3 +227,53 @@ class TestCampaignStats:
         assert stats.detection_rate() == 1.0
         assert stats.correction_rate() == 1.0
         assert stats.bit_correction_rate() == 1.0
+
+
+class TestBurstWindowGeometry:
+    """Boundary geometry of the Fig. 7(b) burst window.
+
+    The window spans ``min(num_chains, burst_size)`` adjacent chains by
+    ``ceil(burst_size / window_chains)`` adjacent positions; every
+    placement must stay inside the scan array for the corner sizes.
+    """
+
+    def _assert_in_bounds(self, pattern, num_chains, chain_length,
+                          burst_size):
+        assert pattern.num_errors == burst_size
+        for chain, position in pattern.locations:
+            assert 0 <= chain < num_chains
+            assert 0 <= position < chain_length
+
+    @pytest.mark.parametrize("num_chains,chain_length,burst_size", [
+        (1, 1, 1),        # minimal array, minimal burst
+        (1, 16, 5),       # single chain: window is purely positional
+        (16, 1, 5),       # single-bit chains: window is purely chain-wise
+        (8, 4, 8),        # burst_size == num_chains exactly
+        (8, 4, 9),        # just past the chain count (2-position window)
+        (3, 2, 5),        # window cells (3x2=6) barely fit the burst
+        (4, 4, 16),       # burst fills the entire scan array
+        (5, 3, 15),       # full array, non-square
+        (80, 13, 4),      # the paper's FPGA configuration
+    ])
+    def test_burst_fits_at_boundary_sizes(self, num_chains, chain_length,
+                                          burst_size):
+        rng = random.Random(20100308)
+        for _ in range(25):
+            pattern = burst_error_pattern(num_chains, chain_length,
+                                          burst_size, rng)
+            self._assert_in_bounds(pattern, num_chains, chain_length,
+                                   burst_size)
+
+    def test_burst_window_is_tight(self):
+        # All errors land within the adjacent-chain/adjacent-position
+        # window, so chain spread <= burst size and position spread <=
+        # ceil(burst / window_chains) -- the "closely clustered" shape.
+        rng = random.Random(9)
+        num_chains, chain_length, burst_size = 16, 8, 6
+        for _ in range(50):
+            pattern = burst_error_pattern(num_chains, chain_length,
+                                          burst_size, rng)
+            chains = [c for c, _ in pattern.locations]
+            positions = [p for _, p in pattern.locations]
+            assert max(chains) - min(chains) < burst_size
+            assert max(positions) - min(positions) < 1  # 6 chains x 1 pos
