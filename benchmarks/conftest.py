@@ -17,8 +17,11 @@ Environment knobs:
   used 10^6-10^8 sequences).
 """
 
+import json
 import os
+import platform
 import sys
+import time
 from pathlib import Path
 
 import pytest
@@ -57,3 +60,40 @@ def print_section(title: str, body: str) -> None:
     """Print a titled block that survives pytest's output capture (-s)."""
     bar = "=" * max(len(title), 8)
     print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+
+#: Machine-readable benchmark results are written as
+#: ``BENCH_<name>.json`` so the perf trajectory is tracked between
+#: PRs.  Default target is the untracked ``benchmarks/results/``
+#: scratch directory (also what CI uploads as an artifact); set
+#: ``REPRO_BENCH_UPDATE_REFERENCE=1`` to rewrite the *committed*
+#: reference copies at the repo root instead -- that keeps ordinary
+#: benchmark runs from dirtying the tree with non-reference numbers.
+BENCH_REFERENCE_DIR = Path(__file__).resolve().parent.parent
+BENCH_SCRATCH_DIR = Path(__file__).resolve().parent / "results"
+
+
+def record_bench(name: str, results: dict) -> Path:
+    """Write one benchmark's results as ``BENCH_<name>.json``.
+
+    ``results`` must be JSON-serialisable; the envelope adds the
+    Python/platform fingerprint and a timestamp so numbers from
+    different machines are never compared silently.
+    """
+    if os.environ.get("REPRO_BENCH_UPDATE_REFERENCE"):
+        directory = BENCH_REFERENCE_DIR
+    else:
+        directory = BENCH_SCRATCH_DIR
+        directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    payload = {
+        "bench": name,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "results": results,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path

@@ -1,0 +1,168 @@
+"""Benchmark: engine throughput -- batched vs packed vs reference.
+
+Acceptance criterion of the engine subsystem: on a 1024-flop, B=256
+single-error campaign microbenchmark the bit-plane batched engine must
+be at least **5x** faster than the packed engine per sequence, while
+remaining bit-exact (equivalence is enforced by ``tests/engines/``;
+this benchmark re-checks the outcomes it measures).  The measured
+throughputs are written to ``BENCH_engines.json`` so the perf
+trajectory is tracked between PRs.
+
+Configuration: 1024 registers balanced into 64 chains of 16 flops,
+Hamming(7,4) correction plus CRC-16 verification (the paper's stacked
+FPGA configuration scaled to a power-of-two flop count), one random
+single-bit error per sequence -- the regime of the paper's first
+campaign, where every error is detected and corrected.
+"""
+
+import random
+import time
+
+import pytest
+
+from benchmarks.conftest import print_section, record_bench
+from repro.circuit.generators import make_random_state_circuit
+from repro.core.protected import ProtectedDesign
+from repro.faults.patterns import single_error_pattern
+
+NUM_FLOPS = 1024
+NUM_CHAINS = 64
+BATCH = 256
+CODES = ["hamming(7,4)", "crc16"]
+SPEEDUP_FLOOR = 5.0
+
+
+def _build(engine):
+    circuit = make_random_state_circuit(NUM_FLOPS, seed=1024)
+    return ProtectedDesign(circuit, codes=CODES, num_chains=NUM_CHAINS,
+                           engine=engine)
+
+
+def _time(fn, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.benchmark(group="engines")
+def test_single_error_campaign_throughput():
+    """1024-flop, B=256 single-error campaign: batched >= 5x packed."""
+    pattern_rng = random.Random(20100308)
+    probe = _build("batched")
+    patterns = [single_error_pattern(probe.num_chains, probe.chain_length,
+                                     pattern_rng) for _ in range(BATCH)]
+
+    # -- batched engine: one bit-plane pass for the whole batch --------
+    design_batched = _build("batched")
+    design_batched.sleep_wake_cycle_batch(patterns[:8])  # warm-up
+    outcomes_batched = {}
+
+    def batched_run():
+        outcomes_batched["out"] = design_batched.sleep_wake_cycle_batch(
+            patterns)
+
+    batched_time = _time(batched_run, repeats=3) / BATCH
+
+    # -- packed engine: one scalar cycle per sequence ------------------
+    design_packed = _build("packed")
+    design_packed.sleep_wake_cycle(injection=patterns[0])  # warm-up
+    outcomes_packed = {}
+
+    def packed_run():
+        outcomes_packed["out"] = [
+            design_packed.sleep_wake_cycle(injection=pattern)
+            for pattern in patterns]
+
+    packed_time = _time(packed_run, repeats=2) / BATCH
+
+    # -- reference engine: a handful of sequences, extrapolated --------
+    design_reference = _build("reference")
+    reference_sample = 2
+    design_reference.sleep_wake_cycle(injection=patterns[0])  # warm-up
+
+    def reference_run():
+        for pattern in patterns[:reference_sample]:
+            design_reference.sleep_wake_cycle(injection=pattern)
+
+    reference_time = _time(reference_run, repeats=2) / reference_sample
+
+    # Bit-exactness of the measured work itself: the batched outcomes
+    # must equal the packed ones field for field (and every single
+    # error is detected and corrected).
+    for outcome_b, outcome_p in zip(outcomes_batched["out"],
+                                    outcomes_packed["out"]):
+        assert outcome_b.detected and outcome_b.state_intact
+        assert (outcome_b.injected_errors, outcome_b.detected,
+                outcome_b.corrected_claim, outcome_b.state_intact,
+                outcome_b.residual_errors, outcome_b.error_code,
+                outcome_b.corrections_applied, outcome_b.reports) == \
+            (outcome_p.injected_errors, outcome_p.detected,
+             outcome_p.corrected_claim, outcome_p.state_intact,
+             outcome_p.residual_errors, outcome_p.error_code,
+             outcome_p.corrections_applied, outcome_p.reports)
+
+    speedup_vs_packed = packed_time / batched_time
+    speedup_vs_reference = reference_time / batched_time
+    record_bench("engines", {
+        "microbenchmark": "single_error_campaign",
+        "num_flops": NUM_FLOPS,
+        "num_chains": NUM_CHAINS,
+        "chain_length": probe.chain_length,
+        "batch_size": BATCH,
+        "codes": CODES,
+        "seconds_per_sequence": {
+            "reference": reference_time,
+            "packed": packed_time,
+            "batched": batched_time,
+        },
+        "sequences_per_second": {
+            "reference": 1.0 / reference_time,
+            "packed": 1.0 / packed_time,
+            "batched": 1.0 / batched_time,
+        },
+        "batched_speedup_vs_packed": speedup_vs_packed,
+        "batched_speedup_vs_reference": speedup_vs_reference,
+        "acceptance_floor_vs_packed": SPEEDUP_FLOOR,
+    })
+
+    print_section(
+        "Engines -- 1024-flop, B=256 single-error campaign",
+        f"reference engine : {reference_time * 1e3:9.2f} ms per sequence\n"
+        f"packed engine    : {packed_time * 1e6:9.1f} us per sequence\n"
+        f"batched engine   : {batched_time * 1e6:9.1f} us per sequence\n"
+        f"batched / packed : {speedup_vs_packed:9.1f}x "
+        f"(acceptance: >= {SPEEDUP_FLOOR:.0f}x)\n"
+        f"batched / ref    : {speedup_vs_reference:9.0f}x")
+    assert speedup_vs_packed >= SPEEDUP_FLOOR
+
+
+@pytest.mark.benchmark(group="engines")
+def test_batch_size_scaling():
+    """Throughput grows with the batch size (amortisation is real)."""
+    rng = random.Random(7)
+    design = _build("batched")
+    patterns = [single_error_pattern(design.num_chains,
+                                     design.chain_length, rng)
+                for _ in range(BATCH)]
+    design.sleep_wake_cycle_batch(patterns[:4])  # warm-up
+    per_sequence = {}
+    for batch_size in (1, 16, 256):
+        chunk = patterns[:batch_size]
+        repeats = max(1, 32 // batch_size)
+
+        def run():
+            for _ in range(repeats):
+                design.sleep_wake_cycle_batch(chunk)
+
+        per_sequence[batch_size] = _time(run, repeats=2) \
+            / (repeats * batch_size)
+
+    print_section(
+        "Engines -- batch-size scaling (per-sequence cost)",
+        "\n".join(f"B = {b:4d}: {t * 1e6:9.1f} us per sequence"
+                  for b, t in per_sequence.items()))
+    # B=256 must amortise at least 3x better than B=1 per sequence.
+    assert per_sequence[256] * 3 <= per_sequence[1]

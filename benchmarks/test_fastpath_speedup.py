@@ -21,7 +21,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import print_section
+from benchmarks.conftest import print_section, record_bench
 from repro.circuit.fifo import SyncFIFO
 from repro.circuit.flipflop import ScanFlipFlop
 from repro.circuit.scan import ScanChain
@@ -31,6 +31,7 @@ from repro.core.protected import ProtectedDesign
 from repro.fastpath.packed_chain import PackedScanChain
 
 CHAIN_BITS = 1024
+SPEEDUP_FLOOR = 10.0
 
 
 def _time(fn, repeats):
@@ -77,12 +78,23 @@ def test_circulate_crc_campaign_speedup():
     packed_time = _time(packed_batch, repeats=3) / batch
     speedup = reference_time / packed_time
 
+    record_bench("fastpath", {
+        "microbenchmark": "circulate_crc16",
+        "chain_bits": CHAIN_BITS,
+        "seconds_per_pass": {
+            "reference": reference_time,
+            "packed": packed_time,
+        },
+        "packed_speedup_vs_reference": speedup,
+        "acceptance_floor": SPEEDUP_FLOOR,
+    })
     print_section(
         "Fastpath -- 1024-flop circulate+CRC campaign",
         f"bit-serial reference: {reference_time * 1e3:9.2f} ms per pass\n"
         f"packed engine       : {packed_time * 1e6:9.2f} us per pass\n"
-        f"speed-up            : {speedup:9.0f}x (acceptance: >= 10x)")
-    assert speedup >= 10.0
+        f"speed-up            : {speedup:9.0f}x "
+        f"(acceptance: >= {SPEEDUP_FLOOR:.0f}x)")
+    assert speedup >= SPEEDUP_FLOOR
 
 
 @pytest.mark.benchmark(group="fastpath")

@@ -13,12 +13,15 @@ an event counter -- and runs the two campaigns the paper reports:
 Run with::
 
     python examples/fault_injection_campaign.py [num_sequences] [num_workers]
+    python examples/fault_injection_campaign.py [num_sequences] --batched
 
 With ``num_workers > 1`` the campaigns run through the sharded
 streaming runner of :mod:`repro.campaigns` (the path toward the
 paper's 10^8-sequence scale): multiprocessing workers, O(1)-memory
 counter statistics, and results that are bit-identical for any worker
-count.
+count.  With ``--batched`` they run on the bit-plane batched engine
+(:mod:`repro.engines.bitplane`), which simulates 256 sequences per
+pass -- the fastest single-process path.
 """
 
 import sys
@@ -65,9 +68,41 @@ def main_sharded(num_sequences: int, num_workers: int) -> None:
     print(multiple.summary())
 
 
+def main_batched(num_sequences: int, num_workers: int = 1) -> None:
+    """The same two campaigns on the bit-plane batched engine."""
+    batch = min(256, num_sequences)
+    print(f"running {num_sequences} sequences per campaign on the "
+          f"batched engine (bit planes, {batch} sequences per pass, "
+          f"{num_workers} worker(s))\n")
+    for title, runner in (
+            ("single error per test sequence",
+             run_sharded_single_error_campaign),
+            ("clustered multi-bit errors",
+             lambda n, **kw: run_sharded_multiple_error_campaign(
+                 n, burst_size=4, clustered=True, **kw))):
+        print("=" * 60)
+        print(f"experiment: {title} (batched)")
+        print("=" * 60)
+        result = runner(num_sequences, width=32, depth=32, num_chains=80,
+                        words_per_sequence=16, engine="batched",
+                        batch_size=batch, num_workers=num_workers)
+        print(result.summary())
+        print()
+
+
 def main() -> None:
-    num_sequences = int(sys.argv[1]) if len(sys.argv) > 1 else 50
-    num_workers = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+    flags = [a for a in sys.argv[1:] if a.startswith("--")]
+    unknown = [f for f in flags if f != "--batched"]
+    if unknown:
+        raise SystemExit(f"unknown option(s): {', '.join(unknown)} "
+                         f"(supported: --batched)")
+    batched = "--batched" in flags
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    num_sequences = int(args[0]) if args else 50
+    num_workers = int(args[1]) if len(args) > 1 else 1
+    if batched:
+        main_batched(num_sequences, num_workers)
+        return
     if num_workers > 1:
         main_sharded(num_sequences, num_workers)
         return

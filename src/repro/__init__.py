@@ -54,6 +54,16 @@ contribution:
     ``ProtectedDesign(..., engine="packed")`` (or ``set_engine``); the
     default remains the bit-serial reference.
 
+``repro.engines``
+    Pluggable simulation engines behind a name-based registry:
+    ``"reference"`` (bit-serial), ``"packed"`` (packed integers) and
+    ``"batched"`` -- a bit-plane engine that simulates B independent
+    test sequences per pass by storing bit position *i* of all B
+    sequences in one integer.  ``ProtectedDesign.sleep_wake_cycle_batch``
+    and the campaign drivers' ``batch_size`` option ride on it;
+    third-party engines plug in with
+    :func:`repro.engines.register_engine` without touching the core.
+
 ``repro.campaigns``
     Campaign orchestration toward the paper's 10^8-sequence scale:
     streaming O(1)-memory mergeable statistics, hash-based

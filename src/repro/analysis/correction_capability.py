@@ -125,7 +125,11 @@ def _simulate_sequence_packed(code: HammingCode, num_bits: int,
     return corrected, corrected == num_errors
 
 
-#: Sequence simulators selectable via the campaigns' ``engine`` option.
+#: Sequence simulators selectable via this study's ``engine`` option.
+#: Deliberately separate from the design-engine registry of
+#: :mod:`repro.engines`: these simulate abstract codeword collisions
+#: over a 1000-bit sequence, not a protected design, so engines
+#: registered there do not apply here.
 SEQUENCE_ENGINES = {
     "reference": _simulate_sequence,
     "packed": _simulate_sequence_packed,

@@ -179,6 +179,7 @@ def section4_validation_rows(num_sequences: int = 100,
                              num_chains: int = 80,
                              seed: Optional[int] = 20100308,
                              engine: Optional[str] = "packed",
+                             batch_size: Optional[int] = None,
                              num_workers: int = 1,
                              chunk_size: Optional[int] = None
                              ) -> Dict[str, StreamingCampaignResult]:
@@ -190,16 +191,23 @@ def section4_validation_rows(num_sequences: int = 100,
     configuration and returns their streaming statistics, keyed
     ``"single_error"`` / ``"multiple_error"`` to match
     :data:`repro.analysis.paper_data.VALIDATION_SUMMARY`.
+
+    ``engine`` accepts any registered simulation engine;
+    ``engine="batched"`` with a ``batch_size`` runs the campaigns on
+    the bit-plane batch path, the fastest way to push the sequence
+    count toward the paper's 10^8.
     """
     single = run_sharded_single_error_campaign(
         num_sequences, width=width, depth=depth, num_chains=num_chains,
         seed=None if seed is None else child_seed(seed, "single"),
-        engine=engine, num_workers=num_workers, chunk_size=chunk_size)
+        engine=engine, batch_size=batch_size,
+        num_workers=num_workers, chunk_size=chunk_size)
     multiple = run_sharded_multiple_error_campaign(
         num_sequences, burst_size=burst_size, clustered=True,
         width=width, depth=depth, num_chains=num_chains,
         seed=None if seed is None else child_seed(seed, "multiple"),
-        engine=engine, num_workers=num_workers, chunk_size=chunk_size)
+        engine=engine, batch_size=batch_size,
+        num_workers=num_workers, chunk_size=chunk_size)
     return {"single_error": single, "multiple_error": multiple}
 
 

@@ -77,6 +77,18 @@ class CampaignTask:
         """
         return repr(self)
 
+    def chunk_granularity(self) -> int:
+        """Preferred multiple for the runner's *default* chunk size.
+
+        Tasks whose chunks have internal structure (e.g. bit-plane
+        batches of ``batch_size`` sequences) return that size here, and
+        the runner rounds its default chunk size up to a multiple of it
+        -- otherwise a small campaign's default ~total/64 chunks would
+        silently truncate every batch.  An explicitly passed
+        ``chunk_size`` is always respected as-is.
+        """
+        return 1
+
 
 @dataclass(frozen=True)
 class CampaignProgress:
@@ -179,8 +191,12 @@ class ShardedCampaignRunner:
         self.task = task
         self.total_sequences = total_sequences
         self.num_workers = num_workers
-        self.chunk_size = (chunk_size if chunk_size is not None
-                           else default_chunk_size(total_sequences))
+        if chunk_size is not None:
+            self.chunk_size = chunk_size
+        else:
+            granularity = max(1, task.chunk_granularity())
+            base = default_chunk_size(total_sequences)
+            self.chunk_size = math.ceil(base / granularity) * granularity
         self.checkpoint_path = checkpoint_path
         self.progress_callback = progress_callback
         self._start_method = start_method

@@ -50,12 +50,25 @@ class FIFOValidationCampaignTask(CampaignTask):
         ``"sleep"`` corrupts the retention latches, ``"post_wake"``
         injects through the scan chains (Fig. 6).
     engine:
-        Simulation engine override (``"packed"`` for large campaigns);
-        ``None`` keeps :class:`~repro.core.protected.ProtectedDesign`'s
-        default.
+        Simulation engine override, validated against the registry of
+        :mod:`repro.engines` (``"packed"`` for large per-sequence
+        campaigns, ``"batched"`` together with ``batch_size`` for the
+        bit-plane fast path); ``None`` keeps
+        :class:`~repro.core.protected.ProtectedDesign`'s default.
     words_per_sequence:
         Words written in stage 2 of each sequence (default: half the
         FIFO depth).
+    batch_size:
+        When set, the chunk's sequences run in groups of this size
+        through :meth:`~repro.validation.testbench.FIFOTestbench.\
+run_sequence_batch`: one stimulus burst per group, one injection per
+        sequence, and the state-domain comparator of
+        :class:`~repro.validation.testbench.BatchSequenceResult`.  The
+        statistics depend on ``batch_size`` (it sets the stimulus
+        granularity) but **not** on the engine -- a batched campaign is
+        bit-identical between ``engine="batched"`` and any scalar
+        engine, which is what the CI smoke checks.  ``None`` keeps the
+        historical per-sequence path (read-out comparator).
     """
 
     width: int = 32
@@ -67,6 +80,7 @@ class FIFOValidationCampaignTask(CampaignTask):
     inject_phase: str = "sleep"
     engine: Optional[str] = None
     words_per_sequence: Optional[int] = None
+    batch_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         # Accept a bare code name the way ProtectedDesign does, rather
@@ -79,14 +93,23 @@ class FIFOValidationCampaignTask(CampaignTask):
             raise ValueError(
                 f"unknown pattern {self.pattern!r}; choose from "
                 f"{VALIDATION_PATTERNS}")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         if self.engine is not None:
-            # Validate eagerly so a typo fails at task construction,
-            # not inside a worker process.
-            from repro.core.protected import ProtectedDesign
-            ProtectedDesign.validate_engine(self.engine)
+            # Validate eagerly (against the engine registry) so a typo
+            # fails at task construction, not inside a worker process;
+            # keep the canonical spelling so case variants of the same
+            # campaign share one checkpoint fingerprint.
+            from repro.engines.registry import validate_engine
+            object.__setattr__(self, "engine", validate_engine(self.engine))
 
     def empty_result(self) -> StreamingCampaignResult:
         return StreamingCampaignResult()
+
+    def chunk_granularity(self) -> int:
+        """Default chunk sizes align to whole batches, so the bit-plane
+        engine's amortization survives the runner's chunking."""
+        return self.batch_size if self.batch_size is not None else 1
 
     def _pattern_factory(self, num_chains: int, chain_length: int):
         from repro.faults.patterns import (
@@ -130,10 +153,24 @@ class FIFOValidationCampaignTask(CampaignTask):
         rng = random.Random(child_seed(chunk_seed, "pattern"))
 
         result = StreamingCampaignResult()
-        for _ in range(num_sequences):
-            sequence = testbench.run_sequence(factory(rng),
-                                              self.inject_phase)
-            result.add(sequence)
+        if self.batch_size is None:
+            for _ in range(num_sequences):
+                sequence = testbench.run_sequence(factory(rng),
+                                                  self.inject_phase)
+                result.add(sequence)
+            return result
+
+        # Batch-aware chunk execution: the chunk's sequences run in
+        # groups of batch_size (last group short), each group sharing
+        # one stimulus burst and one bit-plane (or fallback) pass.
+        remaining = num_sequences
+        while remaining:
+            group = min(self.batch_size, remaining)
+            remaining -= group
+            patterns = [factory(rng) for _ in range(group)]
+            for sequence in testbench.run_sequence_batch(
+                    patterns, self.inject_phase):
+                result.add(sequence)
         return result
 
 

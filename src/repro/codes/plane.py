@@ -1,0 +1,312 @@
+"""Bit-plane (batch-parallel) implementations of the monitoring codes.
+
+The packed codes in :mod:`repro.codes.packed` collapse the *bit* axis:
+one scan slice becomes one integer and a whole test sequence is a
+handful of integer operations.  This module collapses the *sequence*
+axis instead: bit ``b`` of a **plane** integer is the value of one wire
+for test sequence ``b`` of a batch, so a single bitwise operation
+advances every sequence of the batch at once.
+
+All codes here are linear over GF(2), which is exactly what makes the
+transposition work: a parity bit is an XOR of data bits, so the parity
+*plane* is the XOR of the data *planes* -- one expression computes the
+parity bit of ``B`` independent sequences.
+
+Conventions shared with :mod:`repro.fastpath` and
+:mod:`repro.engines.bitplane`:
+
+* a *plane* is a Python int whose bit ``b`` belongs to batch sequence
+  ``b``; ``full`` is the all-sequences mask ``(1 << B) - 1``;
+* a ``k``-bit data word is a list of ``k`` planes ordered MSB first
+  (``data_planes[i]`` is data bit ``i``, i.e. bit ``k - 1 - i`` of the
+  packed integer form);
+* parity words are ``r`` planes ordered MSB first the same way.
+
+Each plane code wraps the corresponding packed code
+(:func:`repro.codes.packed.packed_block_code` /
+:func:`~repro.codes.packed.packed_stream_code`); the packed scalar
+decoder remains the per-sequence authority, which is how the batched
+engine stays bit-exact: planes locate *which* sequences disagree, the
+packed decoder then rules on each disagreeing sequence individually.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.codes.base import BlockCode, StreamCode
+from repro.codes.crc import CRCCode
+from repro.codes.hamming import HammingCode
+from repro.codes.packed import packed_block_code, packed_stream_code
+from repro.codes.parity import ParityCode
+from repro.codes.secded import SECDEDCode
+
+
+def extract_word(planes: Sequence[int], sequence: int) -> int:
+    """Collapse one sequence's bits out of an MSB-first plane list.
+
+    ``planes[i]`` holds bit ``i`` of the word (MSB first), so the
+    returned integer matches the packed codes' word layout.
+    """
+    word = 0
+    for plane in planes:
+        word = (word << 1) | ((plane >> sequence) & 1)
+    return word
+
+
+class PlaneHamming:
+    """Batch-parallel Hamming parity over bit planes.
+
+    Parity bit ``j`` is the XOR of the data bits listed in
+    ``code.parity_equations()[j]``; in plane space that is the XOR of
+    the corresponding data planes.
+    """
+
+    def __init__(self, code: HammingCode):
+        self.code = code
+        self.packed = packed_block_code(code)
+        self.k = code.k
+        self.r = code.r
+        self._equations = [tuple(eq) for eq in code.parity_equations()]
+
+    def parity_planes(self, data_planes: Sequence[int],
+                      full: int) -> List[int]:
+        """The ``r`` parity planes (MSB first) of a batch of data words."""
+        out = []
+        for equation in self._equations:
+            plane = 0
+            for index in equation:
+                plane ^= data_planes[index]
+            out.append(plane)
+        return out
+
+
+class PlaneSECDED(PlaneHamming):
+    """Batch-parallel extended-Hamming (SECDED) parity.
+
+    The parity word is the base Hamming parities followed by the
+    overall parity bit, matching
+    :meth:`repro.codes.packed.PackedSECDED.parity`: the overall bit
+    covers the data bits *and* the base parity bits.  The inherited
+    constructor already captures everything needed (``code.r`` counts
+    the overall bit and ``parity_equations()`` returns the base rows).
+    """
+
+    def parity_planes(self, data_planes: Sequence[int],
+                      full: int) -> List[int]:
+        base = super().parity_planes(data_planes, full)
+        overall = 0
+        for plane in data_planes:
+            overall ^= plane
+        for plane in base:
+            overall ^= plane
+        return base + [overall]
+
+
+class PlaneParity:
+    """Batch-parallel single-parity-bit computation."""
+
+    def __init__(self, code: ParityCode):
+        self.code = code
+        self.packed = packed_block_code(code)
+        self.k = code.k
+        self.r = 1
+        self._odd = bool(code.odd)
+
+    def parity_planes(self, data_planes: Sequence[int],
+                      full: int) -> List[int]:
+        plane = full if self._odd else 0
+        for data in data_planes:
+            plane ^= data
+        return [plane]
+
+
+class PlaneBlockAdapter:
+    """Plane facade over an arbitrary reference :class:`BlockCode`.
+
+    Transposes each sequence's word out of the planes and runs the
+    packed code on it, so correctness holds for any code (interleaved
+    wrappers, user-defined codes) at the cost of per-sequence work.
+    The structured codes above are the fast path.
+    """
+
+    def __init__(self, code: BlockCode):
+        self.code = code
+        self.packed = packed_block_code(code)
+        self.k = code.k
+        self.r = code.r
+
+    def parity_planes(self, data_planes: Sequence[int],
+                      full: int) -> List[int]:
+        out = [0] * self.r
+        remaining = full
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            sequence = low.bit_length() - 1
+            parity = self.packed.parity(extract_word(data_planes, sequence))
+            for j in range(self.r):
+                if (parity >> (self.r - 1 - j)) & 1:
+                    out[j] |= low
+        return out
+
+
+class PlaneCRCState:
+    """The batch's CRC registers as ``width`` planes (circular buffer).
+
+    ``bit(p)`` is the plane of register bit ``p`` (``p = width - 1`` is
+    the MSB).  The shift of every sequence's register is realised by
+    moving the buffer's base pointer instead of moving ``width`` planes,
+    so one input plane costs O(taps) plane operations for the whole
+    batch.
+    """
+
+    __slots__ = ("_planes", "_base", "_width")
+
+    def __init__(self, width: int, init: int, full: int):
+        self._width = width
+        self._base = 0
+        self._planes = [full if (init >> p) & 1 else 0
+                        for p in range(width)]
+
+    def bit(self, position: int) -> int:
+        """Plane of register bit ``position``."""
+        return self._planes[(self._base + position) % self._width]
+
+    def signature_planes(self) -> List[int]:
+        """Register planes in MSB-first order (signature bit layout)."""
+        return [self.bit(p) for p in range(self._width - 1, -1, -1)]
+
+    def extract(self, sequence: int) -> int:
+        """One sequence's register value (for cross-checks and tests)."""
+        value = 0
+        for p in range(self._width - 1, -1, -1):
+            value = (value << 1) | ((self.bit(p) >> sequence) & 1)
+        return value
+
+    def snapshot(self) -> List[int]:
+        """Stored-signature form consumed by :meth:`mismatch_mask`."""
+        return self.signature_planes()
+
+    def mismatch_mask(self, stored: Sequence[int]) -> int:
+        """Plane of sequences whose signature differs from ``stored``."""
+        mask = 0
+        for fresh, old in zip(self.signature_planes(), stored):
+            mask |= fresh ^ old
+        return mask
+
+
+class PlaneCRC:
+    """Batch-parallel CRC over bit planes.
+
+    One :meth:`step` folds one stream *plane* (one stream bit of every
+    sequence) into the batch's registers, mirroring
+    :meth:`repro.codes.crc.CRCCode._step` per sequence:
+
+    ``feedback = register[msb] ^ input; register <<= 1;
+    if feedback: register ^= poly``
+
+    The feedback branch is data-dependent per sequence, but since XOR
+    with ``poly`` is linear the plane form is branch-free: every tap
+    plane absorbs ``feedback_plane``.
+    """
+
+    def __init__(self, code: CRCCode):
+        self.code = code
+        self.packed = packed_stream_code(code)
+        self.width = code.width
+        self.poly = code.poly
+        self.init = code.init
+        self._taps = tuple(p for p in range(code.width)
+                           if (code.poly >> p) & 1)
+
+    def new_state(self, full: int) -> PlaneCRCState:
+        return PlaneCRCState(self.width, self.init, full)
+
+    def step(self, state: PlaneCRCState, in_plane: int) -> None:
+        width = state._width
+        feedback = state.bit(width - 1) ^ in_plane
+        # Shift left: new bit p is old bit p - 1; the freed bit-0 slot
+        # is the old MSB slot, cleared before the taps absorb feedback.
+        state._base = (state._base - 1) % width
+        state._planes[state._base] = 0
+        if feedback:
+            planes = state._planes
+            base = state._base
+            for p in self._taps:
+                planes[(base + p) % width] ^= feedback
+
+
+class PlaneStreamAdapter:
+    """Plane facade over an arbitrary :class:`StreamCode`.
+
+    Keeps one scalar register per sequence and steps each of them per
+    input plane -- correct for any stream code, with no batch speedup.
+    Registered CRCs use :class:`PlaneCRC` instead.
+    """
+
+    class State:
+        __slots__ = ("registers",)
+
+        def __init__(self, registers: List[int]):
+            self.registers = registers
+
+        def extract(self, sequence: int) -> int:
+            return self.registers[sequence]
+
+        def snapshot(self) -> List[int]:
+            return list(self.registers)
+
+        def mismatch_mask(self, stored: Sequence[int]) -> int:
+            mask = 0
+            for b, (fresh, old) in enumerate(zip(self.registers, stored)):
+                if fresh != old:
+                    mask |= 1 << b
+            return mask
+
+    def __init__(self, code: StreamCode):
+        self.code = code
+        self.packed = packed_stream_code(code)
+        self.width = code.signature_bits
+
+    def new_state(self, full: int) -> "PlaneStreamAdapter.State":
+        init = self.code._initial_register()
+        return self.State([init] * full.bit_length())
+
+    def step(self, state: "PlaneStreamAdapter.State", in_plane: int) -> None:
+        step = self.code._step
+        registers = state.registers
+        for b in range(len(registers)):
+            registers[b] = step(registers[b], (in_plane >> b) & 1)
+
+
+def plane_block_code(code: BlockCode):
+    """Fastest plane implementation for a reference block code."""
+    if type(code) is HammingCode:
+        return PlaneHamming(code)
+    if isinstance(code, SECDEDCode):
+        return PlaneSECDED(code)
+    if isinstance(code, ParityCode):
+        return PlaneParity(code)
+    return PlaneBlockAdapter(code)
+
+
+def plane_stream_code(code: StreamCode):
+    """Fastest plane implementation for a reference stream code."""
+    if isinstance(code, CRCCode):
+        return PlaneCRC(code)
+    return PlaneStreamAdapter(code)
+
+
+__all__ = [
+    "PlaneHamming",
+    "PlaneSECDED",
+    "PlaneParity",
+    "PlaneBlockAdapter",
+    "PlaneCRC",
+    "PlaneCRCState",
+    "PlaneStreamAdapter",
+    "plane_block_code",
+    "plane_stream_code",
+    "extract_word",
+]

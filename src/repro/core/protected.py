@@ -38,6 +38,10 @@ from repro.core.monitor import (
     build_monitor_blocks,
 )
 from repro.core.scan_config import ScanChainConfig
+from repro.engines import registry as engine_registry
+from repro.engines.base import SimulationEngine
+from repro.engines.packing import pack_chains, replicate_states
+from repro.faults.batch import apply_batch_flips, batch_pattern_flips
 from repro.faults.injector import ScanErrorInjector
 from repro.faults.patterns import ErrorPattern
 from repro.power.domain import PowerDomain, SwitchNetwork, WakeEvent
@@ -177,16 +181,21 @@ class ProtectedDesign:
     lfsr_seed:
         Seed of the error injector's LFSRs.
     engine:
-        Simulation engine for the encode/decode passes:
-        ``"reference"`` (default) drives the bit-serial per-flop
-        models in :mod:`repro.core.monitor`; ``"packed"`` runs the
-        bit-exact packed-integer fast path of
-        :class:`repro.fastpath.engine.PackedMonitorEngine` instead.
-        Results are identical either way (property-tested); only the
-        wall-clock cost of :meth:`sleep_wake_cycle` changes.
+        Simulation engine for the encode/decode passes, resolved
+        through the registry of :mod:`repro.engines`: ``"reference"``
+        (default) drives the bit-serial per-flop models in
+        :mod:`repro.core.monitor`; ``"packed"`` runs the bit-exact
+        packed-integer fast path of
+        :class:`repro.fastpath.engine.PackedMonitorEngine`;
+        ``"batched"`` runs the bit-plane engine of
+        :class:`repro.engines.bitplane.BitPlaneBatchedEngine`, which
+        additionally unlocks the fast path of
+        :meth:`sleep_wake_cycle_batch`.  Third-party engines appear
+        here automatically once registered with
+        :func:`repro.engines.register_engine`.  Results are identical
+        across engines (property-tested); only the wall-clock cost
+        changes.
     """
-
-    ENGINES = ("reference", "packed")
 
     def __init__(self, circuit: SequentialCircuit,
                  codes: Union[CodeSpec, Sequence[CodeSpec]] = "hamming(7,4)",
@@ -243,7 +252,10 @@ class ProtectedDesign:
         self._energy_calculator = EnergyCalculator(self._power_estimator)
 
         self._engine = self.validate_engine(engine)
-        self._packed_engine = None  # built lazily on first packed pass
+        # Engine instances, built lazily per engine name and keyed on
+        # the monitor bank / chain geometry they were built from, so a
+        # rebuilt bank or re-balanced chain set invalidates them.
+        self._engine_cache: dict = {}
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -290,12 +302,13 @@ class ProtectedDesign:
         return chains
 
     # ------------------------------------------------------------------
-    # Engine selection (bit-serial reference vs packed fast path)
+    # Engine selection (registry-backed; see repro.engines)
     # ------------------------------------------------------------------
     @classmethod
     def available_engines(cls) -> Tuple[str, ...]:
-        """The simulation engines this design class supports."""
-        return tuple(cls.ENGINES)
+        """The registered simulation engines (built-ins plus anything
+        added through :func:`repro.engines.register_engine`)."""
+        return engine_registry.available_engines()
 
     @classmethod
     def validate_engine(cls, engine: str) -> str:
@@ -305,29 +318,44 @@ class ProtectedDesign:
         This is the public entry point for anything that selects an
         engine on a design's behalf (campaign drivers, sharded tasks):
         validate eagerly here so a typo fails at configuration time,
-        not deep inside a worker process.
+        not deep inside a worker process.  The name set and the error
+        message both come from the engine registry, so third-party
+        engines appear automatically.
         """
-        if engine not in cls.ENGINES:
-            raise ValueError(
-                f"unknown engine {engine!r}; choose from "
-                f"{cls.available_engines()}")
-        return engine
+        return engine_registry.validate_engine(engine)
 
     @property
     def engine(self) -> str:
-        """The active simulation engine (``"reference"`` or ``"packed"``)."""
+        """The active simulation engine's registry name."""
         return self._engine
 
     def set_engine(self, engine: str) -> None:
         """Switch the simulation engine for subsequent cycles."""
         self._engine = self.validate_engine(engine)
 
+    def _resolve_engine(self, name: Optional[str] = None) -> SimulationEngine:
+        """The engine instance for ``name`` (default: the active one).
+
+        Instances are cached per name, keyed on the monitor bank object
+        and the chain geometry they were built from; replacing
+        ``monitor_bank`` or rebuilding ``chains`` therefore yields a
+        fresh engine instead of silently reusing one built for the old
+        structure (the historical ``_packed_engine`` staleness hazard).
+        """
+        if name is None:
+            name = self._engine
+        geometry = (len(self.chains), len(self.chains[0]))
+        entry = self._engine_cache.get(name)
+        if (entry is not None and entry[0] is self.monitor_bank
+                and entry[1] == geometry):
+            return entry[2]
+        engine = engine_registry.get_engine(name, self)
+        self._engine_cache[name] = (self.monitor_bank, geometry, engine)
+        return engine
+
     def _get_packed_engine(self):
-        if self._packed_engine is None:
-            from repro.fastpath.engine import PackedMonitorEngine
-            self._packed_engine = PackedMonitorEngine(
-                self.monitor_bank, self.num_chains, self.chain_length)
-        return self._packed_engine
+        """The packed-integer engine core (back-compat accessor)."""
+        return self._resolve_engine("packed").engine
 
     def _pack_chains(self) -> Tuple[List[int], List[int]]:
         """Snapshot the chains into packed (states, knowns) integers.
@@ -336,36 +364,7 @@ class ProtectedDesign:
         ``i``; unknown (``None``) flops have a 0 known bit and a 0
         state bit, matching the monitors' treat-X-as-0 rule.
         """
-        from repro.fastpath.packed_chain import pack_state
-        states: List[int] = []
-        knowns: List[int] = []
-        for chain in self.chains:
-            state, known = pack_state([flop.q for flop in chain.flops])
-            states.append(state)
-            knowns.append(known)
-        return states, knowns
-
-    def _write_back_chains(self, old_states: List[int],
-                           old_knowns: List[int],
-                           new_states: List[int]) -> None:
-        """Write packed decode results back into the flop objects.
-
-        Only bits that changed value (or were unknown and are now
-        driven to a known value) are touched, so a clean decode pass
-        costs no per-flop writes at all.
-        """
-        full = (1 << self.chain_length) - 1
-        for chain, old, known, new in zip(self.chains, old_states,
-                                          old_knowns, new_states):
-            stale = (old ^ new) | (full & ~known)
-            if not stale:
-                continue
-            flops = chain.flops
-            while stale:
-                low = stale & -stale
-                stale ^= low
-                i = low.bit_length() - 1
-                flops[i].force((new >> i) & 1)
+        return pack_chains(self.chains)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -427,14 +426,11 @@ class ProtectedDesign:
 
         pre_state = self._all_state()
         self.corrector.clear()
+        engine = self._resolve_engine()
 
         # -- encode sequence ------------------------------------------------
         self.controller.sleep_request()
-        if self._engine == "packed":
-            states, knowns = self._pack_chains()
-            self._get_packed_engine().encode_pass(states, knowns)
-        else:
-            self.monitor_bank.encode_pass(self.chains)
+        engine.encode_pass(self)
         self.controller.encode_completed()
 
         # -- sleep sequence ------------------------------------------------
@@ -462,13 +458,7 @@ class ProtectedDesign:
         injected_errors = pre_state.hamming_distance(corrupted_state)
 
         # -- decode sequence -------------------------------------------------
-        if self._engine == "packed":
-            states, knowns = self._pack_chains()
-            reports, corrected = self._get_packed_engine().decode_pass(
-                states, knowns)
-            self._write_back_chains(states, knowns, corrected)
-        else:
-            reports = self.monitor_bank.decode_pass(self.chains)
+        reports = engine.decode_pass(self)
         for report in reports:
             self.corrector.record(report.corrections)
 
@@ -498,6 +488,181 @@ class ProtectedDesign:
             corrections_applied=self.corrector.num_corrections,
             wake_event=wake_event,
             reports=tuple(reports))
+
+    def sleep_wake_cycle_batch(self,
+                               injections: Sequence[Optional[ErrorPattern]],
+                               inject_phase: str = "sleep"
+                               ) -> List[CycleOutcome]:
+        """Run ``B`` independent sleep/wake sequences as one batch.
+
+        Every sequence starts from the design's *current* state; entry
+        ``b`` of ``injections`` (an :class:`ErrorPattern` or ``None``)
+        is injected into sequence ``b``'s private copy.  Returns one
+        :class:`CycleOutcome` per sequence, bit-for-bit identical to
+        running :meth:`sleep_wake_cycle` once per pattern from this
+        same state (the property suite enforces this).
+
+        When the active engine supports batching (``"batched"``), the
+        whole batch is simulated in bit-plane form -- the physical
+        controller and power domain are sequenced **once** for the
+        batch, the per-sequence outcomes are computed virtually, and
+        the circuit's own state is left exactly as it was.  Engines
+        without batch support fall back to a per-sequence loop with a
+        state snapshot/restore around each sequence, so the semantics
+        (including the untouched final state) are engine-independent.
+
+        Restrictions: the domain must have no ``upset_model`` (batched
+        campaigns inject errors explicitly, like the paper's), and the
+        shared controller records one aggregate decode verdict for the
+        batched path -- per-sequence error codes are derived from each
+        sequence's own detect/correct flags, exactly as the controller
+        FSM would.  Uncorrectable sequences always auto-recover the
+        controller (the test bench keeps going and counts the event,
+        as in the paper's FPGA campaign); each sequence's
+        ``error_code`` still reports ``UNCORRECTABLE``.
+        """
+        if inject_phase not in ("sleep", "post_wake"):
+            raise ValueError("inject_phase must be 'sleep' or 'post_wake'")
+        patterns = list(injections)
+        if not patterns:
+            raise ValueError("the batch needs at least one sequence")
+        if self.domain.upset_model is not None:
+            raise ValueError(
+                "sleep_wake_cycle_batch requires upset_model=None: "
+                "droop-driven upsets would be shared across the whole "
+                "batch; inject errors explicitly instead")
+        # Resolve the injection coordinates eagerly: a malformed
+        # pattern must fail before the controller/domain leave ACTIVE
+        # on EITHER path -- never strand the design mid-sleep (same
+        # validate-eagerly policy as the engine names).
+        flips = batch_pattern_flips(patterns, self.num_chains,
+                                    self.chain_length)
+        engine = self._resolve_engine()
+        if not engine.supports_batch:
+            return self._batch_fallback(patterns, inject_phase)
+
+        batch_size = len(patterns)
+        full = (1 << batch_size) - 1
+        length = self.chain_length
+        self.corrector.clear()
+        states, knowns = self._pack_chains()
+        unknown_positions = sum(length - known.bit_count()
+                                for known in knowns)
+
+        # -- encode sequence (shared pre-sleep state) ----------------------
+        self.controller.sleep_request()
+        planes = replicate_states(states, length, full)
+        engine.encode_pass_batch(planes, knowns, batch_size)
+        self.controller.encode_completed()
+
+        # -- sleep sequence (the physical domain cycles once) --------------
+        self.domain.enter_sleep()
+        for pad in self._padding:
+            pad.retain()
+            pad.power_off()
+        self.controller.sleep_entered()
+
+        if inject_phase == "sleep":
+            injected = apply_batch_flips(planes, knowns, flips, batch_size)
+
+        # -- wake-up sequence ----------------------------------------------
+        self.controller.wake_request()
+        wake_event = self.domain.wake_up()
+        for pad in self._padding:
+            pad.power_on()
+            pad.restore()
+        self.controller.wake_completed()
+
+        if inject_phase == "post_wake":
+            injected = apply_batch_flips(planes, knowns, flips, batch_size)
+
+        # -- decode sequence -----------------------------------------------
+        result = engine.decode_pass_batch(planes, knowns, batch_size)
+        for sequence_reports in result.reports:
+            for report in sequence_reports:
+                if report.corrections:
+                    self.corrector.record(report.corrections)
+
+        # Ground truth per sequence: positions still differing from the
+        # pre-sleep state.  Unknown pre-sleep bits always count -- the
+        # decode pass drives them, so they differ from X by definition
+        # (same rule as StateSnapshot.diff in the scalar path).
+        residuals = [unknown_positions] * batch_size
+        corrected = result.corrected
+        for c, (state, known) in enumerate(zip(states, knowns)):
+            chain_planes = corrected[c]
+            for i in range(length):
+                if not (known >> i) & 1:
+                    continue
+                diff = (full if (state >> i) & 1 else 0) ^ chain_planes[i]
+                while diff:
+                    low = diff & -diff
+                    diff ^= low
+                    residuals[low.bit_length() - 1] += 1
+
+        # The shared controller consumes one aggregate verdict; the
+        # per-sequence error codes replay its pure decode mapping.
+        any_detected = result.detected_mask != 0
+        any_uncorrectable = result.uncorrectable_mask != 0
+        batch_code = self.controller.decode_completed(
+            error_detected=any_detected,
+            fully_corrected=any_detected and not any_uncorrectable)
+        if batch_code is ErrorCode.UNCORRECTABLE:
+            self.controller.recovery_completed()
+
+        outcomes: List[CycleOutcome] = []
+        for b in range(batch_size):
+            bit = 1 << b
+            detected = bool(result.detected_mask & bit)
+            uncorrectable = bool(result.uncorrectable_mask & bit)
+            corrected_claim = detected and not uncorrectable
+            if not detected:
+                error_code = ErrorCode.NONE
+            elif corrected_claim:
+                error_code = ErrorCode.CORRECTED
+            else:
+                error_code = ErrorCode.UNCORRECTABLE
+            outcomes.append(CycleOutcome(
+                injected_errors=injected[b],
+                detected=detected,
+                corrected_claim=corrected_claim,
+                state_intact=(residuals[b] == 0),
+                residual_errors=residuals[b],
+                error_code=error_code,
+                corrections_applied=result.corrections.get(b, 0),
+                wake_event=wake_event,
+                reports=result.reports[b]))
+        return outcomes
+
+    def _batch_fallback(self, patterns: List[Optional[ErrorPattern]],
+                        inject_phase: str) -> List[CycleOutcome]:
+        """Per-sequence batch emulation for non-batch engines.
+
+        Each sequence runs a full scalar cycle (always auto-recovering,
+        matching the batched path's aggregate recovery) and the
+        register state (circuit plus padding) is restored afterwards,
+        so every sequence starts from the same state and the batch
+        leaves the design untouched -- the same virtual-copies
+        semantics as the bit-plane path.
+        """
+        flops = list(self.circuit.registers) + self._padding
+        snapshot = [flop.q for flop in flops]
+        outcomes: List[CycleOutcome] = []
+        for pattern in patterns:
+            outcomes.append(self.sleep_wake_cycle(
+                injection=pattern, inject_phase=inject_phase,
+                auto_recover=True))
+            for flop, value in zip(flops, snapshot):
+                flop.force(value)
+        # Leave the shared corrector holding the whole batch's events
+        # (each scalar cycle cleared it), matching the batched path so
+        # design.corrector reads the same aggregate on every engine.
+        self.corrector.clear()
+        for outcome in outcomes:
+            for report in outcome.reports:
+                if report.corrections:
+                    self.corrector.record(report.corrections)
+        return outcomes
 
     def unprotected_sleep_wake_cycle(
             self, injection: Optional[ErrorPattern] = None) -> CycleOutcome:

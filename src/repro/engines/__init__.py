@@ -1,0 +1,43 @@
+"""Pluggable simulation engines for the monitored sleep/wake passes.
+
+The subsystem has three parts:
+
+* :mod:`repro.engines.base` -- the :class:`SimulationEngine` protocol
+  (scalar ``encode_pass``/``decode_pass`` plus an optional bit-plane
+  batch interface advertised through :class:`EngineCapabilities`);
+* :mod:`repro.engines.registry` -- name-based registration and lookup,
+  mirroring :mod:`repro.codes.registry`; registering a factory is the
+  only step needed for an engine to be selectable everywhere;
+* the built-in engines: ``"reference"`` (bit-serial per-flop models),
+  ``"packed"`` (packed-integer fast path,
+  :mod:`repro.engines.packed`), and ``"batched"`` (bit-plane batch
+  engine simulating B sequences per pass,
+  :mod:`repro.engines.bitplane`).
+
+See the README's "Engine architecture" section for when to pick which
+engine and how to register a custom one.
+"""
+
+from repro.engines.base import (
+    BatchDecodeResult,
+    EngineCapabilities,
+    SimulationEngine,
+)
+from repro.engines.registry import (
+    available_engines,
+    get_engine,
+    register_engine,
+    unregister_engine,
+    validate_engine,
+)
+
+__all__ = [
+    "BatchDecodeResult",
+    "EngineCapabilities",
+    "SimulationEngine",
+    "available_engines",
+    "get_engine",
+    "register_engine",
+    "unregister_engine",
+    "validate_engine",
+]

@@ -1,0 +1,153 @@
+"""The simulation-engine protocol.
+
+A *simulation engine* owns the encode/decode monitoring passes of a
+:class:`~repro.core.protected.ProtectedDesign`: everything between
+"circulate the chains through the monitoring blocks" and "the chains
+now hold the (corrected) state".  The design object sequences the
+controller, the power domain and the fault injection; the engine only
+decides *how* the passes are computed -- per-flop objects, packed
+integers, bit planes, or anything a third party registers.
+
+Engines are constructed per design (one engine instance serves one
+monitor bank / chain geometry) by the factories in
+:mod:`repro.engines.registry` and cached on the design, keyed on the
+bank and geometry they were built from, so a design whose monitoring
+structure is rebuilt gets a fresh engine automatically.
+
+Two interfaces exist:
+
+* the **scalar** interface (:meth:`SimulationEngine.encode_pass` /
+  :meth:`~SimulationEngine.decode_pass`), mandatory, drives one design
+  through one pass and leaves the corrected state in the design's
+  chains;
+* the **batch** interface (:meth:`~SimulationEngine.encode_pass_batch`
+  / :meth:`~SimulationEngine.decode_pass_batch`), advertised through
+  :class:`EngineCapabilities`, which simulates ``B`` independent
+  sequences per call over *bit planes*: plane ``planes[c][i]`` holds
+  scan position ``i`` of chain ``c`` for every sequence at once, bit
+  ``b`` belonging to batch sequence ``b``.
+  :meth:`~repro.core.protected.ProtectedDesign.sleep_wake_cycle_batch`
+  uses it when available and falls back to a per-sequence loop (with
+  identical semantics) when not.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.monitor import MonitorReport
+
+
+@dataclass(frozen=True)
+class EngineCapabilities:
+    """What an engine can do beyond the mandatory scalar passes.
+
+    Attributes
+    ----------
+    batch:
+        True when the engine implements the bit-plane batch interface
+        (``encode_pass_batch`` / ``decode_pass_batch``).  Engines
+        without it still work in batched campaigns through the
+        per-sequence fallback loop.
+    """
+
+    batch: bool = False
+
+
+@dataclass
+class BatchDecodeResult:
+    """Outcome of one batched decode pass over ``B`` sequences.
+
+    Attributes
+    ----------
+    reports:
+        Per-sequence report tuples, each in the monitor bank's block
+        order.  Clean sequences share one cached tuple (reports are
+        frozen), so a mostly-clean batch allocates almost nothing.
+    corrected:
+        The post-decode bit planes, ``corrected[c][i]`` being scan
+        position ``i`` of chain ``c`` (every bit driven -- the decode
+        pass reloads unknown bits as 0, like the reference).
+    detected_mask / uncorrectable_mask:
+        Planes of the per-sequence ``any(r.error_detected)`` /
+        ``any(r.uncorrectable)`` verdicts.
+    corrections:
+        Per-sequence count of issued bit corrections, keyed by sequence
+        index; absent sequences had none.
+    """
+
+    reports: List[Tuple[MonitorReport, ...]]
+    corrected: List[List[int]]
+    detected_mask: int = 0
+    uncorrectable_mask: int = 0
+    corrections: Dict[int, int] = field(default_factory=dict)
+
+
+class SimulationEngine(ABC):
+    """Interface every simulation engine implements.
+
+    Concrete engines are built by a registered factory receiving the
+    design (see :func:`repro.engines.registry.register_engine`); they
+    may capture the design's monitor bank and chain geometry at
+    construction time -- the design's engine cache guarantees they are
+    rebuilt when either changes.
+    """
+
+    #: Registry name the engine was registered under (set by the
+    #: registry when the factory returns, so subclasses need not).
+    name: str = ""
+
+    #: Capability flags; override in subclasses.
+    capabilities: EngineCapabilities = EngineCapabilities()
+
+    @property
+    def supports_batch(self) -> bool:
+        """True when the bit-plane batch interface is available."""
+        return self.capabilities.batch
+
+    # -- scalar interface ----------------------------------------------
+    @abstractmethod
+    def encode_pass(self, design) -> int:
+        """Run one encoding pass over ``design``'s chains.
+
+        Stores the check bits (inside the engine or the design's
+        monitor blocks, implementation's choice) and returns the cycle
+        count.  The chain state is left unchanged (a full circulation
+        is the identity).
+        """
+
+    @abstractmethod
+    def decode_pass(self, design) -> List[MonitorReport]:
+        """Run one decoding pass with on-the-fly correction.
+
+        Applies corrections to the design's chains (after the pass the
+        chains hold the corrected, fully-driven state) and returns the
+        per-block reports in the bank's block order.
+        """
+
+    # -- batch interface (optional) ------------------------------------
+    def encode_pass_batch(self, planes: Sequence[Sequence[int]],
+                          knowns: Sequence[int], batch_size: int) -> int:
+        """Batched encode over bit planes; see the module docstring.
+
+        ``knowns[c]`` is chain ``c``'s known-bit mask (bit ``i`` = scan
+        position ``i``), shared by every sequence of the batch; planes
+        at unknown positions must be all-zero (the monitors'
+        treat-X-as-0 rule).
+        """
+        raise NotImplementedError(
+            f"engine {self.name or type(self).__name__!r} does not "
+            f"implement batched passes (capabilities.batch is False)")
+
+    def decode_pass_batch(self, planes: Sequence[Sequence[int]],
+                          knowns: Sequence[int],
+                          batch_size: int) -> BatchDecodeResult:
+        """Batched decode over bit planes; see the module docstring."""
+        raise NotImplementedError(
+            f"engine {self.name or type(self).__name__!r} does not "
+            f"implement batched passes (capabilities.batch is False)")
+
+
+__all__ = ["EngineCapabilities", "BatchDecodeResult", "SimulationEngine"]

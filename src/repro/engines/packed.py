@@ -1,0 +1,41 @@
+"""Registry adapter for the packed-integer fast path.
+
+Wraps :class:`repro.fastpath.engine.PackedMonitorEngine` behind the
+:class:`~repro.engines.base.SimulationEngine` interface: the adapter
+owns the pack/write-back boundary, the wrapped engine does the
+bit-exact packed passes.  One adapter serves one monitor bank and
+chain geometry (the design's engine cache rebuilds it when either
+changes -- the fix for the historical stale-engine hazard).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.monitor import MonitorBank, MonitorReport
+from repro.engines.base import EngineCapabilities, SimulationEngine
+from repro.engines.packing import pack_chains, write_back_chains
+from repro.fastpath.engine import PackedMonitorEngine
+
+
+class PackedEngineAdapter(SimulationEngine):
+    """Packed-integer simulation of the encode/decode passes."""
+
+    capabilities = EngineCapabilities(batch=False)
+
+    def __init__(self, bank: MonitorBank, num_chains: int,
+                 chain_length: int):
+        self.engine = PackedMonitorEngine(bank, num_chains, chain_length)
+
+    def encode_pass(self, design) -> int:
+        states, knowns = pack_chains(design.chains)
+        return self.engine.encode_pass(states, knowns)
+
+    def decode_pass(self, design) -> List[MonitorReport]:
+        states, knowns = pack_chains(design.chains)
+        reports, corrected = self.engine.decode_pass(states, knowns)
+        write_back_chains(design.chains, states, knowns, corrected)
+        return reports
+
+
+__all__ = ["PackedEngineAdapter"]

@@ -92,6 +92,80 @@ class _PackedStreamMonitor:
         return stream, length * width
 
 
+def classify_monitors(bank: MonitorBank, block_factory, stream_factory):
+    """Build an engine's monitor wrappers from a bank, in bank order.
+
+    Shared by the packed and bit-plane engines so the classification
+    policy (correcting vs observing, report order, and the
+    overlapping-correctors criterion the replay path keys on) lives in
+    one place.  Returns ``(order, correcting, observing, overlapping)``
+    where ``order`` is ``[("block"|"stream", monitor), ...]``.
+    """
+    order: List[Tuple[str, object]] = []
+    correcting: List[object] = []
+    observing: List[object] = []
+    for block in bank.blocks:
+        if block.can_correct:
+            monitor = block_factory(block)
+            correcting.append(monitor)
+            order.append(("block", monitor))
+        else:
+            monitor = stream_factory(block)
+            observing.append(monitor)
+            order.append(("stream", monitor))
+    # When several correcting blocks cover the same chain the reference
+    # lets the *last* block's slice win on the feedback path; sparse
+    # fast paths assume disjoint coverage and fall back to the shared
+    # replay when they overlap.
+    covered: set = set()
+    overlapping = False
+    for monitor in correcting:
+        if covered.intersection(monitor.chain_indices):
+            overlapping = True
+        covered.update(monitor.chain_indices)
+    return order, correcting, observing, overlapping
+
+
+def replay_overlapping_feedback(monitors, states: Sequence[int],
+                                length: int, stored_word) -> List[int]:
+    """Reference-faithful feedback replay for overlapping correctors.
+
+    The reference lets every correcting block assign its (possibly
+    uncorrected) slice onto the feedback path in bank order, so on
+    shared chains the last block wins even where an earlier block
+    corrected.  This is the single implementation of that rule, shared
+    by the packed and bit-plane engines (which otherwise assume
+    disjoint coverage): ``monitors`` expose ``chain_indices`` /
+    ``width`` / ``k`` and a packed ``decode_slice``;
+    ``stored_word(monitor, cycle)`` returns the stored parity word of
+    one cycle.  Operates on (and returns) packed per-chain states.
+    """
+    corrected = list(states)
+    for cycle in range(length):
+        position = length - 1 - cycle
+        bit_mask = 1 << position
+        for monitor in monitors:
+            top = monitor.k - 1
+            data = 0
+            for local, chain_index in enumerate(monitor.chain_indices):
+                data |= ((states[chain_index] >> position) & 1) \
+                    << (top - local)
+            _status, corrected_data, positions = \
+                monitor.packed.decode_slice(data, stored_word(monitor,
+                                                              cycle))
+            slice_bits = data
+            for p in positions:
+                if p < monitor.width:
+                    slice_bits = corrected_data
+                    break
+            for local, chain_index in enumerate(monitor.chain_indices):
+                if (slice_bits >> (top - local)) & 1:
+                    corrected[chain_index] |= bit_mask
+                else:
+                    corrected[chain_index] &= ~bit_mask
+    return corrected
+
+
 class PackedMonitorEngine:
     """Packed-integer equivalent of a monitor bank's encode/decode.
 
@@ -109,27 +183,9 @@ class PackedMonitorEngine:
     def __init__(self, bank: MonitorBank, num_chains: int, chain_length: int):
         self.num_chains = num_chains
         self.chain_length = chain_length
-        self._order: List[Tuple[str, object]] = []
-        self._correcting: List[_PackedBlockMonitor] = []
-        self._observing: List[_PackedStreamMonitor] = []
-        for block in bank.blocks:
-            if block.can_correct:
-                monitor = _PackedBlockMonitor(block)
-                self._correcting.append(monitor)
-                self._order.append(("block", monitor))
-            else:
-                monitor = _PackedStreamMonitor(block)
-                self._observing.append(monitor)
-                self._order.append(("stream", monitor))
-        # When several correcting blocks cover the same chain the
-        # reference lets the *last* block's slice win on the feedback
-        # path; the sparse fast path below assumes disjoint coverage.
-        covered: set = set()
-        self._overlapping_correctors = False
-        for monitor in self._correcting:
-            if covered.intersection(monitor.chain_indices):
-                self._overlapping_correctors = True
-            covered.update(monitor.chain_indices)
+        (self._order, self._correcting, self._observing,
+         self._overlapping_correctors) = classify_monitors(
+            bank, _PackedBlockMonitor, _PackedStreamMonitor)
         self._encoded = False
 
     # ------------------------------------------------------------------
@@ -262,35 +318,16 @@ class PackedMonitorEngine:
     # ------------------------------------------------------------------
     def _replay_overlapping(self, states: Sequence[int],
                             length: int) -> List[int]:
-        """Faithful feedback replay when correcting blocks share chains.
-
-        The reference lets every correcting block assign its (possibly
-        uncorrected) slice onto the feedback path in bank order, so on
-        shared chains the last block wins even where an earlier block
-        corrected.  This path replays that assignment cycle by cycle;
-        it only runs for overlapping configurations.
-        """
-        corrected = list(states)
-        for cycle in range(length):
-            position = length - 1 - cycle
-            bit_mask = 1 << position
-            for monitor in self._correcting:
-                data = monitor.gather(states, position)
-                _status, corrected_data, positions = \
-                    monitor.packed.decode_slice(
-                        data, monitor.stored_parity[cycle])
-                slice_bits = data
-                for p in positions:
-                    if p < monitor.width:
-                        slice_bits = corrected_data
-                        break
-                top = monitor.k - 1
-                for local, chain_index in enumerate(monitor.chain_indices):
-                    if (slice_bits >> (top - local)) & 1:
-                        corrected[chain_index] |= bit_mask
-                    else:
-                        corrected[chain_index] &= ~bit_mask
-        return corrected
+        """Feedback replay when correcting blocks share chains; only
+        runs for overlapping configurations (see
+        :func:`replay_overlapping_feedback`)."""
+        return replay_overlapping_feedback(
+            self._correcting, states, length,
+            lambda monitor, cycle: monitor.stored_parity[cycle])
 
 
-__all__ = ["PackedMonitorEngine"]
+__all__ = [
+    "PackedMonitorEngine",
+    "classify_monitors",
+    "replay_overlapping_feedback",
+]

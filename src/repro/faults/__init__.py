@@ -10,6 +10,10 @@ Implements the paper's validation machinery (Section IV):
   (burst) patterns of Fig. 7;
 * :mod:`repro.faults.droop` -- a physically motivated injector that
   derives upsets from the rush-current droop model instead of an LFSR;
+* :mod:`repro.faults.batch` -- batch fault injection over bit-plane
+  state: one XOR per targeted scan cell injects a whole batch of
+  per-sequence patterns (the injection side of
+  :mod:`repro.engines.bitplane`);
 * :mod:`repro.faults.campaign` -- bookkeeping of injected / detected /
   corrected counts across a campaign.
 """
@@ -23,6 +27,7 @@ from repro.faults.patterns import (
     burst_error_pattern,
     random_pattern,
 )
+from repro.faults.batch import apply_batch_flips, batch_pattern_flips
 from repro.faults.droop import DroopFaultInjector
 from repro.faults.campaign import CampaignStats, InjectionRecord
 
@@ -37,6 +42,8 @@ __all__ = [
     "multi_error_pattern",
     "burst_error_pattern",
     "random_pattern",
+    "apply_batch_flips",
+    "batch_pattern_flips",
     "DroopFaultInjector",
     "CampaignStats",
     "InjectionRecord",

@@ -1,0 +1,72 @@
+"""Batch fault injection over bit-plane state.
+
+One :class:`~repro.faults.patterns.ErrorPattern` per sequence of a
+batch is turned into per-``(chain, position)`` *sequence masks*: bit
+``b`` of the mask says "flip this scan cell in sequence ``b``".
+Applying a whole batch's worth of injections then costs one XOR per
+targeted scan cell -- independent of the batch size -- which is the
+injection-side counterpart of the bit-plane engine's batched passes
+(:mod:`repro.engines.bitplane`).
+
+Flips are gated by the chains' known masks, matching the reference
+injector's no-op on unknown (``None``) flops, and the per-sequence
+count of *effective* flips is returned so campaign statistics see the
+same ``injected_errors`` the reference path reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.faults.patterns import ErrorPattern
+
+#: Per-(chain, position) sequence masks of a batch injection.
+BatchFlips = Dict[Tuple[int, int], int]
+
+
+def batch_pattern_flips(patterns: Sequence[Optional[ErrorPattern]],
+                        num_chains: int, chain_length: int) -> BatchFlips:
+    """Resolve one pattern per sequence into per-cell sequence masks.
+
+    ``None`` entries are clean sequences.  Raises ``ValueError`` when a
+    pattern addresses a cell outside the ``num_chains x chain_length``
+    scan array (same eager check as the scalar injectors).
+    """
+    flips: BatchFlips = {}
+    for b, pattern in enumerate(patterns):
+        if pattern is None:
+            continue
+        bit = 1 << b
+        for chain, position in pattern.locations:
+            if chain >= num_chains or position >= chain_length:
+                raise ValueError(
+                    f"error location ({chain}, {position}) outside the "
+                    f"{num_chains}x{chain_length} scan array")
+            key = (chain, position)
+            flips[key] = flips.get(key, 0) | bit
+    return flips
+
+
+def apply_batch_flips(planes: Sequence[List[int]], knowns: Sequence[int],
+                      flips: BatchFlips, batch_size: int) -> List[int]:
+    """XOR a batch's flips into the planes; returns per-sequence counts.
+
+    Flips landing on unknown positions are dropped (the reference
+    injector cannot flip an X), so ``counts[b]`` equals the Hamming
+    distance the reference path would report for sequence ``b``'s
+    injection.
+    """
+    counts = [0] * batch_size
+    for (chain, position), mask in flips.items():
+        if not (knowns[chain] >> position) & 1:
+            continue
+        planes[chain][position] ^= mask
+        remaining = mask
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            counts[low.bit_length() - 1] += 1
+    return counts
+
+
+__all__ = ["BatchFlips", "batch_pattern_flips", "apply_batch_flips"]

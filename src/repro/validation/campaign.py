@@ -102,11 +102,13 @@ class ValidationCampaign:
         Seed of the campaign RNG (pattern placement).
     engine:
         Optional simulation-engine override used while this campaign
-        runs: ``"packed"`` selects the bit-exact packed-integer fast
-        path of :mod:`repro.fastpath` (the natural choice for large
-        campaigns), ``"reference"`` the bit-serial models.  ``None``
-        keeps the design's current engine.  The design's own engine
-        setting is restored when :meth:`run` returns.
+        runs, resolved through the registry of :mod:`repro.engines`:
+        ``"packed"`` selects the bit-exact packed-integer fast path
+        (the natural choice for large per-sequence campaigns),
+        ``"reference"`` the bit-serial models; any third-party
+        registered engine is accepted too.  ``None`` keeps the
+        design's current engine.  The design's own engine setting is
+        restored when :meth:`run` returns.
     """
 
     def __init__(self, testbench: FIFOTestbench,
@@ -223,15 +225,21 @@ def run_sharded_single_error_campaign(
         inject_phase: str = "sleep",
         engine: Optional[str] = None,
         words_per_sequence: Optional[int] = None,
+        batch_size: Optional[int] = None,
         num_workers: int = 1,
         chunk_size: Optional[int] = None,
         checkpoint_path: Optional[str] = None,
         progress_callback=None) -> StreamingCampaignResult:
-    """Sharded form of :func:`run_single_error_campaign`."""
+    """Sharded form of :func:`run_single_error_campaign`.
+
+    ``batch_size`` (with ``engine="batched"`` for the fast path) runs
+    each chunk's sequences in bit-plane batches; see
+    :class:`~repro.campaigns.tasks.FIFOValidationCampaignTask`.
+    """
     task = FIFOValidationCampaignTask(
         width=width, depth=depth, codes=codes, num_chains=num_chains,
         pattern="single", inject_phase=inject_phase, engine=engine,
-        words_per_sequence=words_per_sequence)
+        words_per_sequence=words_per_sequence, batch_size=batch_size)
     return run_sharded_campaign(task, num_sequences, seed=seed,
                                 num_workers=num_workers,
                                 chunk_size=chunk_size,
@@ -250,16 +258,22 @@ def run_sharded_multiple_error_campaign(
         inject_phase: str = "sleep",
         engine: Optional[str] = None,
         words_per_sequence: Optional[int] = None,
+        batch_size: Optional[int] = None,
         num_workers: int = 1,
         chunk_size: Optional[int] = None,
         checkpoint_path: Optional[str] = None,
         progress_callback=None) -> StreamingCampaignResult:
-    """Sharded form of :func:`run_multiple_error_campaign`."""
+    """Sharded form of :func:`run_multiple_error_campaign`.
+
+    ``batch_size`` (with ``engine="batched"`` for the fast path) runs
+    each chunk's sequences in bit-plane batches; see
+    :class:`~repro.campaigns.tasks.FIFOValidationCampaignTask`.
+    """
     task = FIFOValidationCampaignTask(
         width=width, depth=depth, codes=codes, num_chains=num_chains,
         pattern="burst" if clustered else "multiple",
         burst_size=burst_size, inject_phase=inject_phase, engine=engine,
-        words_per_sequence=words_per_sequence)
+        words_per_sequence=words_per_sequence, batch_size=batch_size)
     return run_sharded_campaign(task, num_sequences, seed=seed,
                                 num_workers=num_workers,
                                 chunk_size=chunk_size,

@@ -1,0 +1,316 @@
+"""Bit-exactness of the bit-plane batched engine.
+
+Two layers of equivalence are enforced:
+
+* **cycle level** -- ``sleep_wake_cycle_batch`` on the batched engine
+  must match, per sequence and bit for bit (outcome fields, per-block
+  reports including correction events, final register state), the same
+  batch run through the per-sequence reference fallback, across every
+  registered code family, chain geometries with and without padding,
+  and batch sizes including B=1 and non-powers-of-two;
+* **engine level** -- ``decode_pass_batch`` over *heterogeneous*
+  per-sequence states (each sequence a different random state) must
+  match the packed engine run once per sequence.
+"""
+
+import random
+import zlib
+
+import pytest
+
+from repro.circuit.generators import make_random_state_circuit
+from repro.core.protected import ProtectedDesign
+from repro.engines.packing import planes_from_states, states_from_planes
+from repro.engines.registry import get_engine
+from repro.fastpath.engine import PackedMonitorEngine
+from repro.faults.patterns import (
+    burst_error_pattern,
+    multi_error_pattern,
+    single_error_pattern,
+)
+
+#: (label, codes, num_chains, num_registers) -- every registered code
+#: family appears at least once (the full CRC table, the whole paper
+#: Hamming family, SECDED and parity), plus the paper's stacked
+#: Hamming+CRC configuration and geometries that force padding cells
+#: and tied-off tail blocks.
+CONFIGS = [
+    ("hamming74_crc16", ["hamming(7,4)", "crc16"], 8, 56),
+    ("hamming74_padded", "hamming(7,4)", 5, 33),
+    ("hamming1511", "hamming(15,11)", 11, 44),
+    ("hamming3126", "hamming(31,26)", 6, 30),
+    ("hamming6357_tail", "hamming(63,57)", 6, 24),
+    ("secded84", "secded(8,4)", 8, 40),
+    ("parity8", "parity(8)", 8, 32),
+    ("crc16_ibm", "crc16-ibm", 4, 36),
+    ("crc16_ccitt", "crc16-ccitt", 4, 28),
+    ("crc8", "crc8", 3, 21),
+    ("crc12", "crc12", 4, 24),
+    ("crc32", "crc32", 4, 32),
+]
+
+BATCH_SIZES = (1, 3, 8)
+
+
+def _pair(seed, num_registers, codes, num_chains):
+    designs = []
+    for engine in ("reference", "batched"):
+        circuit = make_random_state_circuit(num_registers, seed=seed)
+        designs.append(ProtectedDesign(circuit, codes=codes,
+                                       num_chains=num_chains,
+                                       engine=engine))
+    return designs
+
+
+def _patterns(design, batch_size, rng):
+    patterns = []
+    w, l = design.num_chains, design.chain_length
+    for _ in range(batch_size):
+        kind = rng.choice(["none", "single", "single", "burst", "multi"])
+        if kind == "none":
+            patterns.append(None)
+        elif kind == "single":
+            patterns.append(single_error_pattern(w, l, rng))
+        elif kind == "burst":
+            patterns.append(burst_error_pattern(w, l, 4, rng))
+        else:
+            patterns.append(multi_error_pattern(w, l, 3, rng))
+    return patterns
+
+
+def _outcome_tuple(outcome):
+    return (outcome.injected_errors, outcome.detected,
+            outcome.corrected_claim, outcome.state_intact,
+            outcome.residual_errors, outcome.error_code,
+            outcome.corrections_applied, outcome.reports)
+
+
+@pytest.mark.parametrize("label,codes,num_chains,num_registers", CONFIGS)
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_batch_cycle_equivalence(label, codes, num_chains, num_registers,
+                                 batch_size):
+    rng = random.Random(zlib.crc32(f"{label}/{batch_size}".encode()))
+    design_ref, design_bat = _pair(42, num_registers, codes, num_chains)
+    for trial in range(2):
+        patterns = _patterns(design_ref, batch_size, rng)
+        phase = rng.choice(["sleep", "post_wake"])
+        ref = design_ref.sleep_wake_cycle_batch(patterns,
+                                                inject_phase=phase)
+        bat = design_bat.sleep_wake_cycle_batch(patterns,
+                                                inject_phase=phase)
+        assert len(ref) == len(bat) == batch_size
+        for expected, actual in zip(ref, bat):
+            assert _outcome_tuple(actual) == _outcome_tuple(expected)
+        states_ref = [c.read_state() for c in design_ref.chains]
+        states_bat = [c.read_state() for c in design_bat.chains]
+        assert states_bat == states_ref
+
+
+def test_batch_leaves_design_state_untouched():
+    """A batch is virtual: the circuit holds its pre-batch state after,
+    for the bit-plane path and the fallback alike."""
+    for engine in ("batched", "reference"):
+        circuit = make_random_state_circuit(40, seed=5)
+        design = ProtectedDesign(circuit, codes=["hamming(7,4)", "crc16"],
+                                 num_chains=8, engine=engine)
+        before = [c.read_state() for c in design.chains]
+        rng = random.Random(17)
+        patterns = [multi_error_pattern(design.num_chains,
+                                        design.chain_length, 5, rng)
+                    for _ in range(4)]
+        design.sleep_wake_cycle_batch(patterns)
+        assert [c.read_state() for c in design.chains] == before
+
+
+def test_corrector_aggregate_is_engine_independent():
+    """After a batch, design.corrector holds the whole batch's events
+    on every engine (the fallback must not leave only the last
+    sequence's)."""
+    rng = random.Random(41)
+    counts = {}
+    for engine in ("reference", "packed", "batched"):
+        circuit = make_random_state_circuit(56, seed=6)
+        design = ProtectedDesign(circuit, codes=["hamming(7,4)", "crc16"],
+                                 num_chains=8, engine=engine)
+        prng = random.Random(9)
+        patterns = [single_error_pattern(design.num_chains,
+                                         design.chain_length, prng)
+                    for _ in range(4)]
+        outcomes = design.sleep_wake_cycle_batch(patterns)
+        assert all(o.corrections_applied == 1 for o in outcomes)
+        counts[engine] = design.corrector.num_corrections
+    assert counts["reference"] == counts["packed"] \
+        == counts["batched"] == 4
+
+
+def test_batch_with_unknown_bits():
+    designs = _pair(3, 20, ["hamming(7,4)", "crc16"], 4)
+    for design in designs:
+        design.chains[1].flops[2].force(None)
+        design.chains[3].flops[0].force(None)
+    rng = random.Random(23)
+    patterns = [None] + [single_error_pattern(4, 5, rng) for _ in range(4)]
+    ref = designs[0].sleep_wake_cycle_batch(patterns)
+    bat = designs[1].sleep_wake_cycle_batch(patterns)
+    for expected, actual in zip(ref, bat):
+        assert _outcome_tuple(actual) == _outcome_tuple(expected)
+    # Unknown pre-sleep bits can never round-trip: state_intact is False.
+    assert not any(outcome.state_intact for outcome in bat)
+
+
+def test_scalar_cycles_on_batched_engine():
+    """engine="batched" must also serve plain sleep_wake_cycle calls,
+    bit-exact against the reference (a batch of one)."""
+    circuit_ref = make_random_state_circuit(56, seed=8)
+    circuit_bat = make_random_state_circuit(56, seed=8)
+    ref = ProtectedDesign(circuit_ref, codes=["secded(8,4)", "crc16"],
+                          num_chains=8, engine="reference")
+    bat = ProtectedDesign(circuit_bat, codes=["secded(8,4)", "crc16"],
+                          num_chains=8, engine="batched")
+    rng = random.Random(31)
+    for trial in range(4):
+        pattern = multi_error_pattern(ref.num_chains, ref.chain_length,
+                                      rng.randint(1, 3), rng)
+        expected = ref.sleep_wake_cycle(injection=pattern)
+        actual = bat.sleep_wake_cycle(injection=pattern)
+        assert _outcome_tuple(actual) == _outcome_tuple(expected)
+        assert [c.read_state() for c in bat.chains] == \
+            [c.read_state() for c in ref.chains]
+
+
+def test_overlapping_correcting_blocks_batch():
+    """Correcting blocks sharing chains trigger the per-sequence replay
+    path; it must still match the reference fallback bit for bit."""
+    codes = ["hamming(7,4)", "hamming(15,11)"]
+    design_ref, design_bat = _pair(7, 44, codes, 4)
+    engine = get_engine("batched", design_bat)
+    assert engine._overlapping_correctors
+    rng = random.Random(13)
+    patterns = [multi_error_pattern(design_ref.num_chains,
+                                    design_ref.chain_length,
+                                    rng.randint(1, 3), rng)
+                for _ in range(5)]
+    ref = design_ref.sleep_wake_cycle_batch(patterns)
+    bat = design_bat.sleep_wake_cycle_batch(patterns)
+    for expected, actual in zip(ref, bat):
+        assert _outcome_tuple(actual) == _outcome_tuple(expected)
+
+
+class TestEngineLevelBatch:
+    """decode_pass_batch over heterogeneous per-sequence states."""
+
+    def _engines(self, codes, num_chains, num_registers):
+        circuit = make_random_state_circuit(num_registers, seed=2)
+        design = ProtectedDesign(circuit, codes=codes,
+                                 num_chains=num_chains)
+        plane = get_engine("batched", design)
+        packed = PackedMonitorEngine(design.monitor_bank,
+                                     plane.num_chains, plane.chain_length)
+        return design, plane, packed
+
+    @pytest.mark.parametrize("codes,num_chains,num_registers", [
+        (["hamming(7,4)", "crc16"], 8, 56),
+        (["secded(8,4)"], 8, 40),
+        (["crc16-ccitt"], 4, 28),
+    ])
+    @pytest.mark.parametrize("batch_size", (1, 5, 16))
+    def test_heterogeneous_states_match_packed(self, codes, num_chains,
+                                               num_registers, batch_size):
+        design, plane, packed = self._engines(codes, num_chains,
+                                              num_registers)
+        length = plane.chain_length
+        rng = random.Random(batch_size)
+        knowns = [(1 << length) - 1] * plane.num_chains
+        base = [[rng.getrandbits(length) for _ in range(plane.num_chains)]
+                for _ in range(batch_size)]
+        corrupted = []
+        for states in base:
+            flipped = list(states)
+            for _ in range(rng.randint(0, 2)):
+                flipped[rng.randrange(plane.num_chains)] ^= \
+                    1 << rng.randrange(length)
+            corrupted.append(flipped)
+
+        plane.encode_pass_batch(planes_from_states(base, length), knowns,
+                                batch_size)
+        result = plane.decode_pass_batch(
+            planes_from_states(corrupted, length), knowns, batch_size)
+
+        for b in range(batch_size):
+            packed.encode_pass(base[b], knowns)
+            reports, corrected = packed.decode_pass(corrupted[b], knowns)
+            assert list(result.reports[b]) == reports
+            assert states_from_planes(result.corrected, b) == corrected
+
+    def test_decode_before_encode_raises(self):
+        design, plane, _packed = self._engines(["crc16"], 4, 20)
+        length = plane.chain_length
+        planes = [[0] * length for _ in range(plane.num_chains)]
+        knowns = [(1 << length) - 1] * plane.num_chains
+        with pytest.raises(RuntimeError):
+            plane.decode_pass_batch(planes, knowns, 2)
+
+    def test_batch_size_mismatch_raises(self):
+        design, plane, _packed = self._engines(["crc16"], 4, 20)
+        length = plane.chain_length
+        planes = [[0] * length for _ in range(plane.num_chains)]
+        knowns = [(1 << length) - 1] * plane.num_chains
+        plane.encode_pass_batch(planes, knowns, 4)
+        with pytest.raises(RuntimeError):
+            plane.decode_pass_batch(planes, knowns, 5)
+
+    def test_geometry_validation(self):
+        design, plane, _packed = self._engines(["crc16"], 4, 20)
+        length = plane.chain_length
+        knowns = [(1 << length) - 1] * plane.num_chains
+        with pytest.raises(ValueError):
+            plane.encode_pass_batch([[0] * length] * 2, knowns[:2], 2)
+        bad = [[0] * length for _ in range(plane.num_chains)]
+        bad[0][0] = 1 << 2  # bit outside a 2-sequence batch
+        with pytest.raises(ValueError):
+            plane.encode_pass_batch(bad, knowns, 2)
+        unknown = list(knowns)
+        unknown[1] &= ~2  # position 1 of chain 1 is unknown...
+        dirty = [[0] * length for _ in range(plane.num_chains)]
+        dirty[1][1] = 1  # ...but carries a non-zero plane
+        with pytest.raises(ValueError):
+            plane.encode_pass_batch(dirty, unknown, 2)
+
+
+def test_empty_batch_rejected():
+    circuit = make_random_state_circuit(20, seed=1)
+    design = ProtectedDesign(circuit, codes="crc16", num_chains=4,
+                             engine="batched")
+    with pytest.raises(ValueError):
+        design.sleep_wake_cycle_batch([])
+
+
+@pytest.mark.parametrize("engine", ["batched", "packed", "reference"])
+def test_bad_pattern_fails_before_sleep_entry(engine):
+    """A malformed pattern must be rejected while the controller and
+    domain are still ACTIVE, on the bit-plane path and the fallback
+    alike -- never strand the design mid-sleep."""
+    from repro.core.controller import ControllerState
+    from repro.faults.patterns import ErrorPattern
+
+    circuit = make_random_state_circuit(20, seed=1)
+    design = ProtectedDesign(circuit, codes="crc16", num_chains=4,
+                             engine=engine)
+    bad = ErrorPattern(locations=frozenset({(99, 0)}), kind="single")
+    with pytest.raises(ValueError):
+        design.sleep_wake_cycle_batch([None, bad])
+    assert design.controller.state is ControllerState.ACTIVE
+    assert not design.domain.is_asleep
+    # The design stays fully usable.
+    assert design.sleep_wake_cycle().state_intact
+
+
+def test_batch_rejects_upset_model():
+    from repro.power.retention import RetentionUpsetModel
+
+    circuit = make_random_state_circuit(20, seed=1)
+    design = ProtectedDesign(circuit, codes="crc16", num_chains=4,
+                             engine="batched",
+                             upset_model=RetentionUpsetModel(seed=1))
+    with pytest.raises(ValueError):
+        design.sleep_wake_cycle_batch([None])
