@@ -1,0 +1,100 @@
+"""CI benchmark regression guard.
+
+Compares the freshly produced ``benchmarks/results/BENCH_<name>.json``
+files against the *committed* reference copies at the repo root and
+fails (exit code 1) when any metric drops below its committed floor.
+Floors live next to the metrics they guard: every section of a bench
+file may carry a ``"floors"`` sub-dict mapping metric names to the
+minimum acceptable value.  The guard reads the floors from the
+**committed** reference (so a regressed benchmark run cannot lower its
+own bar) and the measured values from the **fresh** results.
+
+Usage (from the repo root)::
+
+    python benchmarks/check_regression.py engines fastpath
+
+Each argument names one ``BENCH_<name>.json`` pair.  A fresh file or
+section that is missing entirely also fails the guard -- a benchmark
+silently not running is itself a regression.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FRESH_DIR = REPO_ROOT / "benchmarks" / "results"
+
+
+def iter_floors(results: dict, path=()):
+    """Yield ``(section_path, metric, floor)`` for every floors entry
+    found anywhere in a results tree."""
+    floors = results.get("floors")
+    if isinstance(floors, dict):
+        for metric, floor in floors.items():
+            yield path, metric, floor
+    for key, value in results.items():
+        if key != "floors" and isinstance(value, dict):
+            yield from iter_floors(value, path + (key,))
+
+
+def lookup(results: dict, path):
+    node = results
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node
+
+
+def check_bench(name: str) -> list:
+    """Check one BENCH pair; returns a list of failure strings."""
+    reference_path = REPO_ROOT / f"BENCH_{name}.json"
+    fresh_path = FRESH_DIR / f"BENCH_{name}.json"
+    if not reference_path.exists():
+        return [f"{name}: committed reference {reference_path} missing"]
+    if not fresh_path.exists():
+        return [f"{name}: fresh results {fresh_path} missing -- did the "
+                f"benchmark run?"]
+    reference = json.loads(reference_path.read_text("utf-8"))["results"]
+    fresh = json.loads(fresh_path.read_text("utf-8"))["results"]
+
+    failures = []
+    checked = 0
+    for path, metric, floor in iter_floors(reference):
+        section = lookup(fresh, path)
+        label = "/".join(path + (metric,))
+        if not isinstance(section, dict) or metric not in section:
+            failures.append(
+                f"{name}: {label} missing from the fresh results")
+            continue
+        measured = section[metric]
+        checked += 1
+        if not isinstance(measured, (int, float)) or measured < floor:
+            failures.append(
+                f"{name}: {label} = {measured} regressed below the "
+                f"committed floor {floor}")
+        else:
+            print(f"OK  {name}: {label} = {measured:.2f} "
+                  f"(floor {floor})")
+    if not checked and not failures:
+        failures.append(
+            f"{name}: the committed reference declares no floors -- "
+            f"nothing to guard")
+    return failures
+
+
+def main(argv) -> int:
+    names = argv or ["engines", "fastpath"]
+    failures = []
+    for name in names:
+        failures.extend(check_bench(name))
+    for failure in failures:
+        print(f"FAIL {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -64,36 +64,75 @@ def print_section(title: str, body: str) -> None:
 
 #: Machine-readable benchmark results are written as
 #: ``BENCH_<name>.json`` so the perf trajectory is tracked between
-#: PRs.  Default target is the untracked ``benchmarks/results/``
-#: scratch directory (also what CI uploads as an artifact); set
-#: ``REPRO_BENCH_UPDATE_REFERENCE=1`` to rewrite the *committed*
-#: reference copies at the repo root instead -- that keeps ordinary
-#: benchmark runs from dirtying the tree with non-reference numbers.
+#: PRs.  One canonical writer emits every location from a single code
+#: path: the untracked ``benchmarks/results/`` scratch directory is
+#: always written (it is what CI uploads as an artifact and what the
+#: regression guard reads), and with ``REPRO_BENCH_UPDATE_REFERENCE=1``
+#: the *committed* reference copy at the repo root is refreshed from
+#: the same payload -- so the two locations can never drift apart,
+#: while ordinary benchmark runs still keep the tree clean.
 BENCH_REFERENCE_DIR = Path(__file__).resolve().parent.parent
 BENCH_SCRATCH_DIR = Path(__file__).resolve().parent / "results"
 
+#: Targets record_bench has already written during this interpreter's
+#: lifetime: the first write of a run truncates (dropping stale
+#: sections from earlier runs), later writes merge section-wise.
+_WRITTEN_THIS_RUN: set = set()
 
-def record_bench(name: str, results: dict) -> Path:
+
+def record_bench(name: str, results: dict,
+                 section: "str | None" = None) -> Path:
     """Write one benchmark's results as ``BENCH_<name>.json``.
 
     ``results`` must be JSON-serialisable; the envelope adds the
     Python/platform fingerprint and a timestamp so numbers from
     different machines are never compared silently.
+
+    With ``section`` the file holds one sub-dict per microbenchmark
+    (``results[section]``) and this call replaces only its own
+    section, merging with the sections *this process* already wrote to
+    the target -- that is how several benchmark functions share one
+    ``BENCH_engines.json``.  The first write of a run starts the file
+    fresh, so sections from renamed or removed benchmarks cannot
+    linger and fool the regression guard.  Sections include a
+    ``floors`` sub-dict mapping metric names to their acceptance
+    floors; the CI regression guard
+    (``benchmarks/check_regression.py``) compares freshly measured
+    metrics against the committed reference floors.
     """
+    directories = [BENCH_SCRATCH_DIR]
     if os.environ.get("REPRO_BENCH_UPDATE_REFERENCE"):
-        directory = BENCH_REFERENCE_DIR
-    else:
-        directory = BENCH_SCRATCH_DIR
+        directories.append(BENCH_REFERENCE_DIR)
+    path = None
+    for directory in directories:
         directory.mkdir(parents=True, exist_ok=True)
-    path = directory / f"BENCH_{name}.json"
-    payload = {
-        "bench": name,
-        "python": platform.python_version(),
-        "implementation": platform.python_implementation(),
-        "platform": platform.platform(),
-        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-        "results": results,
-    }
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
-                    encoding="utf-8")
+        target = directory / f"BENCH_{name}.json"
+        merged = results
+        if section is not None:
+            merged = {}
+            if target in _WRITTEN_THIS_RUN and target.exists():
+                try:
+                    previous = json.loads(target.read_text("utf-8"))
+                    merged = {
+                        key: value
+                        for key, value in previous.get("results",
+                                                       {}).items()
+                        if isinstance(value, dict)}
+                except (ValueError, OSError):
+                    merged = {}
+            merged[section] = results
+        _WRITTEN_THIS_RUN.add(target)
+        payload = {
+            "bench": name,
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+            "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                                         time.gmtime()),
+            "results": merged,
+        }
+        target.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                          + "\n", encoding="utf-8")
+        if path is None:
+            path = target
     return path

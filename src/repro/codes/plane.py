@@ -32,14 +32,115 @@ packed decoder then rules on each disagreeing sequence individually.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
 
-from repro.codes.base import BlockCode, StreamCode
+from repro.codes.base import BlockCode, CodeError, StreamCode
 from repro.codes.crc import CRCCode
 from repro.codes.hamming import HammingCode
-from repro.codes.packed import packed_block_code, packed_stream_code
+from repro.codes.packed import PackedCRC, packed_block_code, packed_stream_code
 from repro.codes.parity import ParityCode
 from repro.codes.secded import SECDEDCode
+
+
+@dataclass(frozen=True)
+class GF2Matrix:
+    """An affine GF(2) map in XOR-row form, shared by the batch engines.
+
+    Output bit ``j`` is ``const[j] XOR (XOR of input bits rows[j])``.
+    The representation is deliberately numpy-free (index tuples and
+    0/1 constants) so the pure-Python bit-plane engine and the
+    numpy-based SIMD engine consume the *same* matrices: the bit-plane
+    engine evaluates a row as a chain of plane XORs, the SIMD engine as
+    an XOR-fold over an ndarray gather.  Row/plane order is MSB first,
+    matching the packed codes' word layouts.
+    """
+
+    rows: Tuple[Tuple[int, ...], ...]
+    const: Tuple[int, ...]
+    num_inputs: int
+
+    def __post_init__(self) -> None:
+        if len(self.rows) != len(self.const):
+            raise CodeError("rows and const must have matching lengths")
+        for row in self.rows:
+            for index in row:
+                if not 0 <= index < self.num_inputs:
+                    raise CodeError(
+                        f"row index {index} outside the "
+                        f"{self.num_inputs}-bit input word")
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self.rows)
+
+
+def block_parity_matrix(code: BlockCode) -> GF2Matrix:
+    """The ``r x k`` GF(2) parity matrix of a structured block code.
+
+    Row ``j`` lists the systematic data-bit indices XORed into parity
+    bit ``j`` (parity word MSB first, the layout of
+    :mod:`repro.codes.packed`).  For SECDED the last row is the
+    *expanded* overall-parity row: the overall bit covers the data bits
+    and the base parity bits, so substituting the base equations leaves
+    a plain XOR over the data bits whose total fan-in count is odd.
+    Raises :class:`CodeError` for codes without a structured matrix
+    form (e.g. interleaved wrappers) -- those run through the adapter
+    plane classes instead.
+    """
+    if isinstance(code, SECDEDCode):
+        base_rows = [tuple(eq) for eq in code.parity_equations()]
+        counts = [1] * code.k  # the overall bit covers every data bit once
+        for row in base_rows:
+            for index in row:
+                counts[index] += 1
+        overall = tuple(i for i, count in enumerate(counts) if count & 1)
+        rows = tuple(base_rows) + (overall,)
+        return GF2Matrix(rows=rows, const=(0,) * len(rows),
+                         num_inputs=code.k)
+    if type(code) is HammingCode:
+        rows = tuple(tuple(eq) for eq in code.parity_equations())
+        return GF2Matrix(rows=rows, const=(0,) * len(rows),
+                         num_inputs=code.k)
+    if isinstance(code, ParityCode):
+        return GF2Matrix(rows=(tuple(range(code.k)),),
+                         const=(1 if code.odd else 0,),
+                         num_inputs=code.k)
+    raise CodeError(
+        f"{type(code).__name__} has no structured GF(2) parity matrix; "
+        f"use the plane/packed adapter classes instead")
+
+
+def crc_stream_matrix(code: CRCCode, nbits: int) -> GF2Matrix:
+    """The affine GF(2) map from an ``nbits`` stream to a CRC signature.
+
+    Stream bits are indexed MSB first in time (index 0 is the first bit
+    folded); signature rows are MSB first (row ``j`` is signature bit
+    ``width - 1 - j``), matching ``PackedCRC.signature_int``.  The CRC
+    update is linear over GF(2) in (register, input), so the whole-
+    stream signature is ``sig(init, 0...0) XOR (XOR of the columns of
+    the positions holding a 1)``; the columns are built incrementally
+    (a 1 at position ``t`` is a unit impulse followed by
+    ``nbits - 1 - t`` zero steps), costing O(nbits) serial steps total.
+    """
+    if nbits < 0:
+        raise CodeError("stream length must be non-negative")
+    packed = PackedCRC(code)
+    width = code.width
+    columns = [0] * nbits
+    impulse = packed._step(0, 1)
+    for position in range(nbits - 1, -1, -1):
+        columns[position] = impulse
+        impulse = packed._step(impulse, 0)
+    const_word = packed.signature_int(0, nbits)
+    rows = []
+    const = []
+    for j in range(width):
+        bit = 1 << (width - 1 - j)
+        rows.append(tuple(t for t in range(nbits) if columns[t] & bit))
+        const.append(1 if const_word & bit else 0)
+    return GF2Matrix(rows=tuple(rows), const=tuple(const),
+                     num_inputs=max(nbits, 1))
 
 
 def extract_word(planes: Sequence[int], sequence: int) -> int:
@@ -57,9 +158,10 @@ def extract_word(planes: Sequence[int], sequence: int) -> int:
 class PlaneHamming:
     """Batch-parallel Hamming parity over bit planes.
 
-    Parity bit ``j`` is the XOR of the data bits listed in
-    ``code.parity_equations()[j]``; in plane space that is the XOR of
-    the corresponding data planes.
+    Parity bit ``j`` is the XOR of the data bits listed in row ``j`` of
+    the shared :func:`block_parity_matrix`; in plane space that is the
+    XOR of the corresponding data planes (plus ``full`` for rows with a
+    constant 1, e.g. odd parity).
     """
 
     def __init__(self, code: HammingCode):
@@ -67,15 +169,15 @@ class PlaneHamming:
         self.packed = packed_block_code(code)
         self.k = code.k
         self.r = code.r
-        self._equations = [tuple(eq) for eq in code.parity_equations()]
+        self.matrix = block_parity_matrix(code)
 
     def parity_planes(self, data_planes: Sequence[int],
                       full: int) -> List[int]:
         """The ``r`` parity planes (MSB first) of a batch of data words."""
         out = []
-        for equation in self._equations:
-            plane = 0
-            for index in equation:
+        for row, const in zip(self.matrix.rows, self.matrix.const):
+            plane = full if const else 0
+            for index in row:
                 plane ^= data_planes[index]
             out.append(plane)
         return out
@@ -87,38 +189,26 @@ class PlaneSECDED(PlaneHamming):
     The parity word is the base Hamming parities followed by the
     overall parity bit, matching
     :meth:`repro.codes.packed.PackedSECDED.parity`: the overall bit
-    covers the data bits *and* the base parity bits.  The inherited
-    constructor already captures everything needed (``code.r`` counts
-    the overall bit and ``parity_equations()`` returns the base rows).
+    covers the data bits *and* the base parity bits.
+    :func:`block_parity_matrix` returns the overall row in expanded
+    (data-bits-only) form, so the inherited row evaluation already
+    computes it -- nothing to override.
     """
 
-    def parity_planes(self, data_planes: Sequence[int],
-                      full: int) -> List[int]:
-        base = super().parity_planes(data_planes, full)
-        overall = 0
-        for plane in data_planes:
-            overall ^= plane
-        for plane in base:
-            overall ^= plane
-        return base + [overall]
 
+class PlaneParity(PlaneHamming):
+    """Batch-parallel single-parity-bit computation.
 
-class PlaneParity:
-    """Batch-parallel single-parity-bit computation."""
+    The matrix has one row covering every data bit, with a constant 1
+    for odd parity; the inherited row evaluation covers it.
+    """
 
     def __init__(self, code: ParityCode):
         self.code = code
         self.packed = packed_block_code(code)
         self.k = code.k
         self.r = 1
-        self._odd = bool(code.odd)
-
-    def parity_planes(self, data_planes: Sequence[int],
-                      full: int) -> List[int]:
-        plane = full if self._odd else 0
-        for data in data_planes:
-            plane ^= data
-        return [plane]
+        self.matrix = block_parity_matrix(code)
 
 
 class PlaneBlockAdapter:
@@ -299,6 +389,9 @@ def plane_stream_code(code: StreamCode):
 
 
 __all__ = [
+    "GF2Matrix",
+    "block_parity_matrix",
+    "crc_stream_matrix",
     "PlaneHamming",
     "PlaneSECDED",
     "PlaneParity",

@@ -16,16 +16,18 @@ hardware used by the cost model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.circuit.netlist import Netlist
 from repro.codes.base import BlockCode
 
 
-@dataclass(frozen=True)
-class CorrectionEvent:
+class CorrectionEvent(NamedTuple):
     """One bit correction issued during a decode pass.
+
+    A :class:`typing.NamedTuple` for cheap construction: dense-error
+    batched campaigns create one event per corrected bit, so event
+    construction sits on the campaign hot path.
 
     Attributes
     ----------

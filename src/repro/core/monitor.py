@@ -28,8 +28,7 @@ Two concrete block types mirror the paper's two code choices:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, NamedTuple, Optional, Sequence, Tuple, Union
 
 from repro.circuit.netlist import Netlist
 from repro.circuit.scan import ScanChain
@@ -37,9 +36,15 @@ from repro.codes.base import BlockCode, DecodeStatus, StreamCode, StreamState
 from repro.core.corrector import CorrectionEvent
 
 
-@dataclass(frozen=True)
-class MonitorReport:
+class MonitorReport(NamedTuple):
     """Outcome of one decode pass of a single monitoring block.
+
+    A :class:`typing.NamedTuple` rather than a frozen dataclass:
+    batched engines materialise one report per detected sequence, so on
+    dense-error campaigns construction cost is a first-order term --
+    tuple construction is several times cheaper than frozen-dataclass
+    ``object.__setattr__`` initialisation, with the same immutability
+    and field-wise equality.
 
     Attributes
     ----------
@@ -61,9 +66,9 @@ class MonitorReport:
 
     block_index: int
     error_detected: bool
-    corrections: Tuple[CorrectionEvent, ...] = field(default_factory=tuple)
+    corrections: Tuple[CorrectionEvent, ...] = ()
     uncorrectable: bool = False
-    slices_with_errors: Tuple[int, ...] = field(default_factory=tuple)
+    slices_with_errors: Tuple[int, ...] = ()
 
     @property
     def num_corrections(self) -> int:

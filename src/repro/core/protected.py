@@ -190,8 +190,12 @@ class ProtectedDesign:
         ``"batched"`` runs the bit-plane engine of
         :class:`repro.engines.bitplane.BitPlaneBatchedEngine`, which
         additionally unlocks the fast path of
-        :meth:`sleep_wake_cycle_batch`.  Third-party engines appear
-        here automatically once registered with
+        :meth:`sleep_wake_cycle_batch`; ``"simd"`` (available when
+        numpy is installed, the ``[simd]`` extra) runs the word-packed
+        fully vectorised engine of
+        :class:`repro.engines.simd.SimdBatchedEngine`, the fastest
+        option for dense-error batched campaigns.  Third-party engines
+        appear here automatically once registered with
         :func:`repro.engines.register_engine`.  Results are identical
         across engines (property-tested); only the wall-clock cost
         changes.

@@ -10,9 +10,16 @@ The subsystem has three parts:
   only step needed for an engine to be selectable everywhere;
 * the built-in engines: ``"reference"`` (bit-serial per-flop models),
   ``"packed"`` (packed-integer fast path,
-  :mod:`repro.engines.packed`), and ``"batched"`` (bit-plane batch
-  engine simulating B sequences per pass,
-  :mod:`repro.engines.bitplane`).
+  :mod:`repro.engines.packed`), ``"batched"`` (bit-plane batch engine
+  simulating B sequences per pass, :mod:`repro.engines.bitplane`), and
+  ``"simd"`` (numpy word-packed fully vectorised batch engine,
+  :mod:`repro.engines.simd`; registered only when numpy is importable
+  -- the ``[simd]`` packaging extra).
+
+The batch engines share their result assembly
+(:mod:`repro.engines.reporting`) and the GF(2) code matrices of
+:mod:`repro.codes.plane`, so a report produced by any engine is
+bit-identical to the reference's.
 
 See the README's "Engine architecture" section for when to pick which
 engine and how to register a custom one.

@@ -49,6 +49,7 @@ from repro.engines.packing import (
     states_from_planes,
     write_back_chains,
 )
+from repro.engines.reporting import assemble_batch_result, clean_report_tuple
 from repro.fastpath.engine import (
     classify_monitors,
     replay_overlapping_feedback,
@@ -288,68 +289,14 @@ class BitPlaneBatchedEngine(SimulationEngine):
                       stream_results: Dict[int, int],
                       corrected: List[List[int]],
                       batch_size: int) -> BatchDecodeResult:
-        clean = self._clean_report_tuple()
-        detected_mask = 0
-        uncorrectable_mask = 0
-        for det, unc, _corr, _bad in block_results.values():
-            detected_mask |= det
-            uncorrectable_mask |= unc
-        for mismatch in stream_results.values():
-            detected_mask |= mismatch
-            uncorrectable_mask |= mismatch
-
-        corrections_count: Dict[int, int] = {}
-        for _det, _unc, corr, _bad in block_results.values():
-            for b, events in corr.items():
-                corrections_count[b] = corrections_count.get(b, 0) \
-                    + len(events)
-
-        reports: List[Tuple[MonitorReport, ...]] = [clean] * batch_size
-        remaining = detected_mask
-        while remaining:
-            low = remaining & -remaining
-            remaining ^= low
-            b = low.bit_length() - 1
-            sequence_reports = []
-            for kind, monitor in self._order:
-                if kind == "block":
-                    det, unc, corr, bad = block_results[id(monitor)]
-                    if det & low:
-                        sequence_reports.append(MonitorReport(
-                            block_index=monitor.block.block_index,
-                            error_detected=True,
-                            corrections=tuple(corr.get(b, ())),
-                            uncorrectable=bool(unc & low),
-                            slices_with_errors=tuple(bad.get(b, ()))))
-                    else:
-                        sequence_reports.append(
-                            clean[len(sequence_reports)])
-                else:
-                    mismatch = bool(stream_results[id(monitor)] & low)
-                    if mismatch:
-                        sequence_reports.append(MonitorReport(
-                            block_index=monitor.block.block_index,
-                            error_detected=True,
-                            corrections=(),
-                            uncorrectable=True))
-                    else:
-                        sequence_reports.append(
-                            clean[len(sequence_reports)])
-            reports[b] = tuple(sequence_reports)
-
-        return BatchDecodeResult(
-            reports=reports,
-            corrected=corrected,
-            detected_mask=detected_mask,
-            uncorrectable_mask=uncorrectable_mask,
-            corrections=corrections_count)
+        return assemble_batch_result(self._order,
+                                     self._clean_report_tuple(),
+                                     block_results, stream_results,
+                                     corrected, batch_size)
 
     def _clean_report_tuple(self) -> Tuple[MonitorReport, ...]:
         if self._clean_reports is None:
-            self._clean_reports = tuple(
-                MonitorReport(block_index=monitor.block.block_index,
-                              error_detected=False)
-                for _kind, monitor in self._order)
+            self._clean_reports = clean_report_tuple(self._order)
         return self._clean_reports
 
     # ------------------------------------------------------------------

@@ -2,7 +2,8 @@
 
 The twin of :mod:`repro.codes.registry`, for engines: campaign drivers
 and designs select an engine by name (``"reference"``, ``"packed"``,
-``"batched"``, or anything registered by a third party), and
+``"batched"``, ``"simd"`` when numpy is installed, or anything
+registered by a third party), and
 :class:`~repro.core.protected.ProtectedDesign` resolves the name to a
 constructed :class:`~repro.engines.base.SimulationEngine` through this
 module.  Registering an engine here is the *only* step needed to make
@@ -130,9 +131,22 @@ def _register_builtins() -> None:
                                      len(design.chains),
                                      len(design.chains[0]))
 
+    def simd_factory(design):
+        from repro.engines.simd import SimdBatchedEngine
+        return SimdBatchedEngine(design.monitor_bank,
+                                 len(design.chains),
+                                 len(design.chains[0]))
+
     register_engine("reference", reference_factory)
     register_engine("packed", packed_factory)
     register_engine("batched", batched_factory)
+    # The numpy word-packed SIMD engine is part of the optional [simd]
+    # extra; the core install stays pure Python, so the registration is
+    # gated on numpy being importable (find_spec keeps the probe cheap
+    # -- numpy itself is only imported when the engine is constructed).
+    import importlib.util
+    if importlib.util.find_spec("numpy") is not None:
+        register_engine("simd", simd_factory)
 
 
 _register_builtins()

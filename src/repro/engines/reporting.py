@@ -1,0 +1,122 @@
+"""Shared batch-decode result assembly for the batched engines.
+
+Both the bit-plane engine (:mod:`repro.engines.bitplane`) and the
+numpy SIMD engine (:mod:`repro.engines.simd`) finish a batched decode
+pass with the same bookkeeping: per-monitor detection/uncorrectable
+sequence masks, per-sequence correction events and bad-slice lists.
+This module is the single implementation of turning that bookkeeping
+into a :class:`~repro.engines.base.BatchDecodeResult` with the exact
+report layout of the reference engine -- clean sequences share one
+cached report tuple, error-carrying sequences get materialised
+:class:`~repro.core.monitor.MonitorReport` objects in the bank's block
+order.
+
+Bookkeeping layout (keyed by ``id(monitor_wrapper)``, the wrappers
+produced by :func:`repro.fastpath.engine.classify_monitors`):
+
+* ``block_results[id] = (detected_mask, uncorrectable_mask,
+  corrections, bad_slices)`` where the masks are batch-sequence bit
+  masks, ``corrections`` maps sequence index to its
+  :class:`~repro.core.corrector.CorrectionEvent` list (cycle order)
+  and ``bad_slices`` maps sequence index to its cycle list;
+* ``stream_results[id] = mismatch_mask``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.monitor import MonitorReport
+from repro.engines.base import BatchDecodeResult
+
+
+def clean_report_tuple(
+        order: Sequence[Tuple[str, object]]) -> Tuple[MonitorReport, ...]:
+    """One cached all-clean report tuple in the bank's block order."""
+    return tuple(
+        MonitorReport(block_index=monitor.block.block_index,
+                      error_detected=False)
+        for _kind, monitor in order)
+
+
+def assemble_batch_result(order: Sequence[Tuple[str, object]],
+                          clean: Tuple[MonitorReport, ...],
+                          block_results: Dict[int, tuple],
+                          stream_results: Dict[int, int],
+                          corrected: List[List[int]],
+                          batch_size: int) -> BatchDecodeResult:
+    """Assemble the engine-independent batch result; see the module
+    docstring for the bookkeeping layout.
+
+    Assembly cost is proportional to the number of *error events*, not
+    ``batch_size x blocks``: detected sequences start as one copy of
+    the clean tuple and only the blocks that actually reported get a
+    materialised report written over their slot.  Stream-mismatch
+    reports carry no per-sequence payload, so one instance per monitor
+    is shared by every mismatching sequence of the batch (reports are
+    frozen).  Dense-error batches -- where every sequence is detected
+    -- stay dominated by the per-event work instead of per-sequence
+    report construction.
+    """
+    detected_mask = 0
+    uncorrectable_mask = 0
+    for det, unc, _corr, _bad in block_results.values():
+        detected_mask |= det
+        uncorrectable_mask |= unc
+    for mismatch in stream_results.values():
+        detected_mask |= mismatch
+        uncorrectable_mask |= mismatch
+
+    corrections_count: Dict[int, int] = {}
+    for _det, _unc, corr, _bad in block_results.values():
+        for b, events in corr.items():
+            corrections_count[b] = corrections_count.get(b, 0) \
+                + len(events)
+
+    reports: List[Tuple[MonitorReport, ...]] = [clean] * batch_size
+    rows: Dict[int, List[MonitorReport]] = {}
+    remaining = detected_mask
+    while remaining:
+        low = remaining & -remaining
+        remaining ^= low
+        rows[low.bit_length() - 1] = list(clean)
+
+    for slot, (kind, monitor) in enumerate(order):
+        if kind == "block":
+            det, unc, corr, bad = block_results[id(monitor)]
+            block_index = monitor.block.block_index
+            remaining = det
+            while remaining:
+                low = remaining & -remaining
+                remaining ^= low
+                b = low.bit_length() - 1
+                # Positional construction: report creation is the hot
+                # term of dense batches (fields: block_index,
+                # error_detected, corrections, uncorrectable,
+                # slices_with_errors).
+                rows[b][slot] = MonitorReport(
+                    block_index, True, tuple(corr.get(b, ())),
+                    bool(unc & low), tuple(bad.get(b, ())))
+        else:
+            remaining = stream_results[id(monitor)]
+            if not remaining:
+                continue
+            mismatch_report = MonitorReport(
+                monitor.block.block_index, True, (), True)
+            while remaining:
+                low = remaining & -remaining
+                remaining ^= low
+                rows[low.bit_length() - 1][slot] = mismatch_report
+
+    for b, row in rows.items():
+        reports[b] = tuple(row)
+
+    return BatchDecodeResult(
+        reports=reports,
+        corrected=corrected,
+        detected_mask=detected_mask,
+        uncorrectable_mask=uncorrectable_mask,
+        corrections=corrections_count)
+
+
+__all__ = ["clean_report_tuple", "assemble_batch_result"]

@@ -12,6 +12,17 @@ Flips are gated by the chains' known masks, matching the reference
 injector's no-op on unknown (``None``) flops, and the per-sequence
 count of *effective* flips is returned so campaign statistics see the
 same ``injected_errors`` the reference path reports.
+
+Two application forms share the same resolution
+(:func:`batch_pattern_flips`): :func:`apply_batch_flips` XORs into the
+Python-int bit planes of the engine protocol (what
+``sleep_wake_cycle_batch`` uses), and :func:`apply_batch_flips_words`
+/ :func:`batch_flips_arrays` apply the same flips to the ``(C, L, W)``
+uint64 word layout of :mod:`repro.engines.simd` -- for pipelines that
+keep batch state in ndarray form end to end.  The two forms are
+asserted equivalent by ``tests/faults/test_batch_arrays.py`` and
+cross-checked at campaign scale by the dense-error benchmark; numpy is
+imported lazily, so the plane path stays stdlib-only.
 """
 
 from __future__ import annotations
@@ -47,6 +58,58 @@ def batch_pattern_flips(patterns: Sequence[Optional[ErrorPattern]],
     return flips
 
 
+def batch_flips_arrays(flips: BatchFlips, knowns: Sequence[int],
+                       batch_size: int):
+    """Resolve a :data:`BatchFlips` dict into ndarray coordinate form.
+
+    Returns ``(chains, positions, masks, counts)`` where the first
+    three are parallel arrays -- ``masks`` is ``(N, W)`` uint64 in the
+    word-packed layout of :mod:`repro.engines.simd` -- and ``counts``
+    is the per-sequence number of *effective* flips (flips landing on
+    unknown positions are dropped, exactly like
+    :func:`apply_batch_flips`).  Requires numpy (the ``[simd]``
+    extra); the plain-plane path never imports it.
+    """
+    import numpy as np
+
+    num_words = (batch_size + 63) // 64
+    chains: List[int] = []
+    positions: List[int] = []
+    mask_bytes = bytearray()
+    for (chain, position), mask in sorted(flips.items()):
+        if not (knowns[chain] >> position) & 1:
+            continue
+        chains.append(chain)
+        positions.append(position)
+        mask_bytes += mask.to_bytes(num_words * 8, "little")
+    masks = np.frombuffer(bytes(mask_bytes), dtype=np.uint64)
+    masks = masks.reshape(len(chains), num_words)
+    if len(chains):
+        counts = np.unpackbits(
+            np.ascontiguousarray(masks).view(np.uint8),
+            axis=-1, bitorder="little")[:, :batch_size].sum(axis=0)
+    else:
+        counts = np.zeros(batch_size, dtype=np.intp)
+    return (np.array(chains, dtype=np.int64),
+            np.array(positions, dtype=np.int64), masks, counts)
+
+
+def apply_batch_flips_words(words, knowns: Sequence[int],
+                            flips: BatchFlips, batch_size: int):
+    """XOR a batch's flips into a ``(C, L, W)`` word array in place.
+
+    The ndarray counterpart of :func:`apply_batch_flips` for the SIMD
+    engine's word-packed state: one vectorised XOR scatter covers the
+    whole batch.  Returns the per-sequence effective-flip counts as an
+    ndarray (same values as :func:`apply_batch_flips`).
+    """
+    chains, positions, masks, counts = batch_flips_arrays(
+        flips, knowns, batch_size)
+    if chains.size:
+        words[chains, positions] ^= masks
+    return counts
+
+
 def apply_batch_flips(planes: Sequence[List[int]], knowns: Sequence[int],
                       flips: BatchFlips, batch_size: int) -> List[int]:
     """XOR a batch's flips into the planes; returns per-sequence counts.
@@ -69,4 +132,10 @@ def apply_batch_flips(planes: Sequence[List[int]], knowns: Sequence[int],
     return counts
 
 
-__all__ = ["BatchFlips", "batch_pattern_flips", "apply_batch_flips"]
+__all__ = [
+    "BatchFlips",
+    "batch_pattern_flips",
+    "apply_batch_flips",
+    "batch_flips_arrays",
+    "apply_batch_flips_words",
+]

@@ -1,0 +1,342 @@
+"""Bit-exactness of the numpy word-packed SIMD engine.
+
+Mirrors the bit-plane equivalence suite: ``sleep_wake_cycle_batch`` on
+``engine="simd"`` must match the per-sequence reference fallback bit
+for bit (outcome fields, per-block reports including correction
+events, final register state) across every registered code family,
+geometries with and without padding, batch sizes including B=1 and
+non-powers-of-two (and word-boundary-straddling sizes like 65), and
+single/burst/dense fault patterns.  Engine-level heterogeneous-state
+batches are cross-checked against the packed engine.
+"""
+
+import random
+import zlib
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.circuit.generators import make_random_state_circuit
+from repro.codes.base import CodeError
+from repro.codes.plane import block_parity_matrix, crc_stream_matrix
+from repro.codes.registry import get_code
+from repro.core.protected import ProtectedDesign
+from repro.engines.packing import planes_from_states, states_from_planes
+from repro.engines.registry import available_engines, get_engine
+from repro.engines.simd import full_words, planes_to_words, words_to_planes
+from repro.fastpath.engine import PackedMonitorEngine
+from repro.faults.patterns import (
+    burst_error_pattern,
+    multi_error_pattern,
+    random_pattern,
+    single_error_pattern,
+)
+
+#: Same configuration matrix as the bit-plane suite: every registered
+#: code family, the stacked paper configuration, padded geometries and
+#: tied-off tail blocks.
+CONFIGS = [
+    ("hamming74_crc16", ["hamming(7,4)", "crc16"], 8, 56),
+    ("hamming74_padded", "hamming(7,4)", 5, 33),
+    ("hamming1511", "hamming(15,11)", 11, 44),
+    ("hamming3126", "hamming(31,26)", 6, 30),
+    ("hamming6357_tail", "hamming(63,57)", 6, 24),
+    ("secded84", "secded(8,4)", 8, 40),
+    ("parity8", "parity(8)", 8, 32),
+    ("crc16_ibm", "crc16-ibm", 4, 36),
+    ("crc16_ccitt", "crc16-ccitt", 4, 28),
+    ("crc8", "crc8", 3, 21),
+    ("crc12", "crc12", 4, 24),
+    ("crc32", "crc32", 4, 32),
+]
+
+#: 65 straddles the first uint64 word boundary.
+BATCH_SIZES = (1, 3, 8, 65)
+
+
+def _pair(seed, num_registers, codes, num_chains):
+    designs = []
+    for engine in ("reference", "simd"):
+        circuit = make_random_state_circuit(num_registers, seed=seed)
+        designs.append(ProtectedDesign(circuit, codes=codes,
+                                       num_chains=num_chains,
+                                       engine=engine))
+    return designs
+
+
+def _patterns(design, batch_size, rng):
+    """Mixed-density batch: clean, single, burst, multi and storm."""
+    patterns = []
+    w, l = design.num_chains, design.chain_length
+    for _ in range(batch_size):
+        kind = rng.choice(["none", "single", "burst", "multi", "storm"])
+        if kind == "none":
+            patterns.append(None)
+        elif kind == "single":
+            patterns.append(single_error_pattern(w, l, rng))
+        elif kind == "burst":
+            patterns.append(burst_error_pattern(w, l, 4, rng))
+        elif kind == "multi":
+            patterns.append(multi_error_pattern(w, l, 3, rng))
+        else:
+            patterns.append(random_pattern(w, l, 0.2, rng))
+    return patterns
+
+
+def _outcome_tuple(outcome):
+    return (outcome.injected_errors, outcome.detected,
+            outcome.corrected_claim, outcome.state_intact,
+            outcome.residual_errors, outcome.error_code,
+            outcome.corrections_applied, outcome.reports)
+
+
+def test_simd_registered():
+    assert "simd" in available_engines()
+    assert "simd" in ProtectedDesign.available_engines()
+
+
+@pytest.mark.parametrize("label,codes,num_chains,num_registers", CONFIGS)
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_batch_cycle_equivalence(label, codes, num_chains, num_registers,
+                                 batch_size):
+    rng = random.Random(zlib.crc32(f"simd/{label}/{batch_size}".encode()))
+    design_ref, design_simd = _pair(42, num_registers, codes, num_chains)
+    for trial in range(2):
+        patterns = _patterns(design_ref, batch_size, rng)
+        phase = rng.choice(["sleep", "post_wake"])
+        ref = design_ref.sleep_wake_cycle_batch(patterns,
+                                                inject_phase=phase)
+        simd = design_simd.sleep_wake_cycle_batch(patterns,
+                                                  inject_phase=phase)
+        assert len(ref) == len(simd) == batch_size
+        for expected, actual in zip(ref, simd):
+            assert _outcome_tuple(actual) == _outcome_tuple(expected)
+        states_ref = [c.read_state() for c in design_ref.chains]
+        states_simd = [c.read_state() for c in design_simd.chains]
+        assert states_simd == states_ref
+
+
+def test_scalar_cycles_on_simd_engine():
+    """engine="simd" must also serve plain sleep_wake_cycle calls,
+    bit-exact against the reference (a batch of one)."""
+    ref, simd = _pair(8, 56, ["secded(8,4)", "crc16"], 8)
+    rng = random.Random(31)
+    for trial in range(4):
+        pattern = multi_error_pattern(ref.num_chains, ref.chain_length,
+                                      rng.randint(1, 3), rng)
+        expected = ref.sleep_wake_cycle(injection=pattern)
+        actual = simd.sleep_wake_cycle(injection=pattern)
+        assert _outcome_tuple(actual) == _outcome_tuple(expected)
+        assert [c.read_state() for c in simd.chains] == \
+            [c.read_state() for c in ref.chains]
+
+
+def test_batch_with_unknown_bits():
+    designs = _pair(3, 20, ["hamming(7,4)", "crc16"], 4)
+    for design in designs:
+        design.chains[1].flops[2].force(None)
+        design.chains[3].flops[0].force(None)
+    rng = random.Random(23)
+    patterns = [None] + [single_error_pattern(4, 5, rng) for _ in range(4)]
+    ref = designs[0].sleep_wake_cycle_batch(patterns)
+    simd = designs[1].sleep_wake_cycle_batch(patterns)
+    for expected, actual in zip(ref, simd):
+        assert _outcome_tuple(actual) == _outcome_tuple(expected)
+    assert not any(outcome.state_intact for outcome in simd)
+
+
+def test_overlapping_correcting_blocks_batch():
+    """Correcting blocks sharing chains trigger the vectorised
+    last-block-wins reassignment; it must match the reference."""
+    codes = ["hamming(7,4)", "hamming(15,11)"]
+    design_ref, design_simd = _pair(7, 44, codes, 4)
+    engine = get_engine("simd", design_simd)
+    assert engine._overlapping_correctors
+    rng = random.Random(13)
+    patterns = [multi_error_pattern(design_ref.num_chains,
+                                    design_ref.chain_length,
+                                    rng.randint(1, 3), rng)
+                for _ in range(5)]
+    ref = design_ref.sleep_wake_cycle_batch(patterns)
+    simd = design_simd.sleep_wake_cycle_batch(patterns)
+    for expected, actual in zip(ref, simd):
+        assert _outcome_tuple(actual) == _outcome_tuple(expected)
+
+
+def test_adapter_codes_are_rejected_with_guidance():
+    """Codes without a structured GF(2) form fail engine construction
+    with a pointer at the bit-plane engine."""
+    from repro.codes.interleave import InterleavedCode
+
+    circuit = make_random_state_circuit(32, seed=5)
+    code = InterleavedCode(get_code("hamming(7,4)"), depth=2)
+    design = ProtectedDesign(circuit, codes=code, num_chains=8,
+                             engine="reference")
+    with pytest.raises(ValueError, match="batched"):
+        get_engine("simd", design)
+
+
+class TestEngineLevelBatch:
+    """decode_pass_batch over heterogeneous per-sequence states."""
+
+    def _engines(self, codes, num_chains, num_registers):
+        circuit = make_random_state_circuit(num_registers, seed=2)
+        design = ProtectedDesign(circuit, codes=codes,
+                                 num_chains=num_chains)
+        simd = get_engine("simd", design)
+        packed = PackedMonitorEngine(design.monitor_bank,
+                                     simd.num_chains, simd.chain_length)
+        return design, simd, packed
+
+    @pytest.mark.parametrize("codes,num_chains,num_registers", [
+        (["hamming(7,4)", "crc16"], 8, 56),
+        (["secded(8,4)"], 8, 40),
+        (["crc16-ccitt"], 4, 28),
+        (["parity(8)"], 8, 32),
+    ])
+    @pytest.mark.parametrize("batch_size", (1, 5, 16, 65))
+    def test_heterogeneous_states_match_packed(self, codes, num_chains,
+                                               num_registers, batch_size):
+        design, simd, packed = self._engines(codes, num_chains,
+                                             num_registers)
+        length = simd.chain_length
+        rng = random.Random(batch_size)
+        knowns = [(1 << length) - 1] * simd.num_chains
+        base = [[rng.getrandbits(length) for _ in range(simd.num_chains)]
+                for _ in range(batch_size)]
+        corrupted = []
+        for states in base:
+            flipped = list(states)
+            for _ in range(rng.randint(0, 4)):
+                flipped[rng.randrange(simd.num_chains)] ^= \
+                    1 << rng.randrange(length)
+            corrupted.append(flipped)
+
+        simd.encode_pass_batch(planes_from_states(base, length), knowns,
+                               batch_size)
+        result = simd.decode_pass_batch(
+            planes_from_states(corrupted, length), knowns, batch_size)
+
+        for b in range(batch_size):
+            packed.encode_pass(base[b], knowns)
+            reports, corrected = packed.decode_pass(corrupted[b], knowns)
+            assert list(result.reports[b]) == reports
+            assert states_from_planes(result.corrected, b) == corrected
+
+    def test_decode_before_encode_raises(self):
+        design, simd, _packed = self._engines(["crc16"], 4, 20)
+        length = simd.chain_length
+        planes = [[0] * length for _ in range(simd.num_chains)]
+        knowns = [(1 << length) - 1] * simd.num_chains
+        with pytest.raises(RuntimeError):
+            simd.decode_pass_batch(planes, knowns, 2)
+
+    def test_batch_size_mismatch_raises(self):
+        design, simd, _packed = self._engines(["crc16"], 4, 20)
+        length = simd.chain_length
+        planes = [[0] * length for _ in range(simd.num_chains)]
+        knowns = [(1 << length) - 1] * simd.num_chains
+        simd.encode_pass_batch(planes, knowns, 4)
+        with pytest.raises(RuntimeError):
+            simd.decode_pass_batch(planes, knowns, 5)
+
+    def test_geometry_validation(self):
+        design, simd, _packed = self._engines(["crc16"], 4, 20)
+        length = simd.chain_length
+        knowns = [(1 << length) - 1] * simd.num_chains
+        with pytest.raises(ValueError):
+            simd.encode_pass_batch([[0] * length] * 2, knowns[:2], 2)
+        bad = [[0] * length for _ in range(simd.num_chains)]
+        bad[0][0] = 1 << 2  # bit outside a 2-sequence batch
+        with pytest.raises(ValueError):
+            simd.encode_pass_batch(bad, knowns, 2)
+        negative = [[0] * length for _ in range(simd.num_chains)]
+        negative[0][0] = -1
+        with pytest.raises(ValueError):
+            simd.encode_pass_batch(negative, knowns, 2)
+        unknown = list(knowns)
+        unknown[1] &= ~2  # position 1 of chain 1 is unknown...
+        dirty = [[0] * length for _ in range(simd.num_chains)]
+        dirty[1][1] = 1  # ...but carries a non-zero plane
+        with pytest.raises(ValueError):
+            simd.encode_pass_batch(dirty, unknown, 2)
+
+
+class TestWordPacking:
+    """The plane <-> uint64-word boundary helpers."""
+
+    @pytest.mark.parametrize("batch_size", (1, 63, 64, 65, 130))
+    def test_round_trip(self, batch_size):
+        rng = random.Random(batch_size)
+        planes = [[rng.getrandbits(batch_size) for _ in range(3)]
+                  for _ in range(2)]
+        words = planes_to_words(planes, batch_size)
+        assert words.shape == (2, 3, (batch_size + 63) // 64)
+        assert words_to_planes(words) == planes
+
+    def test_out_of_batch_bits_rejected(self):
+        with pytest.raises(ValueError):
+            planes_to_words([[1 << 65]], 65)
+        with pytest.raises(ValueError):
+            planes_to_words([[1 << 64]], 3)
+        with pytest.raises(ValueError):
+            planes_to_words([[-1]], 3)
+
+    @pytest.mark.parametrize("batch_size", (1, 64, 65))
+    def test_full_words(self, batch_size):
+        mask = full_words(batch_size)
+        value = int.from_bytes(mask.tobytes(), "little")
+        assert value == (1 << batch_size) - 1
+
+
+class TestSharedGF2Matrices:
+    """The repro.codes.plane matrices both batch engines consume."""
+
+    @pytest.mark.parametrize("name", [
+        "hamming(7,4)", "hamming(15,11)", "secded(8,4)", "parity(8)"])
+    def test_block_matrix_matches_packed_parity(self, name):
+        from repro.codes.packed import packed_block_code
+
+        code = get_code(name)
+        matrix = block_parity_matrix(code)
+        packed = packed_block_code(code)
+        rng = random.Random(zlib.crc32(name.encode()))
+        for _ in range(16):
+            data = rng.getrandbits(code.k)
+            parity = 0
+            for j, (row, const) in enumerate(zip(matrix.rows,
+                                                 matrix.const)):
+                bit = const
+                for index in row:
+                    bit ^= (data >> (code.k - 1 - index)) & 1
+                parity |= bit << (len(matrix.rows) - 1 - j)
+            assert parity == packed.parity(data), name
+
+    def test_block_matrix_rejects_adapter_codes(self):
+        from repro.codes.interleave import InterleavedCode
+
+        code = InterleavedCode(get_code("hamming(7,4)"), depth=2)
+        with pytest.raises(CodeError):
+            block_parity_matrix(code)
+
+    @pytest.mark.parametrize("name", ["crc16", "crc16-ccitt", "crc8",
+                                      "crc32"])
+    @pytest.mark.parametrize("nbits", (0, 1, 7, 40))
+    def test_crc_stream_matrix_matches_packed(self, name, nbits):
+        from repro.codes.packed import packed_stream_code
+
+        code = get_code(name)
+        matrix = crc_stream_matrix(code, nbits)
+        packed = packed_stream_code(code)
+        rng = random.Random(zlib.crc32(f"{name}/{nbits}".encode()))
+        for _ in range(8):
+            stream = rng.getrandbits(nbits) if nbits else 0
+            signature = 0
+            for j, (row, const) in enumerate(zip(matrix.rows,
+                                                 matrix.const)):
+                bit = const
+                for t in row:
+                    bit ^= (stream >> (nbits - 1 - t)) & 1
+                signature |= bit << (code.width - 1 - j)
+            assert signature == packed.signature_int(stream, nbits)

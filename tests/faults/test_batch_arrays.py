@@ -1,0 +1,91 @@
+"""The ndarray form of batch fault injection (repro.faults.batch).
+
+``apply_batch_flips_words`` / ``batch_flips_arrays`` must agree with
+the Python-int plane path (``apply_batch_flips``) flip for flip and
+count for count, including the known-mask gating of flips landing on
+unknown positions.
+"""
+
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.engines.simd import planes_to_words, words_to_planes
+from repro.faults.batch import (
+    apply_batch_flips,
+    apply_batch_flips_words,
+    batch_flips_arrays,
+    batch_pattern_flips,
+)
+from repro.faults.patterns import (
+    burst_error_pattern,
+    multi_error_pattern,
+    random_pattern,
+)
+
+NUM_CHAINS = 6
+LENGTH = 8
+
+
+def _random_batch(rng, batch_size):
+    patterns = []
+    for _ in range(batch_size):
+        patterns.append(rng.choice([
+            None,
+            burst_error_pattern(NUM_CHAINS, LENGTH, 4, rng),
+            multi_error_pattern(NUM_CHAINS, LENGTH, 5, rng),
+            random_pattern(NUM_CHAINS, LENGTH, 0.3, rng),
+        ]))
+    return patterns
+
+
+@pytest.mark.parametrize("batch_size", (1, 7, 64, 70))
+@pytest.mark.parametrize("with_unknowns", (False, True))
+def test_word_application_matches_plane_application(batch_size,
+                                                    with_unknowns):
+    rng = random.Random(batch_size * 2 + with_unknowns)
+    patterns = _random_batch(rng, batch_size)
+    flips = batch_pattern_flips(patterns, NUM_CHAINS, LENGTH)
+    knowns = [(1 << LENGTH) - 1] * NUM_CHAINS
+    if with_unknowns:
+        knowns[1] &= ~0b1010
+        knowns[4] &= ~0b1
+    planes = [[rng.getrandbits(batch_size) if (known >> i) & 1 else 0
+               for i in range(LENGTH)]
+              for known in knowns]
+
+    words = planes_to_words(planes, batch_size)
+    word_counts = apply_batch_flips_words(words.copy(), knowns, flips,
+                                          batch_size)
+    plane_counts = apply_batch_flips(planes, knowns, flips, batch_size)
+
+    applied = planes_to_words(planes, batch_size).copy()
+    words_after = words.copy()
+    apply_batch_flips_words(words_after, knowns, flips, batch_size)
+    assert words_to_planes(words_after) == planes
+    assert word_counts.tolist() == plane_counts
+    assert (words_after == applied).all()
+
+
+def test_unknown_positions_are_gated():
+    pattern = multi_error_pattern(NUM_CHAINS, LENGTH, 6,
+                                  random.Random(3))
+    flips = batch_pattern_flips([pattern], NUM_CHAINS, LENGTH)
+    knowns = [0] * NUM_CHAINS  # everything unknown: every flip dropped
+    chains, positions, masks, counts = batch_flips_arrays(flips, knowns, 1)
+    assert chains.size == 0 and positions.size == 0 and masks.size == 0
+    assert counts.tolist() == [0]
+
+
+def test_counts_match_pattern_sizes():
+    rng = random.Random(11)
+    patterns = [multi_error_pattern(NUM_CHAINS, LENGTH, 4, rng),
+                None,
+                burst_error_pattern(NUM_CHAINS, LENGTH, 3, rng)]
+    flips = batch_pattern_flips(patterns, NUM_CHAINS, LENGTH)
+    knowns = [(1 << LENGTH) - 1] * NUM_CHAINS
+    _chains, _positions, _masks, counts = batch_flips_arrays(flips,
+                                                             knowns, 3)
+    assert counts.tolist() == [4, 0, 3]
