@@ -16,6 +16,14 @@ Usage (from the repo root)::
 Each argument names one ``BENCH_<name>.json`` pair.  A fresh file or
 section that is missing entirely also fails the guard -- a benchmark
 silently not running is itself a regression.
+
+Alongside the pass/fail verdict, every guarded metric is compared
+against the most recent entry of the committed ``BENCH_history.jsonl``
+trajectory (appended by ``record_bench`` whenever the reference copies
+are refreshed), and the relative delta is printed -- so a CI log shows
+not just "above the floor" but *how the number moved* since the last
+committed measurement.  Deltas are informational: machines differ, and
+only the floors gate.
 """
 
 from __future__ import annotations
@@ -26,6 +34,41 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 FRESH_DIR = REPO_ROOT / "benchmarks" / "results"
+HISTORY_PATH = REPO_ROOT / "BENCH_history.jsonl"
+
+
+def load_history(name: str) -> dict:
+    """Latest committed history metrics of one bench, keyed by
+    ``(section, metric-path)``; the file is append-only, so later
+    lines win."""
+    latest: dict = {}
+    if not HISTORY_PATH.exists():
+        return latest
+    for line in HISTORY_PATH.read_text("utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            continue
+        if entry.get("bench") != name:
+            continue
+        recorded_at = entry.get("recorded_at", "")
+        for metric, value in entry.get("metrics", {}).items():
+            latest[(entry.get("section"), metric)] = (value, recorded_at)
+    return latest
+
+
+def format_delta(measured, history_entry) -> str:
+    """A ``(+x% vs <timestamp>)`` annotation, or a no-history note."""
+    if history_entry is None:
+        return "no committed history"
+    previous, recorded_at = history_entry
+    if not previous:
+        return "no committed history"
+    delta = (measured - previous) / previous * 100.0
+    return f"{delta:+.1f}% vs {recorded_at}"
 
 
 def iter_floors(results: dict, path=()):
@@ -60,6 +103,7 @@ def check_bench(name: str) -> list:
                 f"benchmark run?"]
     reference = json.loads(reference_path.read_text("utf-8"))["results"]
     fresh = json.loads(fresh_path.read_text("utf-8"))["results"]
+    history = load_history(name)
 
     failures = []
     checked = 0
@@ -77,8 +121,14 @@ def check_bench(name: str) -> list:
                 f"{name}: {label} = {measured} regressed below the "
                 f"committed floor {floor}")
         else:
+            # History entries key metrics relative to their section
+            # (path[0]); deeper sections flatten the remaining path.
+            metric_key = "/".join(path[1:] + (metric,)) if path else metric
+            delta = format_delta(measured,
+                                 history.get((path[0] if path else None,
+                                              metric_key)))
             print(f"OK  {name}: {label} = {measured:.2f} "
-                  f"(floor {floor})")
+                  f"(floor {floor}; {delta})")
     if not checked and not failures:
         failures.append(
             f"{name}: the committed reference declares no floors -- "

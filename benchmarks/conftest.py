@@ -79,6 +79,30 @@ BENCH_SCRATCH_DIR = Path(__file__).resolve().parent / "results"
 #: sections from earlier runs), later writes merge section-wise.
 _WRITTEN_THIS_RUN: set = set()
 
+#: Every record_bench call also appends one line to a
+#: ``BENCH_history.jsonl`` trajectory next to the JSON it wrote: the
+#: flattened numeric metrics plus the envelope fingerprint.  The
+#: scratch copy travels with the CI artifact; the committed root copy
+#: (appended only under ``REPRO_BENCH_UPDATE_REFERENCE=1``) is the
+#: cross-PR perf trajectory that ``check_regression.py`` prints deltas
+#: against.
+BENCH_HISTORY_NAME = "BENCH_history.jsonl"
+
+
+def flatten_metrics(results: dict, path=()) -> dict:
+    """Numeric leaves of a results tree as ``{"a/b/c": value}``,
+    skipping the ``floors`` sub-dicts (they are policy, not
+    measurements)."""
+    out = {}
+    for key, value in results.items():
+        if key == "floors":
+            continue
+        if isinstance(value, dict):
+            out.update(flatten_metrics(value, path + (key,)))
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            out["/".join(path + (key,))] = value
+    return out
+
 
 def record_bench(name: str, results: dict,
                  section: "str | None" = None) -> Path:
@@ -133,6 +157,17 @@ def record_bench(name: str, results: dict,
         }
         target.write_text(json.dumps(payload, indent=2, sort_keys=True)
                           + "\n", encoding="utf-8")
+        history_entry = {
+            "bench": name,
+            "section": section,
+            "recorded_at": payload["recorded_at"],
+            "python": payload["python"],
+            "platform": payload["platform"],
+            "metrics": flatten_metrics(results),
+        }
+        with open(directory / BENCH_HISTORY_NAME, "a",
+                  encoding="utf-8") as handle:
+            handle.write(json.dumps(history_entry, sort_keys=True) + "\n")
         if path is None:
             path = target
     return path

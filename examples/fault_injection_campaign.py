@@ -15,6 +15,7 @@ Run with::
     python examples/fault_injection_campaign.py [num_sequences] [num_workers]
     python examples/fault_injection_campaign.py [num_sequences] --batched
     python examples/fault_injection_campaign.py [num_sequences] --simd
+    python examples/fault_injection_campaign.py [num_sequences] --array
 
 With ``num_workers > 1`` the campaigns run through the sharded
 streaming runner of :mod:`repro.campaigns` (the path toward the
@@ -25,7 +26,11 @@ count.  With ``--batched`` they run on the bit-plane batched engine
 pass; with ``--simd`` on the numpy word-packed SIMD engine
 (:mod:`repro.engines.simd`), whose fully vectorised decode keeps that
 throughput even when every sequence carries errors -- exactly the
-regime of the clustered multi-error experiment below.
+regime of the clustered multi-error experiment below.  ``--array``
+additionally switches the campaign bookkeeping to the columnar summary
+path (vectorised pattern sampling, ndarray counter ingestion -- see
+the README's "Campaign throughput guide"), the fastest full-cycle
+configuration and the target of the profiling recipes.
 """
 
 import sys
@@ -73,11 +78,13 @@ def main_sharded(num_sequences: int, num_workers: int) -> None:
 
 
 def main_batched(num_sequences: int, num_workers: int = 1,
-                 engine: str = "batched") -> None:
+                 engine: str = "batched",
+                 sampler: str = "scalar") -> None:
     """The same two campaigns on a batch engine (bit-plane or SIMD)."""
-    batch = min(256, num_sequences)
+    batch = min(1024 if sampler == "array" else 256, num_sequences)
+    mode = " + columnar summary path" if sampler == "array" else ""
     print(f"running {num_sequences} sequences per campaign on the "
-          f"{engine} engine ({batch} sequences per pass, "
+          f"{engine} engine{mode} ({batch} sequences per pass, "
           f"{num_workers} worker(s))\n")
     for title, runner in (
             ("single error per test sequence",
@@ -86,24 +93,30 @@ def main_batched(num_sequences: int, num_workers: int = 1,
              lambda n, **kw: run_sharded_multiple_error_campaign(
                  n, burst_size=4, clustered=True, **kw))):
         print("=" * 60)
-        print(f"experiment: {title} ({engine})")
+        print(f"experiment: {title} ({engine}{mode})")
         print("=" * 60)
         result = runner(num_sequences, width=32, depth=32, num_chains=80,
                         words_per_sequence=16, engine=engine,
-                        batch_size=batch, num_workers=num_workers)
+                        batch_size=batch, sampler=sampler,
+                        num_workers=num_workers)
         print(result.summary())
         print()
 
 
 def main() -> None:
     flags = [a for a in sys.argv[1:] if a.startswith("--")]
-    unknown = [f for f in flags if f not in ("--batched", "--simd")]
+    unknown = [f for f in flags if f not in ("--batched", "--simd",
+                                             "--array")]
     if unknown:
         raise SystemExit(f"unknown option(s): {', '.join(unknown)} "
-                         f"(supported: --batched, --simd)")
+                         f"(supported: --batched, --simd, --array)")
     args = [a for a in sys.argv[1:] if not a.startswith("--")]
     num_sequences = int(args[0]) if args else 50
     num_workers = int(args[1]) if len(args) > 1 else 1
+    if "--array" in flags:
+        main_batched(num_sequences, num_workers, engine="simd",
+                     sampler="array")
+        return
     if "--simd" in flags:
         main_batched(num_sequences, num_workers, engine="simd")
         return

@@ -69,6 +69,21 @@ run_sequence_batch`: one stimulus burst per group, one injection per
         bit-identical between ``engine="batched"`` and any scalar
         engine, which is what the CI smoke checks.  ``None`` keeps the
         historical per-sequence path (read-out comparator).
+    sampler:
+        ``"scalar"`` (default) draws patterns one at a time from a
+        ``random.Random`` stream -- byte-for-byte the historical
+        behaviour.  ``"array"`` draws each group's patterns in one
+        vectorised call
+        (:func:`repro.faults.batch.sample_pattern_batch`, numpy
+        ``Generator`` seeded through the same hash-split chunk seeds)
+        and, on engines with summary support, runs the group through
+        the columnar summary path -- fault sampling to campaign
+        counters with **no per-sequence Python object anywhere**.
+        Engines without summary support transparently fall back to the
+        object path on the same sampled patterns, so array-mode
+        statistics are engine-independent and worker-count
+        bit-identical; the two *modes* sample different (statistically
+        equivalent) streams.  Requires ``batch_size`` and numpy.
     """
 
     width: int = 32
@@ -81,6 +96,7 @@ run_sequence_batch`: one stimulus burst per group, one injection per
     engine: Optional[str] = None
     words_per_sequence: Optional[int] = None
     batch_size: Optional[int] = None
+    sampler: str = "scalar"
 
     def __post_init__(self) -> None:
         # Accept a bare code name the way ProtectedDesign does, rather
@@ -95,6 +111,20 @@ run_sequence_batch`: one stimulus burst per group, one injection per
                 f"{VALIDATION_PATTERNS}")
         if self.batch_size is not None and self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if self.sampler not in ("scalar", "array"):
+            raise ValueError(
+                f"unknown sampler {self.sampler!r}; choose 'scalar' or "
+                f"'array'")
+        if self.sampler == "array":
+            if self.batch_size is None:
+                raise ValueError(
+                    "sampler='array' draws whole groups at once and "
+                    "needs batch_size")
+            import importlib.util
+            if importlib.util.find_spec("numpy") is None:
+                raise ValueError(
+                    "sampler='array' requires numpy (the [simd] "
+                    "packaging extra)")
         if self.engine is not None:
             # Validate eagerly (against the engine registry) so a typo
             # fails at task construction, not inside a worker process;
@@ -148,6 +178,9 @@ run_sequence_batch`: one stimulus burst per group, one injection per
         testbench = FIFOTestbench(
             design, words_per_sequence=self.words_per_sequence,
             seed=child_seed(chunk_seed, "stimulus"))
+        if self.sampler == "array":
+            return self._run_chunk_array(chunk_seed, num_sequences, design,
+                                         testbench)
         factory = self._pattern_factory(design.num_chains,
                                         design.chain_length)
         rng = random.Random(child_seed(chunk_seed, "pattern"))
@@ -171,6 +204,47 @@ run_sequence_batch`: one stimulus burst per group, one injection per
             for sequence in testbench.run_sequence_batch(
                     patterns, self.inject_phase):
                 result.add(sequence)
+        return result
+
+    def _run_chunk_array(self, chunk_seed: int, num_sequences: int,
+                         design, testbench) -> StreamingCampaignResult:
+        """Array-mode chunk execution: vectorised sampling, columnar
+        counters.
+
+        Each group's patterns are drawn in one
+        :func:`~repro.faults.batch.sample_pattern_batch` call from a
+        numpy ``Generator`` seeded exactly like the scalar pattern
+        stream (``child_seed(chunk_seed, "pattern")``), so array-mode
+        campaigns are bit-identical for any worker count.  On a
+        summary-capable engine the group runs through the columnar
+        path (:meth:`~repro.validation.testbench.FIFOTestbench.\
+run_sequence_batch_summary` ->
+        :meth:`~repro.campaigns.stats.StreamingCampaignResult.add_batch`);
+        otherwise the same sampled patterns run through the object
+        path, producing bit-identical counters (property-tested).
+        """
+        import numpy as np
+
+        from repro.faults.batch import sample_pattern_batch
+
+        rng = np.random.default_rng(child_seed(chunk_seed, "pattern"))
+        use_summary = design.supports_batch_summary
+        result = StreamingCampaignResult()
+        remaining = num_sequences
+        while remaining:
+            group = min(self.batch_size, remaining)
+            remaining -= group
+            sampled = sample_pattern_batch(
+                self.pattern, design.num_chains, design.chain_length,
+                group, rng, num_errors=self.burst_size)
+            if use_summary:
+                arrays = testbench.run_sequence_batch_summary(
+                    sampled, group, self.inject_phase)
+                result.add_batch(arrays)
+            else:
+                for sequence in testbench.run_sequence_batch(
+                        sampled.patterns(), self.inject_phase):
+                    result.add(sequence)
         return result
 
 

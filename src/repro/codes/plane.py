@@ -33,7 +33,7 @@ packed decoder then rules on each disagreeing sequence individually.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.codes.base import BlockCode, CodeError, StreamCode
 from repro.codes.crc import CRCCode
@@ -75,6 +75,26 @@ class GF2Matrix:
         return len(self.rows)
 
 
+#: Shared matrices memoised on the code *parameters*: campaign workers
+#: rebuild ``ProtectedDesign`` (and with it every engine) per chunk,
+#: and without the cache each rebuild re-derives the same matrices --
+#: the CRC stream matrix in particular costs O(stream bits) serial
+#: steps.  :class:`GF2Matrix` is frozen, so sharing one instance across
+#: designs/engines/processes is safe.  Only the exact built-in code
+#: types are cached (a subclass may override the defining equations);
+#: keys carry the type object itself, so two same-parameter instances
+#: of one type share and distinct types never collide.
+_MATRIX_CACHE: Dict[tuple, GF2Matrix] = {}
+
+
+def _block_matrix_key(code: BlockCode) -> Optional[tuple]:
+    if type(code) in (HammingCode, SECDEDCode):
+        return (type(code), code.n, code.k)
+    if type(code) is ParityCode:
+        return (type(code), code.k, code.odd)
+    return None
+
+
 def block_parity_matrix(code: BlockCode) -> GF2Matrix:
     """The ``r x k`` GF(2) parity matrix of a structured block code.
 
@@ -87,7 +107,23 @@ def block_parity_matrix(code: BlockCode) -> GF2Matrix:
     Raises :class:`CodeError` for codes without a structured matrix
     form (e.g. interleaved wrappers) -- those run through the adapter
     plane classes instead.
+
+    Matrices for the built-in code types are memoised on the code
+    parameters, so rebuilding a design (as sharded campaign workers do
+    per chunk) reuses the shared instance instead of re-deriving it.
     """
+    key = _block_matrix_key(code)
+    if key is not None:
+        cached = _MATRIX_CACHE.get(key)
+        if cached is not None:
+            return cached
+    matrix = _build_block_parity_matrix(code)
+    if key is not None:
+        _MATRIX_CACHE[key] = matrix
+    return matrix
+
+
+def _build_block_parity_matrix(code: BlockCode) -> GF2Matrix:
     if isinstance(code, SECDEDCode):
         base_rows = [tuple(eq) for eq in code.parity_equations()]
         counts = [1] * code.k  # the overall bit covers every data bit once
@@ -122,9 +158,26 @@ def crc_stream_matrix(code: CRCCode, nbits: int) -> GF2Matrix:
     the positions holding a 1)``; the columns are built incrementally
     (a 1 at position ``t`` is a unit impulse followed by
     ``nbits - 1 - t`` zero steps), costing O(nbits) serial steps total.
+
+    Memoised on ``(width, poly, init, nbits)`` for plain
+    :class:`CRCCode` instances -- the O(nbits) construction is the
+    dominant per-chunk engine-build cost of sharded campaigns.
     """
     if nbits < 0:
         raise CodeError("stream length must be non-negative")
+    key = None
+    if type(code) is CRCCode:
+        key = (CRCCode, code.width, code.poly, code.init, nbits)
+        cached = _MATRIX_CACHE.get(key)
+        if cached is not None:
+            return cached
+    matrix = _build_crc_stream_matrix(code, nbits)
+    if key is not None:
+        _MATRIX_CACHE[key] = matrix
+    return matrix
+
+
+def _build_crc_stream_matrix(code: CRCCode, nbits: int) -> GF2Matrix:
     packed = PackedCRC(code)
     width = code.width
     columns = [0] * nbits

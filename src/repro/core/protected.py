@@ -41,7 +41,11 @@ from repro.core.scan_config import ScanChainConfig
 from repro.engines import registry as engine_registry
 from repro.engines.base import SimulationEngine
 from repro.engines.packing import pack_chains, replicate_states
-from repro.faults.batch import apply_batch_flips, batch_pattern_flips
+from repro.faults.batch import (
+    PatternBatch,
+    apply_batch_flips,
+    batch_pattern_flips,
+)
 from repro.faults.injector import ScanErrorInjector
 from repro.faults.patterns import ErrorPattern
 from repro.power.domain import PowerDomain, SwitchNetwork, WakeEvent
@@ -55,9 +59,14 @@ from repro.tech.power import PowerBreakdown, PowerEstimator
 CodeSpec = Union[str, BlockCode, StreamCode]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CycleOutcome:
     """Result of one monitored sleep/wake cycle.
+
+    Slotted: batched campaigns on the object path build one outcome
+    per sequence, so allocation cost is a first-order term there (the
+    columnar summary path builds none at all --
+    :class:`~repro.engines.base.BatchOutcomeArrays`).
 
     Attributes
     ----------
@@ -337,6 +346,12 @@ class ProtectedDesign:
         """Switch the simulation engine for subsequent cycles."""
         self._engine = self.validate_engine(engine)
 
+    @property
+    def supports_batch_summary(self) -> bool:
+        """True when the active engine can run the columnar summary
+        path (:meth:`sleep_wake_cycle_batch_summary`)."""
+        return self._resolve_engine().supports_summary
+
     def _resolve_engine(self, name: Optional[str] = None) -> SimulationEngine:
         """The engine instance for ``name`` (default: the active one).
 
@@ -397,6 +412,23 @@ class ProtectedDesign:
     # ------------------------------------------------------------------
     # The monitored sleep/wake cycle (paper Fig. 3(b))
     # ------------------------------------------------------------------
+    def _sleep_gate_off(self) -> None:
+        """Gate the domain off: retention save + power-off, padding
+        cells included (every cycle variant shares this block)."""
+        self.domain.enter_sleep()
+        for pad in self._padding:
+            pad.retain()
+            pad.power_off()
+
+    def _wake_gate_on(self) -> WakeEvent:
+        """Re-energise the domain and restore from retention, padding
+        cells included; returns the wake-up's rush-current record."""
+        wake_event = self.domain.wake_up()
+        for pad in self._padding:
+            pad.power_on()
+            pad.restore()
+        return wake_event
+
     def sleep_wake_cycle(self,
                          injection: Optional[ErrorPattern] = None,
                          inject_phase: str = "sleep",
@@ -438,10 +470,7 @@ class ProtectedDesign:
         self.controller.encode_completed()
 
         # -- sleep sequence ------------------------------------------------
-        self.domain.enter_sleep()
-        for pad in self._padding:
-            pad.retain()
-            pad.power_off()
+        self._sleep_gate_off()
         self.controller.sleep_entered()
 
         if injection is not None and inject_phase == "sleep":
@@ -449,10 +478,7 @@ class ProtectedDesign:
 
         # -- wake-up sequence ----------------------------------------------
         self.controller.wake_request()
-        wake_event = self.domain.wake_up()
-        for pad in self._padding:
-            pad.power_on()
-            pad.restore()
+        wake_event = self._wake_gate_on()
         self.controller.wake_completed()
 
         if injection is not None and inject_phase == "post_wake":
@@ -560,10 +586,7 @@ class ProtectedDesign:
         self.controller.encode_completed()
 
         # -- sleep sequence (the physical domain cycles once) --------------
-        self.domain.enter_sleep()
-        for pad in self._padding:
-            pad.retain()
-            pad.power_off()
+        self._sleep_gate_off()
         self.controller.sleep_entered()
 
         if inject_phase == "sleep":
@@ -571,10 +594,7 @@ class ProtectedDesign:
 
         # -- wake-up sequence ----------------------------------------------
         self.controller.wake_request()
-        wake_event = self.domain.wake_up()
-        for pad in self._padding:
-            pad.power_on()
-            pad.restore()
+        wake_event = self._wake_gate_on()
         self.controller.wake_completed()
 
         if inject_phase == "post_wake":
@@ -590,19 +610,29 @@ class ProtectedDesign:
         # Ground truth per sequence: positions still differing from the
         # pre-sleep state.  Unknown pre-sleep bits always count -- the
         # decode pass drives them, so they differ from X by definition
-        # (same rule as StateSnapshot.diff in the scalar path).
-        residuals = [unknown_positions] * batch_size
-        corrected = result.corrected
-        for c, (state, known) in enumerate(zip(states, knowns)):
-            chain_planes = corrected[c]
-            for i in range(length):
-                if not (known >> i) & 1:
-                    continue
-                diff = (full if (state >> i) & 1 else 0) ^ chain_planes[i]
-                while diff:
-                    low = diff & -diff
-                    diff ^= low
-                    residuals[low.bit_length() - 1] += 1
+        # (same rule as StateSnapshot.diff in the scalar path).  When
+        # the engine hands back its word-packed corrected state, the
+        # comparison runs through the vectorised state-domain
+        # comparator instead of the per-position plane loop.
+        if result.corrected_words is not None:
+            from repro.engines.summary import residual_counts_words
+            residuals = residual_counts_words(
+                states, knowns, result.corrected_words,
+                batch_size).tolist()
+        else:
+            residuals = [unknown_positions] * batch_size
+            corrected = result.corrected
+            for c, (state, known) in enumerate(zip(states, knowns)):
+                chain_planes = corrected[c]
+                for i in range(length):
+                    if not (known >> i) & 1:
+                        continue
+                    diff = (full if (state >> i) & 1 else 0) \
+                        ^ chain_planes[i]
+                    while diff:
+                        low = diff & -diff
+                        diff ^= low
+                        residuals[low.bit_length() - 1] += 1
 
         # The shared controller consumes one aggregate verdict; the
         # per-sequence error codes replay its pure decode mapping.
@@ -637,6 +667,118 @@ class ProtectedDesign:
                 wake_event=wake_event,
                 reports=result.reports[b]))
         return outcomes
+
+    def sleep_wake_cycle_batch_summary(self, flips, batch_size: int,
+                                       inject_phase: str = "sleep"):
+        """Run ``B`` sequences as one batch, returning columnar verdicts.
+
+        The summary twin of :meth:`sleep_wake_cycle_batch` for
+        consumers that only reduce outcomes to counters (campaign
+        statistics): the injection arrives as per-cell sequence masks
+        (:data:`repro.faults.batch.BatchFlips` -- what
+        :meth:`~repro.faults.batch.PatternBatch.flips` produces), the
+        engine runs the whole batch in its native array layout, and the
+        result is one :class:`~repro.engines.base.BatchOutcomeArrays`
+        -- **no per-sequence object is materialised anywhere**.  The
+        array values are bit-identical to folding
+        :meth:`sleep_wake_cycle_batch`'s outcomes field by field
+        (property-tested in ``tests/campaigns/test_summary_path.py``).
+
+        Physical sequencing matches the batched object path: the
+        controller and power domain cycle **once** for the batch, the
+        per-sequence verdicts are computed virtually and the circuit's
+        own state is left untouched.  ``inject_phase`` keeps its
+        meaning for API symmetry; the virtual copies make the two
+        phases arithmetically identical, exactly as on the object
+        path.  The shared corrector is *not* populated (there are no
+        correction events to record); per-sequence correction counts
+        are in the returned arrays instead.
+
+        Requires an engine with summary support
+        (:attr:`supports_batch_summary`) and, like the batched object
+        path, ``upset_model=None``.
+        """
+        if inject_phase not in ("sleep", "post_wake"):
+            raise ValueError("inject_phase must be 'sleep' or 'post_wake'")
+        if batch_size < 1:
+            raise ValueError("batch size must be >= 1")
+        if self.domain.upset_model is not None:
+            raise ValueError(
+                "sleep_wake_cycle_batch_summary requires upset_model=None: "
+                "droop-driven upsets would be shared across the whole "
+                "batch; inject errors explicitly instead")
+        engine = self._resolve_engine()
+        if not engine.supports_summary:
+            raise ValueError(
+                f"engine {self._engine!r} does not support the columnar "
+                f"summary path; use sleep_wake_cycle_batch (the object "
+                f"path) instead")
+        # Validate the injection eagerly -- a malformed flip must fail
+        # before the controller/domain leave ACTIVE (same policy as the
+        # object batch path).
+        num_chains, length = self.num_chains, self.chain_length
+        if isinstance(flips, PatternBatch):
+            if (flips.num_chains != num_chains
+                    or flips.chain_length != length):
+                raise ValueError(
+                    f"pattern batch was sampled for a "
+                    f"{flips.num_chains}x{flips.chain_length} scan array, "
+                    f"not this design's {num_chains}x{length}")
+            if flips.batch_size != batch_size:
+                raise ValueError(
+                    f"pattern batch holds {flips.batch_size} sequences, "
+                    f"not {batch_size}")
+            # The coordinate arrays themselves must be in range too --
+            # negative indices would silently wrap in the engines'
+            # ndarray scatters.
+            if flips.num_flips and not (
+                    bool(((flips.chains >= 0)
+                          & (flips.chains < num_chains)).all())
+                    and bool(((flips.positions >= 0)
+                              & (flips.positions < length)).all())):
+                raise ValueError(
+                    f"pattern batch addresses cells outside the "
+                    f"{num_chains}x{length} scan array")
+            if flips.num_flips and not bool(
+                    ((flips.seqs >= 0) & (flips.seqs < batch_size)).all()):
+                raise ValueError(
+                    f"pattern batch addresses sequences outside the "
+                    f"{batch_size}-sequence batch")
+        else:
+            for chain, position in flips:
+                if not (0 <= chain < num_chains and 0 <= position < length):
+                    raise ValueError(
+                        f"error location ({chain}, {position}) outside "
+                        f"the {num_chains}x{length} scan array")
+            for mask in flips.values():
+                if mask < 0 or mask >> batch_size:
+                    raise ValueError(
+                        f"flip mask addresses sequences outside the "
+                        f"{batch_size}-sequence batch")
+
+        states, knowns = self._pack_chains()
+        self.corrector.clear()
+
+        # One physical controller/domain cycle for the whole batch (the
+        # virtual per-sequence passes run inside the engine call).
+        self.controller.sleep_request()
+        self.controller.encode_completed()
+        self._sleep_gate_off()
+        self.controller.sleep_entered()
+        self.controller.wake_request()
+        self._wake_gate_on()
+        self.controller.wake_completed()
+
+        arrays = engine.run_batch_summary(states, knowns, flips, batch_size)
+
+        any_detected = bool(arrays.detected.any())
+        any_uncorrectable = bool(arrays.uncorrectable.any())
+        batch_code = self.controller.decode_completed(
+            error_detected=any_detected,
+            fully_corrected=any_detected and not any_uncorrectable)
+        if batch_code is ErrorCode.UNCORRECTABLE:
+            self.controller.recovery_completed()
+        return arrays
 
     def _batch_fallback(self, patterns: List[Optional[ErrorPattern]],
                         inject_phase: str) -> List[CycleOutcome]:
@@ -676,16 +818,10 @@ class ProtectedDesign:
         the examples and benchmarks as the reliability baseline.
         """
         pre_state = self._all_state()
-        self.domain.enter_sleep()
-        for pad in self._padding:
-            pad.retain()
-            pad.power_off()
+        self._sleep_gate_off()
         if injection is not None:
             self.injector.inject_retention(injection)
-        wake_event = self.domain.wake_up()
-        for pad in self._padding:
-            pad.power_on()
-            pad.restore()
+        wake_event = self._wake_gate_on()
         post_state = self._all_state()
         residual = pre_state.hamming_distance(post_state)
         return CycleOutcome(

@@ -19,7 +19,12 @@ The subsystem has three parts:
 The batch engines share their result assembly
 (:mod:`repro.engines.reporting`) and the GF(2) code matrices of
 :mod:`repro.codes.plane`, so a report produced by any engine is
-bit-identical to the reference's.
+bit-identical to the reference's.  Engines advertising the *summary*
+capability additionally run whole batches through
+:meth:`SimulationEngine.run_batch_summary`, returning columnar
+:class:`BatchOutcomeArrays` (one ndarray per outcome field) with no
+per-sequence objects at all -- the campaign fast path; the shared
+vectorised helpers live in :mod:`repro.engines.summary`.
 
 See the README's "Engine architecture" section for when to pick which
 engine and how to register a custom one.
@@ -27,6 +32,7 @@ engine and how to register a custom one.
 
 from repro.engines.base import (
     BatchDecodeResult,
+    BatchOutcomeArrays,
     EngineCapabilities,
     SimulationEngine,
 )
@@ -40,6 +46,7 @@ from repro.engines.registry import (
 
 __all__ = [
     "BatchDecodeResult",
+    "BatchOutcomeArrays",
     "EngineCapabilities",
     "SimulationEngine",
     "available_engines",

@@ -28,14 +28,23 @@ Two interfaces exist:
   ``b`` belonging to batch sequence ``b``.
   :meth:`~repro.core.protected.ProtectedDesign.sleep_wake_cycle_batch`
   uses it when available and falls back to a per-sequence loop (with
-  identical semantics) when not.
+  identical semantics) when not;
+* the **summary** interface (:meth:`~SimulationEngine.run_batch_summary`),
+  also advertised through :class:`EngineCapabilities`, which runs a
+  whole batch -- replicate, encode, inject, decode, compare against the
+  pre-sleep state -- in the engine's native layout and returns only the
+  **columnar** per-sequence verdicts (:class:`BatchOutcomeArrays`, one
+  ndarray per outcome field).  Summary consumers (campaign counters)
+  never materialise per-sequence report/outcome objects; the object
+  path of :mod:`repro.engines.reporting` remains available for
+  consumers that need them.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.monitor import MonitorReport
 
@@ -51,9 +60,72 @@ class EngineCapabilities:
         (``encode_pass_batch`` / ``decode_pass_batch``).  Engines
         without it still work in batched campaigns through the
         per-sequence fallback loop.
+    summary:
+        True when the engine implements the columnar summary pass
+        (``run_batch_summary``).  Summary support may carry additional
+        runtime requirements (the built-in implementations need
+        numpy), so consumers should gate on
+        :attr:`SimulationEngine.supports_summary`, which folds those
+        in.
     """
 
     batch: bool = False
+    summary: bool = False
+
+
+@dataclass
+class BatchOutcomeArrays:
+    """Columnar per-sequence outcome of one batched sleep/wake cycle.
+
+    The array-native twin of a list of
+    :class:`~repro.core.protected.CycleOutcome` objects: field ``f`` of
+    sequence ``b`` lives at ``arrays.f[b]`` instead of
+    ``outcomes[b].f``, so a whole batch's statistics reduce with a few
+    ndarray operations and no per-sequence object is ever built.  All
+    arrays are 1-D of length ``batch_size``.
+
+    Attributes
+    ----------
+    injected:
+        Per-sequence count of register bits actually flipped by the
+        injection (flips landing on unknown cells are dropped, like the
+        scalar injectors).
+    detected:
+        Boolean; any monitoring block reported a mismatch.
+    uncorrectable:
+        Boolean; some mismatch was flagged uncorrectable (stream-code
+        mismatches included, matching the object path).
+    residual_errors:
+        Per-sequence count of register bits still differing from the
+        pre-sleep state after the decode pass (unknown pre-sleep bits
+        always count, as in the object path's state comparator).
+    corrections_applied:
+        Per-sequence count of bit corrections issued by the correcting
+        blocks.
+    """
+
+    injected: Any
+    detected: Any
+    uncorrectable: Any
+    residual_errors: Any
+    corrections_applied: Any
+
+    @property
+    def batch_size(self) -> int:
+        """Number of sequences the batch simulated."""
+        return int(self.detected.shape[0])
+
+    @property
+    def state_intact(self) -> Any:
+        """Boolean array: the post-decode state equals the pre-sleep
+        state bit for bit (the ground-truth comparator verdict)."""
+        return self.residual_errors == 0
+
+    @property
+    def corrected_claim(self) -> Any:
+        """Boolean array: what the hardware believes -- mismatches were
+        observed and none was flagged uncorrectable."""
+        return self.detected & ~self.uncorrectable
 
 
 @dataclass
@@ -76,6 +148,15 @@ class BatchDecodeResult:
     corrections:
         Per-sequence count of issued bit corrections, keyed by sequence
         index; absent sequences had none.
+    corrected_words:
+        Optional ``(chains, length, words)`` uint64 ndarray holding the
+        same post-decode state as ``corrected`` in the word-packed
+        layout of :mod:`repro.engines.simd`.  Engines that already hold
+        the corrected state in that form attach it so downstream
+        consumers (the vectorised state-domain comparator of
+        :mod:`repro.engines.summary`) can skip the plane conversion;
+        excluded from equality so results stay comparable across
+        engines.
     """
 
     reports: List[Tuple[MonitorReport, ...]]
@@ -83,6 +164,8 @@ class BatchDecodeResult:
     detected_mask: int = 0
     uncorrectable_mask: int = 0
     corrections: Dict[int, int] = field(default_factory=dict)
+    corrected_words: Optional[Any] = field(default=None, compare=False,
+                                           repr=False)
 
 
 class SimulationEngine(ABC):
@@ -106,6 +189,17 @@ class SimulationEngine(ABC):
     def supports_batch(self) -> bool:
         """True when the bit-plane batch interface is available."""
         return self.capabilities.batch
+
+    @property
+    def supports_summary(self) -> bool:
+        """True when the columnar summary pass is usable *right now*.
+
+        Defaults to the capability flag; engines whose summary pass has
+        extra runtime requirements (numpy for the built-ins) override
+        this to fold the availability check in, so campaign tasks can
+        gate their fast path on one property.
+        """
+        return self.capabilities.summary
 
     # -- scalar interface ----------------------------------------------
     @abstractmethod
@@ -149,5 +243,37 @@ class SimulationEngine(ABC):
             f"engine {self.name or type(self).__name__!r} does not "
             f"implement batched passes (capabilities.batch is False)")
 
+    # -- summary interface (optional) -----------------------------------
+    def run_batch_summary(self, states: Sequence[int],
+                          knowns: Sequence[int], flips,
+                          batch_size: int) -> BatchOutcomeArrays:
+        """Run a whole batch end to end, returning columnar verdicts.
 
-__all__ = ["EngineCapabilities", "BatchDecodeResult", "SimulationEngine"]
+        ``states[c]`` / ``knowns[c]`` are chain ``c``'s packed
+        pre-sleep state and known-bit mask (bit ``i`` = scan position
+        ``i``), shared by every sequence; ``flips`` is the batch's
+        injection, either as per-cell sequence masks
+        (:data:`repro.faults.batch.BatchFlips`) or as a sampled
+        :class:`~repro.faults.batch.PatternBatch` (which array-native
+        engines resolve without per-flip Python work).  The engine replicates
+        the state in its native layout, runs one encode pass, applies
+        the (known-gated) flips, runs one decode pass with correction
+        and compares the corrected state against the pre-sleep state --
+        semantically the virtual-copies batch of
+        :meth:`~repro.core.protected.ProtectedDesign.sleep_wake_cycle_batch`,
+        minus every per-sequence object.  The returned arrays are
+        bit-identical to folding the object path's outcomes field by
+        field (property-tested).
+        """
+        raise NotImplementedError(
+            f"engine {self.name or type(self).__name__!r} does not "
+            f"implement the columnar summary pass (capabilities.summary "
+            f"is False)")
+
+
+__all__ = [
+    "EngineCapabilities",
+    "BatchDecodeResult",
+    "BatchOutcomeArrays",
+    "SimulationEngine",
+]

@@ -123,7 +123,15 @@ class BitPlaneBatchedEngine(SimulationEngine):
         Geometry of the chain set the passes run over.
     """
 
-    capabilities = EngineCapabilities(batch=True)
+    capabilities = EngineCapabilities(batch=True, summary=True)
+
+    @property
+    def supports_summary(self) -> bool:
+        """Columnar output needs numpy; the batch interface itself stays
+        pure stdlib, so summary support is probed at use time rather
+        than import time."""
+        import importlib.util
+        return importlib.util.find_spec("numpy") is not None
 
     def __init__(self, bank: MonitorBank, num_chains: int,
                  chain_length: int):
@@ -207,6 +215,25 @@ class BitPlaneBatchedEngine(SimulationEngine):
         length = self.chain_length
         corrected = [list(chain_planes) for chain_planes in planes]
 
+        block_results = self._decode_blocks(planes, corrected, full,
+                                            collect_events=True)
+        stream_results = self._decode_streams(corrected, full)
+        return self._build_result(block_results, stream_results, corrected,
+                                  batch_size)
+
+    def _decode_blocks(self, planes: Sequence[Sequence[int]],
+                       corrected: List[List[int]], full: int,
+                       collect_events: bool) -> Dict[int, tuple]:
+        """Decode every correcting block over the batch.
+
+        Corrections are applied to ``corrected`` in place (including
+        the overlapping-correctors replay).  With ``collect_events``
+        the per-sequence correction/bad-slice values are the event
+        lists the object path's reports need; without it they are plain
+        counts -- the summary path's bookkeeping, costing no event
+        objects.
+        """
+        length = self.chain_length
         block_results: Dict[int, tuple] = {}
         for monitor in self._correcting:
             if len(monitor.stored) != length:
@@ -214,7 +241,7 @@ class BitPlaneBatchedEngine(SimulationEngine):
                     "decode pass is longer than the stored encode pass")
             detected_mask = 0
             uncorrectable_mask = 0
-            corrections: Dict[int, List[CorrectionEvent]] = {}
+            corrections: Dict[int, object] = {}
             bad_slices: Dict[int, List[int]] = {}
             parity_planes = monitor.plane.parity_planes
             decode_slice = monitor.packed.decode_slice
@@ -243,7 +270,8 @@ class BitPlaneBatchedEngine(SimulationEngine):
                     status, corrected_data, positions = decode_slice(
                         data, stored_word)
                     detected_mask |= low
-                    bad_slices.setdefault(b, []).append(cycle)
+                    if collect_events:
+                        bad_slices.setdefault(b, []).append(cycle)
                     if status is DecodeStatus.DETECTED:
                         uncorrectable_mask |= low
                         continue
@@ -254,10 +282,13 @@ class BitPlaneBatchedEngine(SimulationEngine):
                                 corrected[chain_index][position] |= low
                             else:
                                 corrected[chain_index][position] &= ~low
-                            corrections.setdefault(b, []).append(
-                                CorrectionEvent(block_index=block_index,
-                                                chain_index=chain_index,
-                                                cycle=cycle))
+                            if collect_events:
+                                corrections.setdefault(b, []).append(
+                                    CorrectionEvent(block_index=block_index,
+                                                    chain_index=chain_index,
+                                                    cycle=cycle))
+                            else:
+                                corrections[b] = corrections.get(b, 0) + 1
                         elif p >= k:
                             # Stored parity bit flipped: state is fine.
                             pass
@@ -272,17 +303,19 @@ class BitPlaneBatchedEngine(SimulationEngine):
             for det, _unc, _corr, _bad in block_results.values():
                 flagged |= det
             self._replay_overlapping(planes, length, flagged, corrected)
+        return block_results
 
+    def _decode_streams(self, corrected: List[List[int]],
+                        full: int) -> Dict[int, int]:
+        """Fold every stream block over the corrected planes."""
         stream_results: Dict[int, int] = {}
         for monitor in self._observing:
             if monitor.stored_signature is None:
                 raise RuntimeError("no stored signature: encode first")
-            state = monitor.fold(corrected, length, full)
+            state = monitor.fold(corrected, self.chain_length, full)
             stream_results[id(monitor)] = state.mismatch_mask(
                 monitor.stored_signature)
-
-        return self._build_result(block_results, stream_results, corrected,
-                                  batch_size)
+        return stream_results
 
     # ------------------------------------------------------------------
     def _build_result(self, block_results: Dict[int, tuple],
@@ -298,6 +331,65 @@ class BitPlaneBatchedEngine(SimulationEngine):
         if self._clean_reports is None:
             self._clean_reports = clean_report_tuple(self._order)
         return self._clean_reports
+
+    # ------------------------------------------------------------------
+    # Summary interface (columnar counters, no report/event objects)
+    # ------------------------------------------------------------------
+    def run_batch_summary(self, states: Sequence[int],
+                          knowns: Sequence[int], flips, batch_size: int):
+        """Run a whole batch through the plane path, returning columnar
+        verdicts and skipping every report/event materialisation.
+
+        The plane arithmetic is exactly that of
+        :meth:`encode_pass_batch` / :meth:`decode_pass_batch`; only the
+        bookkeeping differs (counts instead of event lists, ndarrays
+        instead of reports).  Requires numpy (see
+        :attr:`supports_summary`).
+        """
+        from repro.engines.base import BatchOutcomeArrays
+        from repro.engines.summary import (
+            counts_array,
+            mask_bools,
+            planes_to_words,
+            residual_counts_words,
+        )
+        from repro.faults.batch import PatternBatch, apply_batch_flips
+
+        import numpy as np
+
+        if isinstance(flips, PatternBatch):
+            flips = flips.flips()
+        full = (1 << batch_size) - 1
+        length = self.chain_length
+        planes = replicate_states(states, length, full)
+        self.encode_pass_batch(planes, knowns, batch_size)
+        injected = apply_batch_flips(planes, knowns, flips, batch_size)
+        corrected = [list(chain_planes) for chain_planes in planes]
+        block_results = self._decode_blocks(planes, corrected, full,
+                                            collect_events=False)
+        stream_results = self._decode_streams(corrected, full)
+
+        detected_mask = 0
+        uncorrectable_mask = 0
+        corrections: Dict[int, int] = {}
+        for det, unc, corr, _bad in block_results.values():
+            detected_mask |= det
+            uncorrectable_mask |= unc
+            for b, count in corr.items():
+                corrections[b] = corrections.get(b, 0) + count
+        for mismatch in stream_results.values():
+            detected_mask |= mismatch
+            uncorrectable_mask |= mismatch
+
+        residuals = residual_counts_words(
+            states, knowns, planes_to_words(corrected, batch_size),
+            batch_size)
+        return BatchOutcomeArrays(
+            injected=np.array(injected, dtype=np.int64),
+            detected=mask_bools(detected_mask, batch_size),
+            uncorrectable=mask_bools(uncorrectable_mask, batch_size),
+            residual_errors=residuals,
+            corrections_applied=counts_array(corrections, batch_size))
 
     # ------------------------------------------------------------------
     def _replay_overlapping(self, planes: Sequence[Sequence[int]],

@@ -11,6 +11,16 @@ cached report tuple, error-carrying sequences get materialised
 :class:`~repro.core.monitor.MonitorReport` objects in the bank's block
 order.
 
+This is the **object path**: it exists for consumers that inspect
+per-sequence reports and correction events (the scalar cycle, the
+testbench result log, debugging).  Campaign statistics never read the
+reports -- they reduce to a handful of counters -- so the engines also
+implement the columnar *summary path*
+(:meth:`~repro.engines.base.SimulationEngine.run_batch_summary`, with
+the shared array kernels in :mod:`repro.engines.summary`), which skips
+this module entirely; report materialisation then happens only where
+something actually consumes the objects.
+
 Bookkeeping layout (keyed by ``id(monitor_wrapper)``, the wrappers
 produced by :func:`repro.fastpath.engine.classify_monitors`):
 

@@ -53,6 +53,7 @@ from repro.core.corrector import CorrectionEvent
 from repro.core.monitor import MonitorBank, MonitorReport
 from repro.engines.base import (
     BatchDecodeResult,
+    BatchOutcomeArrays,
     EngineCapabilities,
     SimulationEngine,
 )
@@ -78,32 +79,11 @@ _NO_FLIPS: Tuple[np.ndarray, np.ndarray] = (
 # ----------------------------------------------------------------------
 # Plane <-> word-array boundary
 # ----------------------------------------------------------------------
-def planes_to_words(planes: Sequence[Sequence[int]],
-                    batch_size: int) -> np.ndarray:
-    """Pack protocol bit planes into a ``(C, L, W)`` uint64 word array.
-
-    Bit ``b`` of word ``w`` is batch sequence ``64 * w + b``; raises
-    ``ValueError`` when a plane holds bits outside the batch (including
-    negative planes).
-    """
-    num_words = (batch_size + 63) // 64
-    nbytes = num_words * 8
-    buf = bytearray()
-    for chain_planes in planes:
-        for plane in chain_planes:
-            try:
-                buf += plane.to_bytes(nbytes, "little")
-            except OverflowError:
-                raise ValueError(
-                    f"plane has bits outside the {batch_size}-sequence "
-                    f"batch") from None
-    words = np.frombuffer(buf, dtype=np.uint64)
-    words = words.reshape(len(planes), -1, num_words)
-    if batch_size % 64:
-        if (words[..., -1] >> np.uint64(batch_size % 64)).any():
-            raise ValueError(
-                f"plane has bits outside the {batch_size}-sequence batch")
-    return words
+# The planes -> words packer is a generic array kernel shared with the
+# bit-plane engine's summary pass, so its single implementation lives
+# in repro.engines.summary; re-exported here because this module is the
+# word layout's home.
+from repro.engines.summary import planes_to_words  # noqa: E402
 
 
 def words_to_planes(words: np.ndarray) -> List[List[int]]:
@@ -403,7 +383,7 @@ class SimdBatchedEngine(SimulationEngine):
     bit-plane engine instead.
     """
 
-    capabilities = EngineCapabilities(batch=True)
+    capabilities = EngineCapabilities(batch=True, summary=True)
 
     def __init__(self, bank: MonitorBank, num_chains: int,
                  chain_length: int):
@@ -512,6 +492,10 @@ class SimdBatchedEngine(SimulationEngine):
                           knowns: Sequence[int], batch_size: int) -> int:
         """Run one batched encoding pass; returns the cycle count."""
         words = self._to_words(planes, knowns, batch_size)
+        return self._encode_words(words, batch_size)
+
+    def _encode_words(self, words: np.ndarray, batch_size: int) -> int:
+        """Encode a word-packed batch, storing the check words."""
         full = self._full_words(batch_size)
         for group in self._groups:
             group.stored = group.kernel.encode(self._gather(group, words),
@@ -584,11 +568,16 @@ class SimdBatchedEngine(SimulationEngine):
                         corrected_words[c, position]).tobytes(),
                     "little")
 
-        return assemble_batch_result(self._order,
-                                     self._clean_report_tuple(),
-                                     block_results, stream_results,
-                                     corrected_planes,
-                                     batch_size)
+        result = assemble_batch_result(self._order,
+                                       self._clean_report_tuple(),
+                                       block_results, stream_results,
+                                       corrected_planes,
+                                       batch_size)
+        # The word form of the corrected state rides along so that
+        # downstream consumers (the vectorised state-domain comparator)
+        # never re-pack the planes.
+        result.corrected_words = corrected_words
+        return result
 
     # ------------------------------------------------------------------
     def _decode_group(self, group: _BlockGroup, words: np.ndarray,
@@ -665,6 +654,138 @@ class SimdBatchedEngine(SimulationEngine):
         if self._clean_reports is None:
             self._clean_reports = clean_report_tuple(self._order)
         return self._clean_reports
+
+    # ------------------------------------------------------------------
+    # Summary interface (columnar, never touches plane ints)
+    # ------------------------------------------------------------------
+    def run_batch_summary(self, states: Sequence[int],
+                          knowns: Sequence[int], flips,
+                          batch_size: int) -> BatchOutcomeArrays:
+        """Replicate, encode, inject, decode and compare -- all in the
+        word-packed layout, returning only columnar verdicts.
+
+        The numbers are bit-identical to driving
+        :meth:`encode_pass_batch` / :meth:`decode_pass_batch` with the
+        replicated/injected planes and folding the object results field
+        by field; the summary pass simply skips every report,
+        correction-event and plane-int materialisation.
+        """
+        from repro.engines.summary import (
+            bits_matrix,
+            replicate_state_words,
+            residual_counts_words,
+        )
+        from repro.faults.batch import (
+            PatternBatch,
+            batch_flips_arrays,
+            pattern_batch_arrays,
+        )
+
+        if batch_size < 1:
+            raise ValueError("batch size must be >= 1")
+        if len(states) != self.num_chains or len(knowns) != self.num_chains:
+            raise ValueError(
+                f"expected {self.num_chains} chain states, got "
+                f"{len(states)}")
+        length = self.chain_length
+        full = self._full_words(batch_size)
+        state_bits = bits_matrix(states, length)
+        known_bits = bits_matrix(knowns, length)
+        # Unknown positions hold all-zero planes (the treat-X-as-0
+        # rule), exactly like _to_words requires of protocol callers.
+        state_bits &= known_bits
+        words = replicate_state_words(state_bits, full)
+        self._encode_words(words, batch_size)
+        # A PatternBatch resolves to scatter arrays without any
+        # per-flip Python work; a BatchFlips dict goes through the
+        # shared dict resolver.
+        if isinstance(flips, PatternBatch):
+            flip_chains, flip_positions, flip_masks, injected = \
+                pattern_batch_arrays(flips, knowns, batch_size)
+        else:
+            flip_chains, flip_positions, flip_masks, injected = \
+                batch_flips_arrays(flips, knowns, batch_size)
+        if flip_chains.size:
+            words[flip_chains, flip_positions] ^= flip_masks
+
+        detected = np.zeros(batch_size, dtype=bool)
+        uncorrectable = np.zeros(batch_size, dtype=bool)
+        corrections = np.zeros(batch_size, dtype=np.int64)
+        num_words = words.shape[2]
+        overlap = self._overlapping_correctors
+        group_flips: List[Tuple[np.ndarray, np.ndarray]] = []
+        pre_correction = words.copy() if overlap else None
+        words_flat = words.reshape(-1)
+        for group in self._groups:
+            out = group.kernel.decode(self._gather(group, words),
+                                      group.stored, full, batch_size)
+            if out is None:
+                for monitor in group.monitors:
+                    monitor._flips = _NO_FLIPS
+                continue
+            err_b, pos = out
+            k = group.kernel.k
+            width = group.width[:, None, None]
+            detected |= err_b.any(axis=(0, 1))
+            uncorr_b = err_b & ((pos == -2) | ((pos >= width) & (pos < k)))
+            uncorrectable |= uncorr_b.any(axis=(0, 1))
+            data_fix = err_b & (pos >= 0) & (pos < width)
+            corrections += data_fix.sum(axis=(0, 1), dtype=np.int64)
+            group_idx, positions, seqs = np.nonzero(data_fix)
+            if not group_idx.size:
+                for monitor in group.monitors:
+                    monitor._flips = _NO_FLIPS
+                continue
+            fix_pos = pos[group_idx, positions, seqs]
+            chains = group.gather_idx[group_idx, fix_pos]
+            flat = (chains * length + positions) * num_words + (seqs >> 6)
+            bits = np.left_shift(np.uint64(1),
+                                 (seqs & 63).astype(np.uint64))
+            if overlap:
+                for g, monitor in enumerate(group.monitors):
+                    mask = group_idx == g
+                    monitor._flips = (flat[mask], bits[mask])
+            else:
+                group_flips.append((flat, bits))
+
+        if overlap:
+            # Reference-faithful last-block-wins feedback, as in
+            # decode_pass_batch: reassign each block's slice from the
+            # pre-correction words in bank order, then apply its flips.
+            for monitor in self._correcting:
+                idx = monitor.chain_idx_arr
+                words[idx] = pre_correction[idx]
+                flat, bits = monitor._flips
+                if flat.size:
+                    np.bitwise_xor.at(words_flat, flat, bits)
+        else:
+            for flat, bits in group_flips:
+                np.bitwise_xor.at(words_flat, flat, bits)
+
+        corrected_flat2 = words.reshape(-1, num_words)
+        for monitor in self._observing:
+            fresh = self._stream_signature(monitor, corrected_flat2, full)
+            mismatch = np.bitwise_or.reduce(fresh ^ monitor.stored, axis=0)
+            if mismatch.any():
+                mismatch_bits = _unpack_bits(mismatch,
+                                             batch_size).astype(bool)
+                detected |= mismatch_bits
+                uncorrectable |= mismatch_bits
+
+        # Vectorised state-domain comparator against the replicated
+        # pre-sleep state (the shared kernel; bit matrices are already
+        # expanded, so pass them through).
+        residuals = residual_counts_words(states, knowns, words,
+                                          batch_size,
+                                          state_bits=state_bits,
+                                          known_bits=known_bits)
+
+        return BatchOutcomeArrays(
+            injected=injected.astype(np.int64),
+            detected=detected,
+            uncorrectable=uncorrectable,
+            residual_errors=residuals,
+            corrections_applied=corrections)
 
     # ------------------------------------------------------------------
     # Scalar interface (a batch of one, through the same word path)

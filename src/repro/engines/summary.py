@@ -1,0 +1,168 @@
+"""Shared vectorised helpers for the columnar summary passes.
+
+The summary interface of :mod:`repro.engines.base`
+(:meth:`~repro.engines.base.SimulationEngine.run_batch_summary`)
+returns per-sequence verdicts as ndarrays; this module is the single
+implementation of the array kernels both built-in batch engines build
+that answer from:
+
+* :func:`bits_matrix` -- packed chain integers to a ``(C, L)`` boolean
+  matrix (the replication/masking front end);
+* :func:`residual_counts_words` -- the **vectorised state-domain
+  comparator**: per-sequence Hamming distance between the corrected
+  ``(C, L, W)`` word state and the packed pre-sleep state, with the
+  object path's rule that unknown pre-sleep bits always count (the
+  decode pass drives them, so they differ from X by definition).  It
+  is used by the engines' summary passes *and* by
+  :meth:`~repro.core.protected.ProtectedDesign.sleep_wake_cycle_batch`
+  whenever the decode result carries ``corrected_words``, replacing
+  the per-position Python loop;
+* :func:`mask_bools` / :func:`counts_array` -- Python-int sequence
+  masks and per-sequence count dicts (the bit-plane engine's native
+  bookkeeping) to boolean/integer ndarrays.
+
+Everything here requires numpy; callers gate on
+:attr:`~repro.engines.base.SimulationEngine.supports_summary`, so a
+pure-stdlib install never imports this module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+def planes_to_words(planes: Sequence[Sequence[int]],
+                    batch_size: int) -> np.ndarray:
+    """Pack protocol bit planes into a ``(C, L, W)`` uint64 word array.
+
+    Bit ``b`` of word ``w`` is batch sequence ``64 * w + b``; raises
+    ``ValueError`` when a plane holds bits outside the batch (including
+    negative planes).  The boundary between the engine protocol's
+    Python-int planes and every array kernel here, shared by the simd
+    engine (which re-exports it) and the bit-plane engine's summary
+    pass.
+    """
+    num_words = (batch_size + 63) // 64
+    nbytes = num_words * 8
+    buf = bytearray()
+    for chain_planes in planes:
+        for plane in chain_planes:
+            try:
+                buf += plane.to_bytes(nbytes, "little")
+            except OverflowError:
+                raise ValueError(
+                    f"plane has bits outside the {batch_size}-sequence "
+                    f"batch") from None
+    words = np.frombuffer(buf, dtype=np.uint64)
+    words = words.reshape(len(planes), -1, num_words)
+    if batch_size % 64:
+        if (words[..., -1] >> np.uint64(batch_size % 64)).any():
+            raise ValueError(
+                f"plane has bits outside the {batch_size}-sequence batch")
+    return words
+
+
+def bits_matrix(values: Sequence[int], length: int) -> np.ndarray:
+    """Expand packed per-chain integers into a ``(C, length)`` bool
+    matrix (bit ``i`` of ``values[c]`` lands at ``[c, i]``)."""
+    nbytes = (length + 7) // 8
+    buf = b"".join(value.to_bytes(nbytes, "little") for value in values)
+    packed = np.frombuffer(buf, dtype=np.uint8).reshape(len(values), nbytes)
+    return np.unpackbits(packed, axis=1, count=length,
+                         bitorder="little").astype(bool)
+
+
+def replicate_state_words(state_bits: np.ndarray,
+                          full: np.ndarray) -> np.ndarray:
+    """Broadcast a ``(C, L)`` bool state into ``(C, L, W)`` uint64 words
+    (every sequence of the batch starts from the same state).
+
+    ``full`` is the all-sequences word mask
+    (:func:`repro.engines.simd.full_words`).
+    """
+    return np.where(state_bits[:, :, None], full, np.uint64(0))
+
+
+def per_sequence_popcounts(words: np.ndarray, batch_size: int) -> np.ndarray:
+    """Per-sequence set-bit counts of an ``(..., W)`` word array.
+
+    The leading axes are summed away: the result is ``(batch_size,)``
+    with entry ``b`` counting the set bits belonging to sequence ``b``
+    across every word row.  Rows that are entirely zero should be
+    filtered by the caller first -- the unpack cost is proportional to
+    the rows passed in.
+    """
+    flat = np.ascontiguousarray(words).reshape(-1, words.shape[-1])
+    if not flat.size:
+        return np.zeros(batch_size, dtype=np.int64)
+    bits = np.unpackbits(flat.view(np.uint8), axis=-1, bitorder="little")
+    return bits[:, :batch_size].sum(axis=0, dtype=np.int64)
+
+
+def residual_counts_words(states: Sequence[int], knowns: Sequence[int],
+                          corrected_words: np.ndarray,
+                          batch_size: int,
+                          state_bits: "np.ndarray | None" = None,
+                          known_bits: "np.ndarray | None" = None
+                          ) -> np.ndarray:
+    """Vectorised state-domain comparator over word-packed batch state.
+
+    Returns the ``(batch_size,)`` per-sequence count of register bits
+    whose post-decode value differs from the packed pre-sleep
+    ``states``: known positions compare bit for bit, and every unknown
+    pre-sleep position counts unconditionally (same rule as
+    ``StateSnapshot.diff`` in the scalar path -- the decode pass drives
+    unknown bits, so they differ from X by definition).
+
+    Callers that already hold the expanded ``(C, L)`` bool matrices of
+    ``states``/``knowns`` pass them via ``state_bits``/``known_bits``
+    to skip the re-expansion; the comparison rule itself lives only
+    here.
+    """
+    num_chains, length, _num_words = corrected_words.shape
+    if state_bits is None:
+        state_bits = bits_matrix(states, length)
+    if known_bits is None:
+        known_bits = bits_matrix(knowns, length)
+    unknown_positions = int(known_bits.size - known_bits.sum())
+    diff = np.where(state_bits[:, :, None],
+                    ~corrected_words, corrected_words)
+    # The all-ones complement above sets the unused tail bits of the
+    # last word; clear them so the `changed` filter stays proportional
+    # to the cells that actually differ (the popcount slice would drop
+    # them anyway, but only after unpacking every flagged row).
+    if batch_size % 64:
+        diff[..., -1] &= np.uint64((1 << (batch_size % 64)) - 1)
+    diff[~known_bits] = 0
+    changed = diff.any(axis=2)
+    counts = per_sequence_popcounts(diff[changed], batch_size)
+    return counts + unknown_positions
+
+
+def mask_bools(mask: int, batch_size: int) -> np.ndarray:
+    """A Python-int sequence mask as a ``(batch_size,)`` bool array."""
+    nbytes = (batch_size + 7) // 8
+    packed = np.frombuffer(mask.to_bytes(nbytes, "little"), dtype=np.uint8)
+    return np.unpackbits(packed, count=batch_size,
+                         bitorder="little").astype(bool)
+
+
+def counts_array(counts: Dict[int, int], batch_size: int) -> np.ndarray:
+    """A sparse per-sequence count dict as a dense int64 array."""
+    out = np.zeros(batch_size, dtype=np.int64)
+    for sequence, count in counts.items():
+        out[sequence] = count
+    return out
+
+
+__all__ = [
+    "planes_to_words",
+    "bits_matrix",
+    "replicate_state_words",
+    "per_sequence_popcounts",
+    "residual_counts_words",
+    "mask_bools",
+    "counts_array",
+]

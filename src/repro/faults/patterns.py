@@ -12,6 +12,12 @@ The paper's validation (Fig. 7) distinguishes two patterns:
 An :class:`ErrorPattern` is a set of ``(chain, position)`` coordinates,
 where ``chain`` indexes the scan chain (the *row* of the paper's Fig. 6)
 and ``position`` indexes the bit along the chain (the *column*).
+
+The factories here draw one pattern per call from a ``random.Random``
+stream; campaign groups that want a whole batch of patterns in one
+vectorised draw use :func:`repro.faults.batch.sample_pattern_batch`,
+which mirrors these geometries ("single", "multiple", "burst") in
+coordinate-array form.
 """
 
 from __future__ import annotations

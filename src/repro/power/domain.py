@@ -19,6 +19,18 @@ from repro.power.retention import RetentionUpsetModel
 from repro.power.rush_current import RLCParameters, RushCurrentModel
 
 
+#: Wake-up transients memoised process-wide on the (frozen) RLC
+#: parameters and switch staging: the transient is a deterministic
+#: function of exactly those, and its numeric peak/settle searches are
+#: by far the most expensive part of a domain's *first* wake-up.  An
+#: instance-level cache already amortised repeat cycles, but campaign
+#: workers rebuild the whole design -- domain included -- per chunk,
+#: paying the searches over and over for identical electricals; the
+#: shared cache makes the cost once-per-process (the same reasoning as
+#: the GF(2) matrix cache of :mod:`repro.codes.plane`).
+_TRANSIENT_CACHE: dict = {}
+
+
 class DomainState(enum.Enum):
     """Power state of a gated domain."""
 
@@ -119,11 +131,6 @@ class PowerDomain:
         self.upset_model = upset_model
         self._state = DomainState.ACTIVE
         self._wake_history: List[WakeEvent] = []
-        # The wake-up transient depends only on the (frozen) RLC
-        # parameters and the switch staging, so its numeric searches
-        # are evaluated once and reused across sleep/wake cycles.
-        self._transient_key: Optional[tuple] = None
-        self._transient: tuple = ()
 
     # ------------------------------------------------------------------
     @property
@@ -162,13 +169,14 @@ class PowerDomain:
         if self._state is DomainState.ACTIVE:
             raise RuntimeError("domain is already active")
         key = (self.rlc, self.switches.stages)
-        if self._transient_key != key:
+        transient = _TRANSIENT_CACHE.get(key)
+        if transient is None:
             rush = RushCurrentModel(self.rlc,
                                     num_switch_stages=self.switches.stages)
-            self._transient = (rush.peak_current(), rush.peak_droop(),
-                               rush.settle_time(), rush.wakeup_energy())
-            self._transient_key = key
-        peak_current, peak_droop, settle, wakeup_energy = self._transient
+            transient = (rush.peak_current(), rush.peak_droop(),
+                         rush.settle_time(), rush.wakeup_energy())
+            _TRANSIENT_CACHE[key] = transient
+        peak_current, peak_droop, settle, wakeup_energy = transient
         upsets: tuple = ()
         if self.upset_model is not None:
             flipped = self.upset_model.sample_upsets(

@@ -226,6 +226,7 @@ def run_sharded_single_error_campaign(
         engine: Optional[str] = None,
         words_per_sequence: Optional[int] = None,
         batch_size: Optional[int] = None,
+        sampler: str = "scalar",
         num_workers: int = 1,
         chunk_size: Optional[int] = None,
         checkpoint_path: Optional[str] = None,
@@ -233,13 +234,17 @@ def run_sharded_single_error_campaign(
     """Sharded form of :func:`run_single_error_campaign`.
 
     ``batch_size`` (with ``engine="batched"`` for the fast path) runs
-    each chunk's sequences in bit-plane batches; see
+    each chunk's sequences in bit-plane batches;
+    ``sampler="array"`` (with a summary-capable engine such as
+    ``"simd"`` for the columnar fast path) additionally vectorises the
+    pattern sampling and counter ingestion; see
     :class:`~repro.campaigns.tasks.FIFOValidationCampaignTask`.
     """
     task = FIFOValidationCampaignTask(
         width=width, depth=depth, codes=codes, num_chains=num_chains,
         pattern="single", inject_phase=inject_phase, engine=engine,
-        words_per_sequence=words_per_sequence, batch_size=batch_size)
+        words_per_sequence=words_per_sequence, batch_size=batch_size,
+        sampler=sampler)
     return run_sharded_campaign(task, num_sequences, seed=seed,
                                 num_workers=num_workers,
                                 chunk_size=chunk_size,
@@ -259,6 +264,7 @@ def run_sharded_multiple_error_campaign(
         engine: Optional[str] = None,
         words_per_sequence: Optional[int] = None,
         batch_size: Optional[int] = None,
+        sampler: str = "scalar",
         num_workers: int = 1,
         chunk_size: Optional[int] = None,
         checkpoint_path: Optional[str] = None,
@@ -266,14 +272,18 @@ def run_sharded_multiple_error_campaign(
     """Sharded form of :func:`run_multiple_error_campaign`.
 
     ``batch_size`` (with ``engine="batched"`` for the fast path) runs
-    each chunk's sequences in bit-plane batches; see
+    each chunk's sequences in bit-plane batches;
+    ``sampler="array"`` (with a summary-capable engine such as
+    ``"simd"`` for the columnar fast path) additionally vectorises the
+    pattern sampling and counter ingestion; see
     :class:`~repro.campaigns.tasks.FIFOValidationCampaignTask`.
     """
     task = FIFOValidationCampaignTask(
         width=width, depth=depth, codes=codes, num_chains=num_chains,
         pattern="burst" if clustered else "multiple",
         burst_size=burst_size, inject_phase=inject_phase, engine=engine,
-        words_per_sequence=words_per_sequence, batch_size=batch_size)
+        words_per_sequence=words_per_sequence, batch_size=batch_size,
+        sampler=sampler)
     return run_sharded_campaign(task, num_sequences, seed=seed,
                                 num_workers=num_workers,
                                 chunk_size=chunk_size,

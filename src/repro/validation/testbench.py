@@ -69,9 +69,14 @@ class TestSequenceResult:
         return self.cycle.error_code is ErrorCode.UNCORRECTABLE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BatchSequenceResult:
     """Outcome of one sequence of a *batched* test run.
+
+    Slotted: the object path builds one of these per sequence of every
+    batch, so allocation cost matters at campaign scale (the columnar
+    summary path of :meth:`FIFOTestbench.run_sequence_batch_summary`
+    builds none).
 
     Batched sequences are simulated as virtual copies of one loaded
     FIFO state (see
@@ -207,6 +212,33 @@ class FIFOTestbench:
             injections, inject_phase=inject_phase)
         return [BatchSequenceResult(cycle=outcome, words_written=len(words))
                 for outcome in outcomes]
+
+    def run_sequence_batch_summary(self, flips, batch_size: int,
+                                   inject_phase: str = "sleep"):
+        """Run a batch of test sequences, returning columnar verdicts.
+
+        The summary twin of :meth:`run_sequence_batch`: stages 1--2 run
+        once for the batch (reset, one stimulus burst -- drawn from the
+        *same* stimulus stream as the object path, so the two paths see
+        identical loaded states), stages 3--5 run as one
+        :meth:`~repro.core.protected.ProtectedDesign.\
+sleep_wake_cycle_batch_summary` whose vectorised state-domain
+        comparator doubles as stage 5.  ``flips`` is the batch's
+        injection: a sampled :class:`~repro.faults.batch.PatternBatch`
+        (preferred -- array engines resolve it without per-flip Python
+        work) or a per-cell sequence-mask dict
+        (:data:`~repro.faults.batch.BatchFlips`).  Returns a
+        :class:`~repro.engines.base.BatchOutcomeArrays`; the campaign
+        counters ingest it through
+        :meth:`~repro.campaigns.stats.StreamingCampaignResult.add_batch`
+        with statistics bit-identical to the object path's.
+        """
+        self.dut.reset()
+        words = self.stimulus.burst(self.words_per_sequence)
+        for word in words:
+            self.dut.push(word)
+        return self.dut_design.sleep_wake_cycle_batch_summary(
+            flips, batch_size, inject_phase=inject_phase)
 
 
 __all__ = ["FIFOTestbench", "TestSequenceResult", "BatchSequenceResult"]
