@@ -1,4 +1,4 @@
-"""Benchmark E9: sharded campaign throughput and scaling.
+"""Benchmark E9: sharded campaign throughput, scaling and checkpoint IO.
 
 The paper's validation campaigns run 10^8 test sequences on the FPGA;
 the sharded runner of :mod:`repro.campaigns` is the software path
@@ -19,7 +19,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import bench_sequences, print_section
+from benchmarks.conftest import bench_sequences, print_section, record_bench
 from repro.analysis import paper_data
 from repro.analysis.tables import format_validation_summary
 from repro.analysis.tradeoff import section4_validation_rows
@@ -104,3 +104,77 @@ def test_section4_summary_via_sharded_runner(benchmark):
         f"Section IV campaign headlines ({sequences} sequences each, "
         f"2 workers)",
         format_validation_summary(rows, paper_data.VALIDATION_SUMMARY))
+
+
+@pytest.mark.benchmark(group="campaign-scaling")
+def test_campaign_checkpoint_overhead(benchmark, tmp_path):
+    """Checkpointed vs uncheckpointed wall time, per-chunk vs interval.
+
+    The historical policy rewrote the whole growing JSON payload after
+    every chunk -- O(chunks^2) bytes over a campaign.  The
+    :class:`~repro.campaigns.checkpoints.CheckpointStore` interval
+    policy amortises that by ``save_interval``; this benchmark pins
+    the win on a many-chunk campaign of deliberately tiny chunks (the
+    regime where checkpoint IO, not simulation, dominates) and records
+    it as the committed ``campaign_checkpoint_overhead`` entry.
+    """
+    from repro.analysis.correction_capability import (
+        CorrectionCapabilityTask,
+    )
+
+    chunks = bench_sequences(512)
+    interval = max(1, chunks // 8)
+    task = CorrectionCapabilityTask(code_n=7, code_k=4, num_bits=100,
+                                    num_errors=1, engine="packed")
+
+    def run(path=None, save_interval=1):
+        start = time.perf_counter()
+        result = ShardedCampaignRunner(
+            task, chunks, seed=20100308, chunk_size=1,
+            checkpoint_path=path, save_interval=save_interval).run()
+        elapsed = time.perf_counter() - start
+        assert result.sequences == chunks
+        return result, elapsed
+
+    baseline, uncheckpointed_s = run()
+    per_chunk, per_chunk_s = run(str(tmp_path / "per_chunk.json"), 1)
+    interval_result, interval_s = run(str(tmp_path / "interval.json"),
+                                      interval)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    # The flush policy must never change the statistics.
+    assert per_chunk == baseline
+    assert interval_result == baseline
+
+    results = {
+        "chunks": chunks,
+        "save_interval": interval,
+        "uncheckpointed_s": uncheckpointed_s,
+        "per_chunk_checkpoint_s": per_chunk_s,
+        "interval_checkpoint_s": interval_s,
+        "per_chunk_overhead_x": per_chunk_s / uncheckpointed_s,
+        "interval_overhead_x": interval_s / uncheckpointed_s,
+        "interval_speedup_vs_per_chunk": per_chunk_s / interval_s,
+        "floors": {
+            # The interval policy must stay decisively cheaper than
+            # write-per-chunk in the IO-bound regime (locally ~38x;
+            # the floor is deliberately loose for noisy CI boxes).
+            "interval_speedup_vs_per_chunk": 2.0,
+        },
+    }
+    path = record_bench("campaigns", results,
+                        section="campaign_checkpoint_overhead")
+
+    print_section(
+        f"Campaign checkpoint overhead ({chunks} chunks of 1 sequence, "
+        f"save_interval={interval})",
+        "\n".join([
+            f"uncheckpointed        : {uncheckpointed_s * 1e3:8.1f} ms",
+            f"checkpoint every chunk: {per_chunk_s * 1e3:8.1f} ms "
+            f"({results['per_chunk_overhead_x']:.2f}x)",
+            f"interval checkpoint   : {interval_s * 1e3:8.1f} ms "
+            f"({results['interval_overhead_x']:.2f}x, "
+            f"{results['interval_speedup_vs_per_chunk']:.2f}x less "
+            f"IO time than per-chunk)",
+            f"results written to {path}",
+        ]))

@@ -13,15 +13,19 @@ an event counter -- and runs the two campaigns the paper reports:
 Run with::
 
     python examples/fault_injection_campaign.py [num_sequences] [num_workers]
+    python examples/fault_injection_campaign.py [num_sequences] [n] --threads
     python examples/fault_injection_campaign.py [num_sequences] --batched
     python examples/fault_injection_campaign.py [num_sequences] --simd
     python examples/fault_injection_campaign.py [num_sequences] --array
 
-With ``num_workers > 1`` the campaigns run through the sharded
-streaming runner of :mod:`repro.campaigns` (the path toward the
-paper's 10^8-sequence scale): multiprocessing workers, O(1)-memory
-counter statistics, and results that are bit-identical for any worker
-count.  With ``--batched`` they run on the bit-plane batched engine
+With ``num_workers > 1`` both campaigns are submitted as jobs of one
+:class:`~repro.campaigns.scheduler.CampaignScheduler` and run
+concurrently, fair-share, over a single shared worker pool (the path
+toward the paper's 10^8-sequence scale): O(1)-memory counter
+statistics, per-job progress with live throughput/ETA, and results
+that are bit-identical for any worker count and executor kind
+(``--threads`` swaps the process pool for a thread pool).  With
+``--batched`` they run on the bit-plane batched engine
 (:mod:`repro.engines.bitplane`), which simulates 256 sequences per
 pass; with ``--simd`` on the numpy word-packed SIMD engine
 (:mod:`repro.engines.simd`), whose fully vectorised decode keeps that
@@ -39,6 +43,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro import ProtectedDesign, SyncFIFO
+from repro.campaigns import CampaignScheduler, FIFOValidationCampaignTask
 from repro.validation.campaign import (
     run_multiple_error_campaign,
     run_sharded_multiple_error_campaign,
@@ -48,33 +53,64 @@ from repro.validation.campaign import (
 from repro.validation.testbench import FIFOTestbench
 
 
-def main_sharded(num_sequences: int, num_workers: int) -> None:
-    """The same two campaigns, fanned out over worker processes."""
-    print(f"running {num_sequences} sequences per campaign over "
-          f"{num_workers} workers (packed engine, streaming stats)\n")
+def progress_printer(label: str):
+    """A per-job progress callback printing throughput and ETA.
 
+    Both estimates come straight off :class:`~repro.campaigns.runner.\
+CampaignProgress` -- computed in the parent process, restored
+    checkpoint chunks excluded from the rate.
+    """
     def progress(event):
-        print(f"  ... {event.sequences_completed}/{event.total_sequences} "
-              f"sequences", flush=True)
+        eta = event.eta_seconds
+        eta_text = "--" if eta is None else f"{eta:5.1f}s"
+        print(f"  [{label}] {event.sequences_completed}/"
+              f"{event.total_sequences} sequences  "
+              f"{event.sequences_per_second:8.1f} seq/s  eta {eta_text}",
+              flush=True)
+    return progress
 
-    print("=" * 60)
-    print("experiment 1: single error per test sequence (sharded)")
-    print("=" * 60)
-    single = run_sharded_single_error_campaign(
-        num_sequences, width=32, depth=32, num_chains=80,
-        words_per_sequence=16, engine="packed", num_workers=num_workers,
-        progress_callback=progress)
-    print(single.summary())
+
+def main_sharded(num_sequences: int, num_workers: int,
+                 executor: str = "process") -> None:
+    """Both campaigns as concurrent jobs of one CampaignScheduler."""
+    print(f"running {num_sequences} sequences per campaign, both "
+          f"campaigns interleaved fair-share over one shared "
+          f"{executor}-pool of {num_workers} workers (packed engine, "
+          f"streaming stats)\n")
+    scheduler = CampaignScheduler(executor=executor,
+                                  num_workers=num_workers)
+    common = dict(width=32, depth=32, num_chains=80,
+                  words_per_sequence=16, engine="packed")
+    single_job = scheduler.submit(
+        FIFOValidationCampaignTask(pattern="single", **common),
+        num_sequences, seed=20100308,
+        progress_callback=progress_printer("single"))
+    multi_job = scheduler.submit(
+        FIFOValidationCampaignTask(pattern="burst", burst_size=4, **common),
+        num_sequences, seed=20100308,
+        progress_callback=progress_printer("burst"))
+    scheduler.run()
 
     print()
     print("=" * 60)
-    print("experiment 2: clustered multi-bit errors (sharded)")
+    print("experiment 1: single error per test sequence (scheduled)")
     print("=" * 60)
-    multiple = run_sharded_multiple_error_campaign(
-        num_sequences, burst_size=4, clustered=True, width=32, depth=32,
-        num_chains=80, words_per_sequence=16, engine="packed",
-        num_workers=num_workers, progress_callback=progress)
-    print(multiple.summary())
+    print(single_job.result.summary())
+
+    print()
+    print("=" * 60)
+    print("experiment 2: clustered multi-bit errors (scheduled)")
+    print("=" * 60)
+    print(multi_job.result.summary())
+
+    # The scheduler memoizes merged results: resubmitting the same
+    # campaign (task fingerprint, seed, size) is served from cache.
+    rerun = scheduler.submit(
+        FIFOValidationCampaignTask(pattern="single", **common),
+        num_sequences, seed=20100308)
+    assert rerun.from_cache and rerun.result == single_job.result
+    print("\nresubmitted the single-error campaign: served from the "
+          "scheduler's result cache, no chunks executed")
 
 
 def main_batched(num_sequences: int, num_workers: int = 1,
@@ -106,10 +142,11 @@ def main_batched(num_sequences: int, num_workers: int = 1,
 def main() -> None:
     flags = [a for a in sys.argv[1:] if a.startswith("--")]
     unknown = [f for f in flags if f not in ("--batched", "--simd",
-                                             "--array")]
+                                             "--array", "--threads")]
     if unknown:
         raise SystemExit(f"unknown option(s): {', '.join(unknown)} "
-                         f"(supported: --batched, --simd, --array)")
+                         f"(supported: --batched, --simd, --array, "
+                         f"--threads)")
     args = [a for a in sys.argv[1:] if not a.startswith("--")]
     num_sequences = int(args[0]) if args else 50
     num_workers = int(args[1]) if len(args) > 1 else 1
@@ -123,8 +160,10 @@ def main() -> None:
     if "--batched" in flags:
         main_batched(num_sequences, num_workers)
         return
-    if num_workers > 1:
-        main_sharded(num_sequences, num_workers)
+    if num_workers > 1 or "--threads" in flags:
+        main_sharded(num_sequences, num_workers,
+                     executor="thread" if "--threads" in flags
+                     else "process")
         return
 
     # FIFO_A: the paper's 32x32 FIFO in the 80-chain configuration,

@@ -23,7 +23,8 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.campaigns.runner import CampaignTask, ShardedCampaignRunner
+from repro.campaigns.runner import CampaignTask
+from repro.campaigns.scheduler import CampaignScheduler
 from repro.campaigns.seeding import child_seed
 from repro.codes.hamming import PAPER_HAMMING_CODES, HammingCode
 
@@ -194,50 +195,32 @@ class CorrectionCapabilityTask(CampaignTask):
         return counters
 
 
-def correction_capability_curve(code: HammingCode,
-                                error_counts: Sequence[int] = tuple(
-                                    range(1, 11)),
-                                num_bits: int = 1000,
-                                sequences: int = 2000,
-                                seed: Optional[Union[int, str]] = 1234,
-                                engine: str = "reference",
-                                num_workers: int = 1,
-                                chunk_size: Optional[int] = None,
-                                progress_callback=None
-                                ) -> List[CorrectionCapabilityResult]:
-    """Monte-Carlo correction-capability curve for one code.
-
-    Parameters mirror the paper's setup (1000-bit sequences, 1--10
-    injected errors); ``sequences`` trades accuracy against runtime
-    (the paper used 10^6, the default here is CI-sized and the
-    benchmark harness can raise it).  ``engine="packed"`` selects the
-    bitmask trial simulator, which draws the same random positions and
-    therefore returns identical statistics, just faster.
-
-    The trials run through the sharded runner of
-    :mod:`repro.campaigns`: each error count gets its own seed-split
-    campaign, so ``num_workers`` processes produce statistics that are
-    bit-identical to the single-process result for any worker count
-    (given the same ``chunk_size``).
-    """
-    if num_bits < max(error_counts):
-        raise ValueError("cannot inject more errors than there are bits")
-    if engine not in SEQUENCE_ENGINES:
-        raise ValueError(
-            f"unknown engine {engine!r}; choose from "
-            f"{tuple(SEQUENCE_ENGINES)}")
-    results: List[CorrectionCapabilityResult] = []
+def _submit_curve(scheduler: CampaignScheduler, code: HammingCode,
+                  error_counts: Sequence[int], num_bits: int,
+                  sequences: int, seed: Optional[Union[int, str]],
+                  engine: str, chunk_size: Optional[int],
+                  progress_callback=None) -> list:
+    """Queue one code's curve (one job per error count) on a scheduler."""
+    jobs = []
     for num_errors in error_counts:
         task = CorrectionCapabilityTask(
             code_n=code.n, code_k=code.k, num_bits=num_bits,
             num_errors=num_errors, engine=engine)
-        runner = ShardedCampaignRunner(
+        jobs.append((num_errors, scheduler.submit(
             task, sequences,
             seed=None if seed is None else child_seed(seed, "errors",
                                                       num_errors),
-            num_workers=num_workers, chunk_size=chunk_size,
-            progress_callback=progress_callback)
-        counters = runner.run()
+            chunk_size=chunk_size,
+            progress_callback=progress_callback)))
+    return jobs
+
+
+def _curve_results(code: HammingCode,
+                   jobs: list) -> List[CorrectionCapabilityResult]:
+    """Collect one code's finished scheduler jobs into curve points."""
+    results = []
+    for num_errors, job in jobs:
+        counters = job.result
         results.append(CorrectionCapabilityResult(
             code_n=code.n, code_k=code.k,
             num_errors=num_errors,
@@ -249,6 +232,55 @@ def correction_capability_curve(code: HammingCode,
     return results
 
 
+def correction_capability_curve(code: HammingCode,
+                                error_counts: Sequence[int] = tuple(
+                                    range(1, 11)),
+                                num_bits: int = 1000,
+                                sequences: int = 2000,
+                                seed: Optional[Union[int, str]] = 1234,
+                                engine: str = "reference",
+                                num_workers: int = 1,
+                                chunk_size: Optional[int] = None,
+                                progress_callback=None,
+                                executor=None,
+                                scheduler: Optional[CampaignScheduler] = None
+                                ) -> List[CorrectionCapabilityResult]:
+    """Monte-Carlo correction-capability curve for one code.
+
+    Parameters mirror the paper's setup (1000-bit sequences, 1--10
+    injected errors); ``sequences`` trades accuracy against runtime
+    (the paper used 10^6, the default here is CI-sized and the
+    benchmark harness can raise it).  ``engine="packed"`` selects the
+    bitmask trial simulator, which draws the same random positions and
+    therefore returns identical statistics, just faster.
+
+    The per-error-count campaigns run as jobs of one
+    :class:`~repro.campaigns.scheduler.CampaignScheduler` sharing a
+    single executor (``executor`` accepts ``"serial"``/``"thread"``/
+    ``"process"`` or an instance, sized by ``num_workers``), their
+    chunks interleaved fair-share and their merged results memoized --
+    re-requesting a curve point on the same scheduler is free.  Each
+    error count keeps its own seed-split campaign root, so the
+    statistics are bit-identical to the historical one-runner-per-point
+    execution for any worker count and executor kind (given the same
+    ``chunk_size``).
+    """
+    if num_bits < max(error_counts):
+        raise ValueError("cannot inject more errors than there are bits")
+    if engine not in SEQUENCE_ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; choose from "
+            f"{tuple(SEQUENCE_ENGINES)}")
+    if scheduler is None:
+        scheduler = CampaignScheduler(executor=executor,
+                                      num_workers=num_workers)
+    jobs = _submit_curve(scheduler, code, error_counts, num_bits,
+                         sequences, seed, engine, chunk_size,
+                         progress_callback=progress_callback)
+    scheduler.run()
+    return _curve_results(code, jobs)
+
+
 def fig10_curves(error_counts: Sequence[int] = tuple(range(1, 11)),
                  num_bits: int = 1000,
                  sequences: int = 2000,
@@ -256,9 +288,15 @@ def fig10_curves(error_counts: Sequence[int] = tuple(range(1, 11)),
                  family: Sequence[Tuple[int, int]] = PAPER_HAMMING_CODES,
                  engine: str = "reference",
                  num_workers: int = 1,
-                 chunk_size: Optional[int] = None
+                 chunk_size: Optional[int] = None,
+                 executor=None
                  ) -> Dict[Tuple[int, int], List[CorrectionCapabilityResult]]:
     """Regenerate all four curves of the paper's Fig. 10.
+
+    All ``len(family) * len(error_counts)`` campaigns are submitted to
+    **one** scheduler and executed fair-share over one shared executor
+    pool -- the Fig. 10 figure is exactly the many-jobs-one-pool shape
+    the campaign service is built for.
 
     Each curve derives its root seed with hash-based seed-splitting
     (``child_seed(seed, "fig10", n, k)``) instead of the historical
@@ -268,16 +306,25 @@ def fig10_curves(error_counts: Sequence[int] = tuple(range(1, 11)),
     silently correlating samples that the statistics assume are
     independent.
     """
-    curves: Dict[Tuple[int, int], List[CorrectionCapabilityResult]] = {}
+    if num_bits < max(error_counts):
+        raise ValueError("cannot inject more errors than there are bits")
+    if engine not in SEQUENCE_ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; choose from "
+            f"{tuple(SEQUENCE_ENGINES)}")
+    scheduler = CampaignScheduler(executor=executor,
+                                  num_workers=num_workers)
+    submitted = []
     for n, k in family:
         code = HammingCode(n, k)
         curve_seed = (None if seed is None
                       else child_seed(seed, "fig10", n, k))
-        curves[(n, k)] = correction_capability_curve(
-            code, error_counts=error_counts, num_bits=num_bits,
-            sequences=sequences, seed=curve_seed, engine=engine,
-            num_workers=num_workers, chunk_size=chunk_size)
-    return curves
+        submitted.append((code, _submit_curve(
+            scheduler, code, error_counts, num_bits, sequences,
+            curve_seed, engine, chunk_size)))
+    scheduler.run()
+    return {(code.n, code.k): _curve_results(code, jobs)
+            for code, jobs in submitted}
 
 
 __all__ = [

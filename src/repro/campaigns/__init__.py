@@ -1,17 +1,35 @@
-"""Campaign orchestration: streaming statistics and sharded execution.
+"""Campaign orchestration: plan / executor / checkpoint / scheduler.
 
 The paper validates the methodology with 10^8-sequence FPGA campaigns;
-this package is the software path toward that scale:
+this package is the software path toward that scale, decomposed into
+one layer per concern so each can evolve (and be swapped) alone:
 
+* :mod:`repro.campaigns.plan` -- **what** to run: the deterministic
+  chunk plan, pure immutable data derived from ``(root_seed,
+  total_sequences, chunk_size)`` and nothing else -- the reason merged
+  statistics are bit-identical for any executor and worker count;
+* :mod:`repro.campaigns.executors` -- **where** chunks run: inline
+  (:class:`~repro.campaigns.executors.SerialExecutor`), thread pool
+  (:class:`~repro.campaigns.executors.ThreadExecutor`), or process
+  fan-out (:class:`~repro.campaigns.executors.ProcessExecutor`, tasks
+  pickled once per worker), with failures wrapped as
+  :class:`~repro.campaigns.executors.ChunkExecutionError` naming the
+  chunk that died;
+* :mod:`repro.campaigns.checkpoints` -- **durability**: the JSON
+  checkpoint store (header validation, atomic replace, interval-based
+  flush policy) behind resume-after-interruption;
+* :mod:`repro.campaigns.scheduler` -- **many campaigns at once**:
+  :class:`~repro.campaigns.scheduler.CampaignScheduler` interleaves
+  jobs fair-share over one shared executor and memoizes merged
+  results, the first concrete step of the campaign service;
+* :mod:`repro.campaigns.runner` -- the facade:
+  :class:`~repro.campaigns.runner.ShardedCampaignRunner` composes the
+  layers behind the historical single-campaign API;
 * :mod:`repro.campaigns.stats` -- counter-based, O(1)-memory,
-  mergeable campaign statistics (the streaming replacement for the
-  historical record-list bookkeeping);
+  mergeable campaign statistics;
 * :mod:`repro.campaigns.seeding` -- SeedSequence-style deterministic
   seed-splitting (hash-derived child seeds, immune to the ``seed +
   offset`` aliasing class of bugs);
-* :mod:`repro.campaigns.runner` -- the sharded, chunked campaign
-  runner: ``multiprocessing`` fan-out with worker-count-independent
-  results, JSON checkpoint/resume and progress callbacks;
 * :mod:`repro.campaigns.tasks` -- picklable task descriptions (the
   Fig. 8 FIFO validation campaign; the Fig. 10 correction-capability
   task lives with its driver in
@@ -29,12 +47,26 @@ from repro.campaigns.stats import (
     injection_record_from_sequence,
 )
 from repro.campaigns.seeding import child_seed, spawn_seeds
+from repro.campaigns.plan import (
+    ChunkPlan,
+    ChunkPlanEntry,
+    default_chunk_size,
+)
+from repro.campaigns.executors import (
+    ChunkExecutionError,
+    ChunkExecutor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    resolve_executor,
+)
+from repro.campaigns.checkpoints import CheckpointStore
 from repro.campaigns.runner import (
     CampaignProgress,
     CampaignTask,
     ShardedCampaignRunner,
-    default_chunk_size,
 )
+from repro.campaigns.scheduler import CampaignJob, CampaignScheduler
 from repro.campaigns.tasks import FIFOValidationCampaignTask
 
 __all__ = [
@@ -44,8 +76,19 @@ __all__ = [
     "injection_record_from_sequence",
     "child_seed",
     "spawn_seeds",
+    "ChunkPlan",
+    "ChunkPlanEntry",
+    "ChunkExecutionError",
+    "ChunkExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "resolve_executor",
+    "CheckpointStore",
     "CampaignProgress",
     "CampaignTask",
+    "CampaignJob",
+    "CampaignScheduler",
     "ShardedCampaignRunner",
     "default_chunk_size",
     "FIFOValidationCampaignTask",

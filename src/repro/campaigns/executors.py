@@ -1,0 +1,335 @@
+"""Executor layer: strategies for turning plan entries into results.
+
+A :class:`ChunkExecutor` consumes :class:`~repro.campaigns.plan.\
+ChunkPlanEntry` values and yields ``(index, result)`` pairs as chunks
+complete -- in any order, because the merge is index-sorted downstream.
+Executors own *where* chunks run and nothing else: the plan layer has
+already fixed every seed and boundary, so any executor at any
+concurrency produces bit-identical merged statistics for the same plan.
+
+Three implementations ship:
+
+* :class:`SerialExecutor` -- inline in the calling thread; the
+  ``num_workers == 1`` path and the degenerate single-chunk fallback.
+* :class:`ThreadExecutor` -- a ``concurrent.futures`` thread pool.
+  Useful when chunk work releases the GIL (numpy kernels in the simd
+  engine) and for the campaign service's many-small-interactive-jobs
+  regime, where process fan-out overhead dominates tiny jobs.
+* :class:`ProcessExecutor` -- ``multiprocessing`` fan-out.  Each
+  worker receives the task table **once**, through the pool
+  initializer, instead of a task copy pickled into every job tuple;
+  job tuples carry only ``(position, slot, index, seed, count)``.
+
+Chunk failures surface as :class:`ChunkExecutionError` carrying the
+failing chunk's index, seed and count (plus the worker traceback for
+process pools), so a 10^7-sequence campaign names the chunk that died
+and a resume can re-run exactly that work.
+
+The scheduler-facing entry point is :meth:`ChunkExecutorBase.\
+submit_jobs`, which multiplexes entries from *several* tasks over one
+executor; :meth:`~ChunkExecutorBase.submit` is the single-task
+convenience defined in terms of it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import traceback
+from typing import (Any, Dict, Iterable, Iterator, List, Optional, Sequence,
+                    Tuple)
+
+try:  # pragma: no cover - typing nicety only
+    from typing import Protocol
+except ImportError:  # pragma: no cover - Python < 3.8
+    Protocol = object  # type: ignore[assignment]
+
+from repro.campaigns.plan import ChunkPlanEntry
+
+#: A scheduler job: an opaque tag, the plan entry to run, and the task
+#: that runs it.  Tags come back attached to results so the caller can
+#: route completions to the right campaign.
+TaggedJob = Tuple[Any, ChunkPlanEntry, Any]
+
+
+class ChunkExecutionError(RuntimeError):
+    """A chunk of campaign work failed.
+
+    Carries the failing chunk's plan coordinates -- ``chunk_index``,
+    ``chunk_seed``, ``count`` -- so a failed multi-hour campaign says
+    *which* chunk died (and therefore which seed reproduces the crash
+    in isolation), plus ``worker_traceback`` when the failure happened
+    in a worker process whose live traceback cannot cross the pickle
+    boundary.  The original exception is chained as ``__cause__`` when
+    it is available in-process.
+    """
+
+    def __init__(self, chunk_index: int, chunk_seed: int, count: int,
+                 message: str,
+                 worker_traceback: Optional[str] = None):
+        detail = (f"chunk {chunk_index} (seed={chunk_seed}, "
+                  f"count={count}) failed: {message}")
+        if worker_traceback:
+            detail += f"\n--- worker traceback ---\n{worker_traceback}"
+        super().__init__(detail)
+        self.chunk_index = chunk_index
+        self.chunk_seed = chunk_seed
+        self.count = count
+        self.worker_traceback = worker_traceback
+
+    @classmethod
+    def wrap(cls, entry: ChunkPlanEntry,
+             exc: BaseException) -> "ChunkExecutionError":
+        """Wrap an in-process exception, preserving it as the cause."""
+        error = cls(entry.index, entry.chunk_seed, entry.count,
+                    f"{type(exc).__name__}: {exc}")
+        error.__cause__ = exc
+        return error
+
+
+class ChunkExecutor(Protocol):
+    """Protocol of the executor layer.
+
+    ``submit`` runs one task's plan entries and yields ``(index,
+    result)`` pairs as they complete (any order); implementations that
+    also support :meth:`ChunkExecutorBase.submit_jobs` can serve the
+    multi-campaign scheduler.  Failures are raised as
+    :class:`ChunkExecutionError` from the consuming iterator.
+    """
+
+    def submit(self, entries: Sequence[ChunkPlanEntry],
+               task: Any) -> Iterator[Tuple[int, Any]]:
+        ...
+
+
+class ChunkExecutorBase:
+    """Shared plumbing: ``submit`` in terms of ``submit_jobs``."""
+
+    def submit(self, entries: Sequence[ChunkPlanEntry],
+               task: Any) -> Iterator[Tuple[int, Any]]:
+        """Run one task's entries; yield ``(index, result)`` pairs."""
+        for _, index, result in self.submit_jobs(
+                [(None, entry, task) for entry in entries]):
+            yield index, result
+
+    def submit_jobs(self, jobs: Iterable[TaggedJob]
+                    ) -> Iterator[Tuple[Any, int, Any]]:
+        """Run tagged ``(tag, entry, task)`` jobs; yield ``(tag, index,
+        result)`` as chunks complete."""
+        raise NotImplementedError
+
+
+def _run_entry(task: Any, entry: ChunkPlanEntry) -> Any:
+    """Run one entry in-process, wrapping failures."""
+    try:
+        return task.run_chunk(entry.chunk_seed, entry.count)
+    except ChunkExecutionError:
+        raise
+    except Exception as exc:
+        raise ChunkExecutionError.wrap(entry, exc) from exc
+
+
+class SerialExecutor(ChunkExecutorBase):
+    """Run every chunk inline, in submission order."""
+
+    def submit_jobs(self, jobs: Iterable[TaggedJob]
+                    ) -> Iterator[Tuple[Any, int, Any]]:
+        for tag, entry, task in jobs:
+            yield tag, entry.index, _run_entry(task, entry)
+
+    def __repr__(self) -> str:
+        return "SerialExecutor()"
+
+
+class ThreadExecutor(ChunkExecutorBase):
+    """Fan chunks out over a thread pool.
+
+    Threads share the interpreter, so this pays no pickling or process
+    start-up cost; it overlaps real work only where the chunk's inner
+    loop releases the GIL (numpy kernels) or blocks on IO.  Jobs are
+    dispatched in submission order, which is what gives the scheduler
+    its fair-share interleaving.
+    """
+
+    def __init__(self, num_workers: int):
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = num_workers
+
+    def submit_jobs(self, jobs: Iterable[TaggedJob]
+                    ) -> Iterator[Tuple[Any, int, Any]]:
+        from concurrent.futures import FIRST_COMPLETED
+        from concurrent.futures import ThreadPoolExecutor as _Pool
+        from concurrent.futures import wait
+
+        jobs = list(jobs)
+        if len(jobs) <= 1 or self.num_workers == 1:
+            yield from SerialExecutor().submit_jobs(jobs)
+            return
+        with _Pool(max_workers=min(self.num_workers, len(jobs))) as pool:
+            futures = {pool.submit(_run_entry, task, entry): (tag, entry)
+                       for tag, entry, task in jobs}
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    tag, entry = futures[future]
+                    yield tag, entry.index, future.result()
+
+    def __repr__(self) -> str:
+        return f"ThreadExecutor(num_workers={self.num_workers})"
+
+
+# -- process pool plumbing (module level: pickled by name) -------------
+#: Worker-side task table, installed once per worker by the pool
+#: initializer.  Keys are small integer slots assigned by the parent,
+#: so job tuples never carry a task copy.
+_WORKER_TASKS: Dict[int, Any] = {}
+
+
+def _init_worker(parent_sys_path: List[str],
+                 tasks: Dict[int, Any]) -> None:
+    """Pool initializer: import path + the per-worker task table.
+
+    With the ``spawn`` start method a fresh interpreter imports this
+    module from scratch; when the parent runs from a source checkout
+    (``sys.path`` patched by conftest rather than PYTHONPATH), the
+    child needs the same entries to unpickle the tasks.  The task
+    table itself is the once-per-worker pickle that replaces the
+    historical once-per-job task copy.
+    """
+    for entry in reversed(parent_sys_path):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+    _WORKER_TASKS.clear()
+    _WORKER_TASKS.update(tasks)
+
+
+def _run_pool_job(job: Tuple[int, int, int, int, int]
+                  ) -> Tuple[int, Any, Optional[str]]:
+    """Worker-side entry point: run one chunk from the task table.
+
+    Returns ``(position, result, None)`` on success and ``(position,
+    None, traceback_text)`` on failure -- the traceback crosses the
+    process boundary as text because live exception objects (and their
+    frames) may not pickle.
+    """
+    position, slot, _index, chunk_seed, count = job
+    try:
+        return position, _WORKER_TASKS[slot].run_chunk(chunk_seed,
+                                                       count), None
+    except Exception:
+        return position, None, traceback.format_exc()
+
+
+class ProcessExecutor(ChunkExecutorBase):
+    """Fan chunks out over worker processes (today's scaling path).
+
+    Each distinct task object is pickled exactly once per worker, via
+    the pool initializer's task table; the per-job tuples carry only
+    plan coordinates.  Worker failures come back as
+    :class:`ChunkExecutionError` with the worker traceback attached.
+
+    Parameters
+    ----------
+    num_workers:
+        Process count.  A single worker (or a single pending job)
+        degrades to inline execution -- same results, no pool.
+    start_method:
+        ``multiprocessing`` start method; default prefers ``fork``
+        (cheap, inherits ``sys.path``) and falls back to ``spawn``.
+    """
+
+    def __init__(self, num_workers: int,
+                 start_method: Optional[str] = None):
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = num_workers
+        self._start_method = start_method
+
+    def _pool_context(self):
+        method = self._start_method
+        if method is None:
+            available = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in available else "spawn"
+        return multiprocessing.get_context(method)
+
+    def submit_jobs(self, jobs: Iterable[TaggedJob]
+                    ) -> Iterator[Tuple[Any, int, Any]]:
+        jobs = list(jobs)
+        if len(jobs) <= 1 or self.num_workers == 1:
+            yield from SerialExecutor().submit_jobs(jobs)
+            return
+        slots: Dict[int, int] = {}
+        tasks: Dict[int, Any] = {}
+        tuples = []
+        for position, (tag, entry, task) in enumerate(jobs):
+            slot = slots.setdefault(id(task), len(slots))
+            tasks[slot] = task
+            tuples.append((position, slot, entry.index, entry.chunk_seed,
+                           entry.count))
+        context = self._pool_context()
+        workers = min(self.num_workers, len(tuples))
+        with context.Pool(workers, initializer=_init_worker,
+                          initargs=(list(sys.path), tasks)) as pool:
+            for position, result, failure in pool.imap_unordered(
+                    _run_pool_job, tuples):
+                tag, entry, _task = jobs[position]
+                if failure is not None:
+                    raise ChunkExecutionError(
+                        entry.index, entry.chunk_seed, entry.count,
+                        "worker process raised",
+                        worker_traceback=failure)
+                yield tag, entry.index, result
+
+    def __repr__(self) -> str:
+        return (f"ProcessExecutor(num_workers={self.num_workers}, "
+                f"start_method={self._start_method!r})")
+
+
+#: Executor spec strings accepted by :func:`resolve_executor`.
+EXECUTOR_KINDS = ("serial", "thread", "process")
+
+
+def resolve_executor(executor: "ChunkExecutor | str | None",
+                     num_workers: int = 1,
+                     start_method: Optional[str] = None) -> ChunkExecutor:
+    """Resolve an executor spec to an instance.
+
+    ``None`` keeps the historical behaviour: inline for one worker,
+    process fan-out otherwise.  A string names a kind from
+    ``EXECUTOR_KINDS`` sized by ``num_workers``; an object exposing
+    ``submit`` is returned as-is.
+    """
+    if executor is None:
+        if num_workers == 1:
+            return SerialExecutor()
+        return ProcessExecutor(num_workers, start_method=start_method)
+    if isinstance(executor, str):
+        kind = executor.strip().lower()
+        if kind == "serial":
+            return SerialExecutor()
+        if kind in ("thread", "threads"):
+            return ThreadExecutor(num_workers)
+        if kind in ("process", "processes"):
+            return ProcessExecutor(num_workers, start_method=start_method)
+        raise ValueError(
+            f"unknown executor {executor!r}; choose from "
+            f"{EXECUTOR_KINDS} or pass a ChunkExecutor instance")
+    if hasattr(executor, "submit"):
+        return executor
+    raise TypeError(
+        f"executor must be None, a kind string or a ChunkExecutor, "
+        f"got {type(executor).__name__}")
+
+
+__all__ = [
+    "ChunkExecutionError",
+    "ChunkExecutor",
+    "ChunkExecutorBase",
+    "EXECUTOR_KINDS",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "resolve_executor",
+]

@@ -3,45 +3,56 @@
 The paper's validation campaigns run 10^8 test sequences; the sharded
 runner brings the software reproduction toward that scale by splitting
 a campaign into fixed-size **chunks** and fanning the chunks out over
-``multiprocessing`` workers:
+an executor.  Since the plan/executor/checkpoint decomposition, this
+module is a thin **facade**: the actual mechanics live in one layer
+each --
 
-* the chunk plan (boundaries and per-chunk seeds, derived with
-  :func:`repro.campaigns.seeding.spawn_seeds`) depends only on the
-  campaign's total size, chunk size and root seed -- never on the
-  worker count -- and the streamed statistics merge by integer
-  addition, so the final result is **bit-identical for any number of
-  workers**;
-* each completed chunk's statistics are appended to an optional JSON
-  **checkpoint** (written atomically), so an interrupted campaign
-  resumes from the last completed chunk instead of restarting;
-* a **progress callback** fires in the parent process after every
-  chunk, carrying completed/total sequence counts;
-* the per-chunk results are O(1)-size counter objects
-  (:mod:`repro.campaigns.stats`), so resident memory stays flat no
-  matter how many sequences the campaign runs.
+* :mod:`repro.campaigns.plan` -- the deterministic chunk plan, pure
+  immutable data derived from ``(root_seed, total_sequences,
+  chunk_size)`` alone (never the worker count), which is why the
+  merged statistics are **bit-identical for any executor and any
+  number of workers**;
+* :mod:`repro.campaigns.executors` -- where chunks run: inline,
+  thread pool, or process pool (tasks pickled once per worker), with
+  failures wrapped as :class:`~repro.campaigns.executors.\
+ChunkExecutionError` naming the chunk that died;
+* :mod:`repro.campaigns.checkpoints` -- the JSON checkpoint: header
+  validation, atomic replace, and the ``save_interval`` flush policy
+  (plus a final flush -- also on the way out of a failed run, so a
+  fixed run resumes from everything that completed);
+* :mod:`repro.campaigns.scheduler` -- many campaigns multiplexed
+  fair-share over one shared executor, with result memoization.
 
 Work is described by a :class:`CampaignTask`: a small picklable object
 that knows how to run one chunk from one chunk seed.  Tasks build
 their (unpicklable) simulation state -- test benches, protected
 designs -- inside ``run_chunk``, in the worker process.
+
+:class:`ShardedCampaignRunner` keeps its historical constructor and
+``run()`` semantics (existing callers are untouched); ``executor=``
+and ``save_interval=`` opt into the new layers explicitly.
 """
 
 from __future__ import annotations
 
-import json
 import math
-import multiprocessing
-import os
 import random
-import sys
-import tempfile
+import time
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
-from repro.campaigns.seeding import child_seed, spawn_seeds
-
-#: JSON checkpoint schema version.
-CHECKPOINT_FORMAT = 1
+from repro.campaigns.checkpoints import CHECKPOINT_FORMAT, CheckpointStore
+from repro.campaigns.executors import (
+    ChunkExecutionError,
+    ChunkExecutor,
+    resolve_executor,
+)
+from repro.campaigns.plan import (
+    ChunkPlan,
+    default_chunk_size,
+    resolve_chunk_size,
+)
+from repro.campaigns.seeding import child_seed
 
 
 class CampaignTask:
@@ -68,12 +79,13 @@ class CampaignTask:
         return type(self.empty_result()).from_dict(payload)
 
     def fingerprint(self) -> str:
-        """Identity string stored in checkpoints.
+        """Identity string stored in checkpoints and cache keys.
 
         A resumed run refuses a checkpoint whose fingerprint differs,
-        so statistics from one campaign configuration are never merged
-        into another.  Dataclass tasks get a faithful default from
-        ``repr``.
+        and the scheduler's result cache keys on it, so statistics
+        from one campaign configuration are never merged into (or
+        served for) another.  Dataclass tasks get a faithful default
+        from ``repr``.
         """
         return repr(self)
 
@@ -92,7 +104,14 @@ class CampaignTask:
 
 @dataclass(frozen=True)
 class CampaignProgress:
-    """Progress snapshot passed to the runner's callback."""
+    """Progress snapshot passed to the runner's callback.
+
+    ``elapsed`` and ``sequences_restored`` are filled in by the parent
+    process (no worker cooperation involved): ``elapsed`` is wall time
+    since ``run()`` started, and restored-from-checkpoint sequences are
+    excluded from the throughput estimate so a resumed campaign does
+    not report an impossible rate.
+    """
 
     chunk_index: int
     chunks_completed: int
@@ -100,49 +119,37 @@ class CampaignProgress:
     sequences_completed: int
     total_sequences: int
     from_checkpoint: bool = False
+    elapsed: float = 0.0
+    sequences_restored: int = 0
 
     @property
     def fraction(self) -> float:
         """Completed fraction of the campaign, in [0, 1]."""
         return self.sequences_completed / self.total_sequences
 
+    @property
+    def sequences_per_second(self) -> float:
+        """Throughput of *this run* (checkpoint-restored work excluded)."""
+        executed = self.sequences_completed - self.sequences_restored
+        if self.elapsed <= 0.0 or executed <= 0:
+            return 0.0
+        return executed / self.elapsed
+
+    @property
+    def eta_seconds(self) -> Optional[float]:
+        """Estimated seconds to completion, or ``None`` before any
+        throughput signal exists."""
+        rate = self.sequences_per_second
+        if rate <= 0.0:
+            return None
+        return (self.total_sequences - self.sequences_completed) / rate
+
 
 ProgressCallback = Callable[[CampaignProgress], None]
 
 
-def default_chunk_size(total_sequences: int) -> int:
-    """Default chunk size: ~64 chunks per campaign.
-
-    Depends only on the total sequence count (worker-count independent,
-    as required for determinism) and keeps enough chunks in flight to
-    load-balance a typical worker pool while amortising per-chunk
-    test-bench construction.
-    """
-    return max(1, math.ceil(total_sequences / 64))
-
-
-def _run_chunk_job(job: Tuple[CampaignTask, int, int, int]
-                   ) -> Tuple[int, int, Any]:
-    """Worker-side entry point: run one chunk, return its result."""
-    task, index, chunk_seed, count = job
-    return index, count, task.run_chunk(chunk_seed, count)
-
-
-def _init_worker(parent_sys_path: List[str]) -> None:
-    """Make spawned workers see the parent's import path.
-
-    With the ``spawn`` start method a fresh interpreter imports this
-    module from scratch; when the parent runs from a source checkout
-    (``sys.path`` patched by conftest rather than PYTHONPATH), the
-    child needs the same entries to unpickle the task.
-    """
-    for entry in reversed(parent_sys_path):
-        if entry not in sys.path:
-            sys.path.insert(0, entry)
-
-
 class ShardedCampaignRunner:
-    """Fan a campaign out over processes, deterministically.
+    """Fan one campaign out over an executor, deterministically.
 
     Parameters
     ----------
@@ -154,25 +161,40 @@ class ShardedCampaignRunner:
         Campaign root seed (int or str).  Chunk seeds are spawned from
         it via :mod:`repro.campaigns.seeding`; equal ``(seed,
         total_sequences, chunk_size)`` triples give bit-identical
-        results for **any** ``num_workers``.  ``None`` draws a random
-        root (recorded in the checkpoint so a resume stays coherent).
+        results for **any** ``num_workers`` and any executor.  ``None``
+        draws a random root (recorded in the checkpoint so a resume
+        stays coherent).
     num_workers:
-        Process count; ``1`` runs inline (no multiprocessing), which is
-        also the fallback when only one chunk is pending.
+        Worker count; ``1`` runs inline (no pool), which is also the
+        fallback when only one chunk is pending.
     chunk_size:
-        Sequences per chunk; defaults to :func:`default_chunk_size`.
-        This is the determinism granularity *and* the checkpoint
-        granularity -- do not change it between a run and its resume.
+        Sequences per chunk; defaults to
+        :func:`~repro.campaigns.plan.default_chunk_size` rounded to the
+        task's granularity.  This is the determinism granularity *and*
+        the checkpoint granularity -- do not change it between a run
+        and its resume.
     checkpoint_path:
-        Optional JSON file; every completed chunk's counters are
-        appended (atomic replace).  An existing file is validated
-        against the campaign parameters and its chunks are not re-run.
+        Optional JSON file owned by a
+        :class:`~repro.campaigns.checkpoints.CheckpointStore`.  An
+        existing file is validated against the campaign parameters and
+        its chunks are not re-run.
     progress_callback:
         Called in the parent after each chunk with a
-        :class:`CampaignProgress`.
+        :class:`CampaignProgress` (including elapsed/rate/ETA fields).
     start_method:
-        ``multiprocessing`` start method; default prefers ``fork``
-        (cheap, inherits ``sys.path``) and falls back to ``spawn``.
+        ``multiprocessing`` start method for the default process
+        executor; default prefers ``fork`` and falls back to ``spawn``.
+    executor:
+        ``None`` (historical behaviour: inline for one worker,
+        processes otherwise), an
+        :data:`~repro.campaigns.executors.EXECUTOR_KINDS` string sized
+        by ``num_workers``, or a
+        :class:`~repro.campaigns.executors.ChunkExecutor` instance.
+    save_interval:
+        Checkpoint flush policy: rewrite the payload every this many
+        completed chunks (default 1, the historical write-per-chunk
+        behaviour) plus one final flush.  See
+        :class:`~repro.campaigns.checkpoints.CheckpointStore`.
     """
 
     def __init__(self, task: CampaignTask, total_sequences: int,
@@ -181,25 +203,26 @@ class ShardedCampaignRunner:
                  chunk_size: Optional[int] = None,
                  checkpoint_path: Optional[str] = None,
                  progress_callback: Optional[ProgressCallback] = None,
-                 start_method: Optional[str] = None):
+                 start_method: Optional[str] = None,
+                 executor: "ChunkExecutor | str | None" = None,
+                 save_interval: int = 1):
         if total_sequences <= 0:
             raise ValueError("the campaign needs at least one sequence")
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
-        if chunk_size is not None and chunk_size < 1:
-            raise ValueError("chunk_size must be >= 1")
+        if save_interval < 1:
+            raise ValueError("save_interval must be >= 1")
         self.task = task
         self.total_sequences = total_sequences
         self.num_workers = num_workers
-        if chunk_size is not None:
-            self.chunk_size = chunk_size
-        else:
-            granularity = max(1, task.chunk_granularity())
-            base = default_chunk_size(total_sequences)
-            self.chunk_size = math.ceil(base / granularity) * granularity
+        self.chunk_size = resolve_chunk_size(
+            total_sequences, chunk_size,
+            granularity=max(1, task.chunk_granularity()))
         self.checkpoint_path = checkpoint_path
         self.progress_callback = progress_callback
+        self.save_interval = save_interval
         self._start_method = start_method
+        self._executor_spec = executor
         self._seed = seed
         self._root = self._resolve_root(seed)
 
@@ -220,20 +243,24 @@ class ShardedCampaignRunner:
         """Number of chunks in the campaign plan."""
         return math.ceil(self.total_sequences / self.chunk_size)
 
+    def plan(self) -> ChunkPlan:
+        """The campaign's :class:`~repro.campaigns.plan.ChunkPlan`."""
+        return ChunkPlan.build(self._root, self.total_sequences,
+                               self.chunk_size)
+
     def plan_chunks(self) -> List[Tuple[int, int, int]]:
         """The deterministic chunk plan: ``(index, chunk_seed, count)``.
 
         Only the final chunk may be short.  The plan is a pure function
-        of ``(root_seed, total_sequences, chunk_size)``.
+        of ``(root_seed, total_sequences, chunk_size)``; see
+        :class:`~repro.campaigns.plan.ChunkPlan`.
         """
-        seeds = spawn_seeds(self._root, self.num_chunks, "chunk")
-        plan = []
-        remaining = self.total_sequences
-        for index, seed in enumerate(seeds):
-            count = min(self.chunk_size, remaining)
-            plan.append((index, seed, count))
-            remaining -= count
-        return plan
+        return list(self.plan().entries)
+
+    def executor(self) -> ChunkExecutor:
+        """The resolved chunk executor this runner fans out over."""
+        return resolve_executor(self._executor_spec, self.num_workers,
+                                start_method=self._start_method)
 
     # -- checkpointing --------------------------------------------------
     def _checkpoint_header(self) -> Dict[str, Any]:
@@ -245,101 +272,65 @@ class ShardedCampaignRunner:
             "task": self.task.fingerprint(),
         }
 
-    def _load_checkpoint(self) -> Dict[int, Any]:
-        """Return previously completed chunk results, keyed by index."""
-        path = self.checkpoint_path
-        if path is None or not os.path.exists(path):
+    def _restore(self, store: CheckpointStore) -> Dict[int, Any]:
+        """Load, validate and adopt an existing checkpoint, if any."""
+        payload = store.load_payload()
+        if payload is None:
             return {}
-        with open(path, "r", encoding="utf-8") as handle:
-            payload = json.load(handle)
-        header = self._checkpoint_header()
         if self._seed is None:
             # Adopt the recorded root so the resumed plan matches.
             self._root = payload.get("root_seed", self._root)
-            header = self._checkpoint_header()
-        mismatched = [key for key, value in header.items()
-                      if payload.get(key) != value]
-        if mismatched:
-            raise ValueError(
-                f"checkpoint {path!r} does not match this campaign "
-                f"(stale fields: {', '.join(sorted(mismatched))}); "
-                f"delete the file to start over")
-        return {int(index): self.task.result_from_dict(result)
-                for index, result in payload.get("completed", {}).items()}
-
-    def _save_checkpoint(self, completed: Dict[int, Any]) -> None:
-        path = self.checkpoint_path
-        if path is None:
-            return
-        payload = self._checkpoint_header()
-        payload["completed"] = {str(index): result.to_dict()
-                                for index, result in completed.items()}
-        directory = os.path.dirname(os.path.abspath(path))
-        os.makedirs(directory, exist_ok=True)
-        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle)
-            os.replace(tmp_path, path)
-        except BaseException:
-            if os.path.exists(tmp_path):
-                os.unlink(tmp_path)
-            raise
+            store.validate(payload, self._checkpoint_header())
+        except ValueError as exc:
+            raise ValueError(
+                f"checkpoint {store.path!r} {exc}") from None
+        return store.restore_completed(payload, self.task.result_from_dict)
 
     # -- execution ------------------------------------------------------
-    def _emit_progress(self, chunk_index: int, completed: Dict[int, Any],
-                       counts: Dict[int, int],
-                       from_checkpoint: bool = False) -> None:
-        if self.progress_callback is None:
-            return
-        self.progress_callback(CampaignProgress(
-            chunk_index=chunk_index,
-            chunks_completed=len(completed),
-            num_chunks=self.num_chunks,
-            sequences_completed=sum(counts[i] for i in completed),
-            total_sequences=self.total_sequences,
-            from_checkpoint=from_checkpoint))
-
-    def _pool_context(self):
-        method = self._start_method
-        if method is None:
-            available = multiprocessing.get_all_start_methods()
-            method = "fork" if "fork" in available else "spawn"
-        return multiprocessing.get_context(method)
-
     def run(self) -> Any:
         """Execute the campaign and return the merged statistics."""
-        completed = self._load_checkpoint()
-        plan = self.plan_chunks()
-        counts = {index: count for index, _, count in plan}
+        store = CheckpointStore(self.checkpoint_path,
+                                save_interval=self.save_interval)
+        completed = self._restore(store)
+        plan = self.plan()
+        counts = plan.counts()
         unknown = set(completed) - set(counts)
         if unknown:
             raise ValueError(
                 f"checkpoint contains chunks outside the campaign plan: "
                 f"{sorted(unknown)}")
-        if completed:
-            self._emit_progress(max(completed), completed, counts,
-                                from_checkpoint=True)
-        pending = [chunk for chunk in plan if chunk[0] not in completed]
+        store.attach(self._checkpoint_header(), completed)
+        restored = sum(counts[i] for i in completed)
+        started = time.perf_counter()
 
-        if self.num_workers == 1 or len(pending) <= 1:
-            for index, seed, count in pending:
-                result = self.task.run_chunk(seed, count)
-                completed[index] = result
-                self._save_checkpoint(completed)
-                self._emit_progress(index, completed, counts)
-        elif pending:
-            jobs = [(self.task, index, seed, count)
-                    for index, seed, count in pending]
-            context = self._pool_context()
-            workers = min(self.num_workers, len(jobs))
-            with context.Pool(workers, initializer=_init_worker,
-                              initargs=(list(sys.path),)) as pool:
-                for index, _, result in pool.imap_unordered(
-                        _run_chunk_job, jobs):
-                    completed[index] = result
-                    self._save_checkpoint(completed)
-                    self._emit_progress(index, completed, counts)
+        def emit(chunk_index: int, from_checkpoint: bool = False) -> None:
+            if self.progress_callback is None:
+                return
+            self.progress_callback(CampaignProgress(
+                chunk_index=chunk_index,
+                chunks_completed=len(completed),
+                num_chunks=plan.num_chunks,
+                sequences_completed=sum(counts[i] for i in completed),
+                total_sequences=self.total_sequences,
+                from_checkpoint=from_checkpoint,
+                elapsed=time.perf_counter() - started,
+                sequences_restored=restored))
+
+        if completed:
+            emit(max(completed), from_checkpoint=True)
+        pending = plan.pending(completed)
+        if pending:
+            executor = self.executor()
+            try:
+                for index, result in executor.submit(pending, self.task):
+                    store.record(index, result)
+                    emit(index)
+            finally:
+                # Persist any partial interval -- on success, failure
+                # (ChunkExecutionError) and interruption alike, so a
+                # fixed run resumes from everything that completed.
+                store.flush()
 
         merged = self.task.empty_result()
         for index in sorted(completed):
@@ -350,6 +341,7 @@ class ShardedCampaignRunner:
 __all__ = [
     "CampaignTask",
     "CampaignProgress",
+    "ChunkExecutionError",
     "ShardedCampaignRunner",
     "default_chunk_size",
     "child_seed",

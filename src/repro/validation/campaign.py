@@ -196,23 +196,40 @@ def run_sharded_campaign(task: FIFOValidationCampaignTask,
                          num_workers: int = 1,
                          chunk_size: Optional[int] = None,
                          checkpoint_path: Optional[str] = None,
-                         progress_callback=None) -> StreamingCampaignResult:
+                         progress_callback=None,
+                         executor=None,
+                         save_interval: int = 1,
+                         scheduler=None) -> StreamingCampaignResult:
     """Run a validation campaign task through the sharded runner.
 
-    The result is bit-identical for any ``num_workers`` given the same
-    ``(seed, num_sequences, chunk_size)``; see
+    The result is bit-identical for any ``num_workers`` and any
+    ``executor`` (``"serial"``, ``"thread"``, ``"process"`` or a
+    :class:`~repro.campaigns.executors.ChunkExecutor` instance) given
+    the same ``(seed, num_sequences, chunk_size)``; see
     :class:`~repro.campaigns.runner.ShardedCampaignRunner` for the
-    checkpoint/resume and progress semantics.  Note the sharded
-    campaigns build their test benches per chunk from seed-split
-    streams, so their statistics are not sequence-for-sequence
-    identical to a single-process :class:`ValidationCampaign` run --
-    the two are statistically equivalent samplings of the same
-    experiment.
+    checkpoint/resume (``save_interval`` selects the flush policy) and
+    progress semantics.  Passing a
+    :class:`~repro.campaigns.scheduler.CampaignScheduler` as
+    ``scheduler`` routes the campaign through its shared executor and
+    result cache instead (``num_workers``/``executor`` are then the
+    scheduler's business).  Note the sharded campaigns build their
+    test benches per chunk from seed-split streams, so their
+    statistics are not sequence-for-sequence identical to a
+    single-process :class:`ValidationCampaign` run -- the two are
+    statistically equivalent samplings of the same experiment.
     """
+    if scheduler is not None:
+        job = scheduler.submit(
+            task, num_sequences, seed=seed, chunk_size=chunk_size,
+            checkpoint_path=checkpoint_path, save_interval=save_interval,
+            progress_callback=progress_callback)
+        scheduler.run()
+        return job.result
     runner = ShardedCampaignRunner(
         task, num_sequences, seed=seed, num_workers=num_workers,
         chunk_size=chunk_size, checkpoint_path=checkpoint_path,
-        progress_callback=progress_callback)
+        progress_callback=progress_callback, executor=executor,
+        save_interval=save_interval)
     return runner.run()
 
 
@@ -230,7 +247,10 @@ def run_sharded_single_error_campaign(
         num_workers: int = 1,
         chunk_size: Optional[int] = None,
         checkpoint_path: Optional[str] = None,
-        progress_callback=None) -> StreamingCampaignResult:
+        progress_callback=None,
+        executor=None,
+        save_interval: int = 1,
+        scheduler=None) -> StreamingCampaignResult:
     """Sharded form of :func:`run_single_error_campaign`.
 
     ``batch_size`` (with ``engine="batched"`` for the fast path) runs
@@ -249,7 +269,10 @@ def run_sharded_single_error_campaign(
                                 num_workers=num_workers,
                                 chunk_size=chunk_size,
                                 checkpoint_path=checkpoint_path,
-                                progress_callback=progress_callback)
+                                progress_callback=progress_callback,
+                                executor=executor,
+                                save_interval=save_interval,
+                                scheduler=scheduler)
 
 
 def run_sharded_multiple_error_campaign(
@@ -268,7 +291,10 @@ def run_sharded_multiple_error_campaign(
         num_workers: int = 1,
         chunk_size: Optional[int] = None,
         checkpoint_path: Optional[str] = None,
-        progress_callback=None) -> StreamingCampaignResult:
+        progress_callback=None,
+        executor=None,
+        save_interval: int = 1,
+        scheduler=None) -> StreamingCampaignResult:
     """Sharded form of :func:`run_multiple_error_campaign`.
 
     ``batch_size`` (with ``engine="batched"`` for the fast path) runs
@@ -288,7 +314,10 @@ def run_sharded_multiple_error_campaign(
                                 num_workers=num_workers,
                                 chunk_size=chunk_size,
                                 checkpoint_path=checkpoint_path,
-                                progress_callback=progress_callback)
+                                progress_callback=progress_callback,
+                                executor=executor,
+                                save_interval=save_interval,
+                                scheduler=scheduler)
 
 
 __all__ = [

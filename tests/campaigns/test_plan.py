@@ -1,0 +1,72 @@
+"""Plan layer: pure data, identity-determined, boundary-exact."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaigns.plan import (
+    ChunkPlan,
+    ChunkPlanEntry,
+    default_chunk_size,
+    resolve_chunk_size,
+)
+
+
+class TestChunkPlan:
+    def test_pure_function_of_identity(self):
+        a = ChunkPlan.build("root", 100, 7)
+        b = ChunkPlan.build("root", 100, 7)
+        assert a == b
+        assert a.identity == ("root", 100, 7)
+        # A different root changes every seed but no boundary.
+        c = ChunkPlan.build("other", 100, 7)
+        assert [e.count for e in c] == [e.count for e in a]
+        assert all(x.chunk_seed != y.chunk_seed
+                   for x, y in zip(a.entries, c.entries))
+
+    @given(total=st.integers(1, 5000), chunk=st.integers(1, 257))
+    @settings(max_examples=60, deadline=None)
+    def test_entries_cover_total_exactly(self, total, chunk):
+        plan = ChunkPlan.build(12345, total, chunk)
+        assert sum(e.count for e in plan) == total
+        assert [e.index for e in plan] == list(range(plan.num_chunks))
+        # Only the final chunk may be short.
+        assert all(e.count == chunk for e in plan.entries[:-1])
+        assert 1 <= plan.entries[-1].count <= chunk
+        assert len({e.chunk_seed for e in plan}) == plan.num_chunks
+
+    def test_entries_are_plain_tuples(self):
+        entry = ChunkPlan.build(1, 10, 4).entries[0]
+        assert isinstance(entry, ChunkPlanEntry)
+        assert entry == (entry.index, entry.chunk_seed, entry.count)
+
+    def test_pending_filters_completed(self):
+        plan = ChunkPlan.build(1, 20, 5)
+        assert plan.pending({}) == list(plan.entries)
+        assert [e.index for e in plan.pending({0: "x", 2: "y"})] == [1, 3]
+        assert plan.counts() == {0: 5, 1: 5, 2: 5, 3: 5}
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ChunkPlan.build(1, 0, 4)
+        with pytest.raises(ValueError):
+            ChunkPlan.build(1, 10, 0)
+
+
+class TestChunkSizes:
+    def test_default_chunk_size_total_only(self):
+        assert default_chunk_size(1) == 1
+        assert default_chunk_size(64) == 1
+        assert default_chunk_size(10**6) == 15625
+
+    def test_resolve_respects_explicit_size(self):
+        assert resolve_chunk_size(1000, 37, granularity=8) == 37
+
+    def test_resolve_rounds_default_to_granularity(self):
+        base = default_chunk_size(10**6)
+        assert resolve_chunk_size(10**6, None, granularity=256) % 256 == 0
+        assert resolve_chunk_size(10**6, None, granularity=256) >= base
+
+    def test_resolve_rejects_bad_explicit_size(self):
+        with pytest.raises(ValueError):
+            resolve_chunk_size(100, 0)

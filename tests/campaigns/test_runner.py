@@ -94,6 +94,40 @@ class TestRunnerMechanics:
         assert events[-1].num_chunks == 4
 
 
+class TestProgressEstimates:
+    """Satellite: elapsed/throughput/ETA, computed in the parent."""
+
+    def test_fields_computed_without_worker_changes(self):
+        events = []
+        ShardedCampaignRunner(TrialTask(), 40, seed=1, chunk_size=10,
+                              progress_callback=events.append).run()
+        assert [e.sequences_completed for e in events] == [10, 20, 30, 40]
+        elapsed = [e.elapsed for e in events]
+        assert all(t >= 0 for t in elapsed)
+        assert elapsed == sorted(elapsed)
+        assert all(e.sequences_restored == 0 for e in events)
+        assert events[-1].sequences_per_second > 0
+        # Finished campaign: nothing left, ETA collapses to zero.
+        assert events[-1].eta_seconds == pytest.approx(0.0)
+
+    def test_rate_and_eta_arithmetic(self):
+        snap = CampaignProgress(
+            chunk_index=3, chunks_completed=4, num_chunks=10,
+            sequences_completed=40, total_sequences=100,
+            elapsed=2.0, sequences_restored=10)
+        # 30 sequences executed in 2 s; restored chunks excluded.
+        assert snap.sequences_per_second == pytest.approx(15.0)
+        assert snap.eta_seconds == pytest.approx(60 / 15.0)
+
+    def test_no_rate_before_any_signal(self):
+        restored = CampaignProgress(
+            chunk_index=0, chunks_completed=2, num_chunks=4,
+            sequences_completed=20, total_sequences=40,
+            from_checkpoint=True, elapsed=0.5, sequences_restored=20)
+        assert restored.sequences_per_second == 0.0
+        assert restored.eta_seconds is None
+
+
 class TestCheckpointResume:
     def test_round_trip(self, tmp_path):
         path = str(tmp_path / "campaign.json")
