@@ -19,13 +19,13 @@ implicitly:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.circuit.base import SequentialCircuit
 from repro.circuit.fifo import SyncFIFO
 from repro.core.protected import ProtectedDesign
 from repro.power.leakage import LeakageModel
-from repro.power.rush_current import RLCParameters, RushCurrentModel
+from repro.power.rush_current import RushCurrentModel
 from repro.tech.library import StandardCellLibrary, default_library
 
 

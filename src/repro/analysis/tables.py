@@ -6,7 +6,7 @@ tables next to the paper's numbers, and by EXPERIMENTS.md generation.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import List, Mapping, Sequence, Tuple
 
 from repro.analysis.correction_capability import CorrectionCapabilityResult
 from repro.analysis.tradeoff import HammingFamilyRow

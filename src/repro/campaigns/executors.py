@@ -39,12 +39,12 @@ import traceback
 from typing import (Any, Dict, Iterable, Iterator, List, Optional, Sequence,
                     Tuple)
 
+from repro.campaigns.plan import ChunkPlanEntry
+
 try:  # pragma: no cover - typing nicety only
     from typing import Protocol
 except ImportError:  # pragma: no cover - Python < 3.8
     Protocol = object  # type: ignore[assignment]
-
-from repro.campaigns.plan import ChunkPlanEntry
 
 #: A scheduler job: an opaque tag, the plan entry to run, and the task
 #: that runs it.  Tags come back attached to results so the caller can

@@ -306,7 +306,7 @@ class StreamingCampaignResult:
         lines = [
             self.stats.summary(),
             f"errors reported by DUT   : {self.errors_reported_by_dut}",
-            f"comparator mismatches    : "
+            "comparator mismatches    : "
             f"{self.mismatches_reported_by_comparator}",
             f"inconsistent sequences   : {self.inconsistent_sequences}",
         ]

@@ -13,7 +13,7 @@ plan.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.campaigns.runner import CampaignTask
 from repro.campaigns.seeding import child_seed
@@ -171,7 +171,8 @@ run_sequence_batch`: one stimulus burst per group, one injection per
 
         fifo = SyncFIFO(self.width, self.depth,
                         name=f"fifo{self.width}x{self.depth}")
-        engine_kwargs = {} if self.engine is None else {"engine": self.engine}
+        engine_kwargs: Dict[str, Any] = \
+            {} if self.engine is None else {"engine": self.engine}
         design = ProtectedDesign(
             fifo, codes=list(self.codes), num_chains=self.num_chains,
             lfsr_seed=child_seed(chunk_seed, "lfsr"), **engine_kwargs)

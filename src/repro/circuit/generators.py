@@ -12,7 +12,7 @@ applied to any of them.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from repro.circuit.base import SequentialCircuit
 from repro.circuit.flipflop import RetentionFlipFlop

@@ -32,7 +32,7 @@ fastest packed implementation for a given reference code.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.codes.base import (
     BlockCode,

@@ -16,7 +16,7 @@ hardware used by the cost model.
 
 from __future__ import annotations
 
-from typing import Iterable, List, NamedTuple, Optional, Sequence, Tuple
+from typing import Iterable, List, NamedTuple, Optional, Tuple
 
 from repro.circuit.netlist import Netlist
 from repro.codes.base import BlockCode

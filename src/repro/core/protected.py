@@ -26,7 +26,7 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 from repro.circuit.base import SequentialCircuit
 from repro.circuit.flipflop import RetentionFlipFlop
 from repro.circuit.netlist import Netlist
-from repro.circuit.scan import ScanChain, balance_chains
+from repro.circuit.scan import ScanChain
 from repro.circuit.state import StateSnapshot
 from repro.codes.base import BlockCode, StreamCode
 from repro.codes.registry import get_code

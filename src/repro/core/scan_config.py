@@ -18,7 +18,7 @@ sees 4 chains of length 32.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Tuple
 
 

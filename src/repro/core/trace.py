@@ -14,7 +14,7 @@ software recovery) alongside the power-gating phases.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.controller import ErrorCode

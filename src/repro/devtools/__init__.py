@@ -1,0 +1,15 @@
+"""Developer tooling for the reproduction itself.
+
+Nothing in this package ships simulation behaviour; it holds the
+correctness tooling the project runs over its own source tree.  Today
+that is :mod:`repro.devtools.lint`, the project-invariant static
+analyzer (``python -m repro.devtools.lint``) whose rules encode the
+guarantees the runtime test suites otherwise only catch after the
+fact: determinism of the campaign/engine layers, capability flags
+matching implemented engine methods, checkpoint-fingerprint
+completeness, the uint64 dtype discipline of the word pipeline,
+process-pool pickle safety of campaign tasks, and duck-typed
+``getattr`` attribute strings staying in sync with the code classes.
+"""
+
+__all__ = ["lint"]

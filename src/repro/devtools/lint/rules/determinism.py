@@ -1,0 +1,225 @@
+"""Rule ``determinism``: no hidden entropy in the deterministic layers.
+
+The campaign subsystem promises bit-identical statistics for any
+worker count, executor kind and engine; that only holds while every
+random draw flows from an injected seed.  Inside the deterministic
+packages (``engines``, ``campaigns``, ``faults``, ``codes``) this rule
+flags every construct that smuggles ambient state into a result:
+
+* calls on the :mod:`random` module's hidden global instance
+  (``random.random()``, ``random.randint()``, ...), including
+  ``from random import randint`` forms;
+* unseeded ``random.Random()`` instances and any
+  ``random.SystemRandom`` use (OS entropy is nondeterministic by
+  definition -- the two sanctioned root-seed draws are carried by the
+  explicit allowlist, not by this rule);
+* numpy's legacy global generator (``np.random.seed/rand/...``) and
+  unseeded ``np.random.default_rng()``;
+* wall-clock reads (``time.time()``, ``datetime.now()`` and friends)
+  -- monotonic telemetry clocks (``time.perf_counter``) are fine, they
+  never feed results;
+* direct iteration over freshly-built sets (``for x in set(...)``,
+  ``list({...})``): set order depends on hash randomization for str
+  keys, so anything order-sensitive must sort first.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.findings import (
+    Finding,
+    Project,
+    Rule,
+    SourceFile,
+    dotted_name,
+    import_aliases,
+)
+
+#: Directory names whose files carry the determinism guarantee.
+SCOPED_PACKAGES = ("engines", "campaigns", "faults", "codes")
+
+#: Methods of the random module's global instance.
+GLOBAL_RANDOM_FNS = frozenset({
+    "random", "randint", "randrange", "getrandbits", "uniform",
+    "triangular", "choice", "choices", "sample", "shuffle", "seed",
+    "gauss", "normalvariate", "lognormvariate", "expovariate",
+    "betavariate", "gammavariate", "paretovariate", "vonmisesvariate",
+    "weibullvariate", "randbytes", "binomialvariate", "setstate",
+})
+
+#: Legacy numpy global-state entry points (np.random.<fn>).
+NUMPY_GLOBAL_FNS = frozenset({
+    "seed", "random", "rand", "randn", "randint", "random_sample",
+    "random_integers", "ranf", "sample", "choice", "shuffle",
+    "permutation", "uniform", "normal", "standard_normal", "bytes",
+    "get_state", "set_state", "binomial", "poisson", "exponential",
+})
+
+#: Wall-clock reads (module or class attribute, final component).
+CLOCK_CALLS = {
+    ("time", "time"), ("time", "time_ns"),
+    ("datetime", "now"), ("datetime", "utcnow"), ("datetime", "today"),
+    ("date", "today"),
+}
+
+
+def in_scope(file: SourceFile) -> bool:
+    """True when the file lives in a determinism-scoped package."""
+    parts = file.relpath.split("/")[:-1]
+    return any(part in SCOPED_PACKAGES for part in parts)
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset") and bool(node.args)
+    return False
+
+
+class DeterminismRule(Rule):
+    id = "determinism"
+    description = ("no global RNG state, unseeded generators, wall-clock "
+                   "reads or set-iteration order in engines/, campaigns/, "
+                   "faults/, codes/")
+
+    def check_file(self, project: Project,
+                   file: SourceFile) -> Iterator[Finding]:
+        if not in_scope(file):
+            return
+        random_mods, random_members = import_aliases(file.tree, "random")
+        numpy_mods, _ = import_aliases(file.tree, "numpy")
+        _, npr_members = import_aliases(file.tree, "numpy.random")
+        npr_mods, _ = import_aliases(file.tree, "numpy.random")
+        member_map = {bound: original
+                      for bound, original in random_members}
+        npr_member_map = {bound: original
+                          for bound, original in npr_members}
+
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(
+                    project, file, node, random_mods, member_map,
+                    numpy_mods, npr_mods, npr_member_map)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._check_set_iteration(project, file,
+                                                     node.iter)
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp,
+                                   ast.DictComp, ast.SetComp)):
+                for generator in node.generators:
+                    yield from self._check_set_iteration(project, file,
+                                                         generator.iter)
+
+    # ------------------------------------------------------------------
+    def _check_call(self, project: Project, file: SourceFile,
+                    node: ast.Call, random_mods, member_map,
+                    numpy_mods, npr_mods, npr_member_map
+                    ) -> Iterator[Finding]:
+        name = dotted_name(node.func)
+        if name is None:
+            return
+        parts = name.split(".")
+
+        # list({...}) / tuple(set(...)): materializes the hash order.
+        if name in ("list", "tuple", "enumerate") and node.args \
+                and _is_set_expression(node.args[0]):
+            yield from self._check_set_iteration(project, file,
+                                                 node.args[0])
+
+        # random.<fn>() on the module's global instance.
+        if len(parts) == 2 and parts[0] in random_mods:
+            if parts[1] in GLOBAL_RANDOM_FNS:
+                yield project.finding(
+                    self.id, file, node,
+                    f"call to the random module's global instance "
+                    f"({name}()); draw from an injected seeded "
+                    f"random.Random instead")
+            elif parts[1] == "Random" and not node.args:
+                yield project.finding(
+                    self.id, file, node,
+                    "unseeded random.Random(): results will differ "
+                    "between runs; derive the seed from the campaign "
+                    "root (repro.campaigns.seeding.child_seed)")
+            elif parts[1] == "SystemRandom":
+                yield project.finding(
+                    self.id, file, node,
+                    "random.SystemRandom draws OS entropy; only the "
+                    "allowlisted root-seed draws may do this")
+        # from random import randint/...; bare calls.
+        elif len(parts) == 1 and parts[0] in member_map:
+            original = member_map[parts[0]]
+            if original in GLOBAL_RANDOM_FNS:
+                yield project.finding(
+                    self.id, file, node,
+                    f"call to the random module's global instance "
+                    f"(random.{original}, imported as {parts[0]}); "
+                    f"draw from an injected seeded random.Random "
+                    f"instead")
+            elif original == "Random" and not node.args:
+                yield project.finding(
+                    self.id, file, node,
+                    "unseeded random.Random(): results will differ "
+                    "between runs; derive the seed from the campaign "
+                    "root (repro.campaigns.seeding.child_seed)")
+            elif original == "SystemRandom":
+                yield project.finding(
+                    self.id, file, node,
+                    "random.SystemRandom draws OS entropy; only the "
+                    "allowlisted root-seed draws may do this")
+
+        # np.random.<fn>() legacy global state / unseeded default_rng.
+        np_random = (len(parts) == 3 and parts[0] in numpy_mods
+                     and parts[1] == "random")
+        npr_direct = len(parts) == 2 and parts[0] in npr_mods
+        if np_random or npr_direct:
+            fn = parts[-1]
+            if fn in NUMPY_GLOBAL_FNS:
+                yield project.finding(
+                    self.id, file, node,
+                    f"numpy legacy global-state RNG call ({name}()); "
+                    f"use a numpy Generator seeded from the campaign "
+                    f"root (np.random.default_rng(child_seed(...)))")
+            elif fn == "default_rng" and not node.args \
+                    and not node.keywords:
+                yield project.finding(
+                    self.id, file, node,
+                    "unseeded np.random.default_rng(): seed it from "
+                    "the campaign root so shards stay reproducible")
+        elif len(parts) == 1 and parts[0] in npr_member_map:
+            original = npr_member_map[parts[0]]
+            if original in NUMPY_GLOBAL_FNS:
+                yield project.finding(
+                    self.id, file, node,
+                    f"numpy legacy global-state RNG call "
+                    f"(numpy.random.{original}); use a seeded "
+                    f"Generator instead")
+            elif original == "default_rng" and not node.args \
+                    and not node.keywords:
+                yield project.finding(
+                    self.id, file, node,
+                    "unseeded np.random.default_rng(): seed it from "
+                    "the campaign root so shards stay reproducible")
+
+        # Wall-clock reads.
+        if len(parts) >= 2 and (parts[-2], parts[-1]) in CLOCK_CALLS:
+            yield project.finding(
+                self.id, file, node,
+                f"wall-clock read ({name}()) in a deterministic layer; "
+                f"results must not depend on the time of day (telemetry "
+                f"may use time.perf_counter)")
+
+    def _check_set_iteration(self, project: Project, file: SourceFile,
+                             iterable: ast.AST) -> Iterator[Finding]:
+        if _is_set_expression(iterable):
+            yield project.finding(
+                self.id, file, iterable,
+                "iteration over a freshly-built set: the order depends "
+                "on hash randomization (PYTHONHASHSEED) for str "
+                "elements; wrap it in sorted(...) before iterating")
+
+
+RULE = DeterminismRule()
+
+__all__ = ["DeterminismRule", "RULE", "SCOPED_PACKAGES"]

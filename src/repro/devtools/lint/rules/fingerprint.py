@@ -1,0 +1,174 @@
+"""Rule ``fingerprint``: every task field reaches the checkpoint identity.
+
+A :class:`~repro.campaigns.runner.CampaignTask`'s ``fingerprint()`` is
+what a resumed checkpoint is validated against and what the
+scheduler's result cache keys on.  A dataclass field that does not
+reach the fingerprint is a live hazard, twice over: a checkpoint
+written with one value resumes under another (stale statistics merge
+in -- exactly the PR 3/PR 5 ``batch_size``/``sampler`` incidents,
+which were only caught because the *default* repr-fingerprint includes
+new fields automatically), and the scheduler serves one
+configuration's cached result for a different one.
+
+The rule finds every ``CampaignTask`` subclass in the scanned tree
+(following the name through ``import``/``from``-import aliases and
+through subclass chains inside a file) and checks:
+
+* a subclass relying on the inherited repr-based ``fingerprint()``
+  must be a dataclass (a plain class's default ``object.__repr__`` is
+  a memory address -- unstable across processes) and must not exclude
+  any field with ``field(repr=False)``;
+* a subclass that overrides ``fingerprint()`` must mention every
+  dataclass field name somewhere in the override's body (attribute
+  access, name, or string literal -- e.g. a dict key).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.devtools.lint.findings import (
+    Finding,
+    Project,
+    Rule,
+    SourceFile,
+    call_keywords,
+    decorator_names,
+    dotted_name,
+)
+
+#: Root base class the rule keys on.
+TASK_BASE = "CampaignTask"
+
+
+def task_classes(tree: ast.Module) -> List[ast.ClassDef]:
+    """ClassDefs deriving (transitively, within this file) from
+    ``CampaignTask``, however the base was imported."""
+    task_names: Set[str] = {TASK_BASE}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name == TASK_BASE:
+                    task_names.add(alias.asname or alias.name)
+    found: List[ast.ClassDef] = []
+    # Two passes resolve in-file subclass chains (A(CampaignTask),
+    # B(A)); deeper chains converge because names only accumulate.
+    for _ in range(2):
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef) or node in found:
+                continue
+            bases = {(dotted_name(base) or "").split(".")[-1]
+                     for base in node.bases}
+            if bases & task_names:
+                found.append(node)
+                task_names.add(node.name)
+    return found
+
+
+def dataclass_fields(cls: ast.ClassDef) -> Dict[str, Optional[ast.expr]]:
+    """Annotated class-body fields -> default value node (or None).
+
+    ``ClassVar`` annotations and underscore-private names are not
+    dataclass init fields and are skipped.
+    """
+    fields: Dict[str, Optional[ast.expr]] = {}
+    for item in cls.body:
+        if not isinstance(item, ast.AnnAssign):
+            continue
+        if not isinstance(item.target, ast.Name):
+            continue
+        annotation = ast.dump(item.annotation)
+        if "ClassVar" in annotation:
+            continue
+        fields[item.target.id] = item.value
+    return fields
+
+
+def is_dataclass(cls: ast.ClassDef) -> bool:
+    return any(name.split(".")[-1] == "dataclass"
+               for name in decorator_names(cls))
+
+
+def _field_repr_false(default: Optional[ast.expr]) -> bool:
+    """True for a ``field(..., repr=False)`` default."""
+    if not isinstance(default, ast.Call):
+        return False
+    callee = (dotted_name(default.func) or "").split(".")[-1]
+    if callee != "field":
+        return False
+    repr_kw = call_keywords(default).get("repr")
+    return (isinstance(repr_kw, ast.Constant)
+            and repr_kw.value is False)
+
+
+def _mentioned_names(func: ast.FunctionDef) -> Set[str]:
+    """Identifiers and string literals appearing in a function body."""
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, ast.Constant) \
+                and isinstance(node.value, str):
+            names.add(node.value)
+    return names
+
+
+class FingerprintRule(Rule):
+    id = "fingerprint"
+    description = ("every dataclass field of a CampaignTask subclass must "
+                   "reach its fingerprint() (checkpoint resume and "
+                   "scheduler cache key on it)")
+
+    def check_file(self, project: Project,
+                   file: SourceFile) -> Iterator[Finding]:
+        for cls in task_classes(file.tree):
+            fields = dataclass_fields(cls)
+            override = next(
+                (item for item in cls.body
+                 if isinstance(item, ast.FunctionDef)
+                 and item.name == "fingerprint"), None)
+            if override is None:
+                yield from self._check_default_path(project, file, cls,
+                                                    fields)
+            else:
+                yield from self._check_override(project, file, cls,
+                                                fields, override)
+
+    def _check_default_path(self, project, file, cls,
+                            fields) -> Iterator[Finding]:
+        if not is_dataclass(cls) and fields:
+            yield project.finding(
+                self.id, file, cls,
+                f"{cls.name} relies on the inherited repr-based "
+                f"fingerprint() but is not a dataclass: "
+                f"object.__repr__ embeds a memory address, so every "
+                f"process computes a different checkpoint identity")
+            return
+        for name, default in fields.items():
+            if _field_repr_false(default):
+                yield project.finding(
+                    self.id, file, cls,
+                    f"{cls.name}.{name} uses field(repr=False), so it "
+                    f"is missing from the repr-based fingerprint(): a "
+                    f"checkpoint written with one {name} resumes under "
+                    f"another, merging stale statistics")
+
+    def _check_override(self, project, file, cls, fields,
+                        override) -> Iterator[Finding]:
+        mentioned = _mentioned_names(override)
+        for name in fields:
+            if name not in mentioned:
+                yield project.finding(
+                    self.id, file, override,
+                    f"{cls.name}.fingerprint() never mentions field "
+                    f"{name!r}: checkpoints and the scheduler cache "
+                    f"cannot tell two {name} values apart, so stale "
+                    f"results resume/serve silently")
+
+
+RULE = FingerprintRule()
+
+__all__ = ["FingerprintRule", "RULE", "task_classes", "dataclass_fields"]

@@ -1,0 +1,163 @@
+"""Rule ``getattr-drift``: duck-typed attribute strings stay real.
+
+The cost-accounting paths probe code objects with ``getattr(code,
+"encoder_xor_count", None)`` and fall back to an estimate when the
+attribute is absent -- which means renaming the attribute on the code
+classes disables exact cost accounting *silently*: the getattr string
+keeps compiling, the fallback keeps returning plausible numbers, and
+no test that only checks "a number came out" notices.  The same
+pattern guards ``corrupt_retention`` on the retention flip-flops.
+
+This rule cross-checks every watched ``getattr`` string literal in the
+scanned tree against the *live* provider classes, reflected at lint
+time:
+
+* strings ending in ``_xor_count`` / ``_gate_count`` (and the explicit
+  cost/protocol names) must exist on at least one class defined in the
+  :mod:`repro.codes` modules;
+* ``corrupt_retention`` (and other circuit-protocol names) must exist
+  on a class in :mod:`repro.circuit`.
+
+A watched string that no provider class defines is exactly the rename
+drift the fallback was hiding.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+from typing import FrozenSet, Iterator, Optional
+
+from repro.devtools.lint.findings import (
+    Finding,
+    Project,
+    Rule,
+    SourceFile,
+    dotted_name,
+)
+
+#: Suffixes that put a getattr string in the code-cost family.
+CODE_COST_SUFFIXES = ("_xor_count", "_gate_count")
+
+#: Explicit members of the code-protocol family (beyond the suffixes).
+CODE_PROTOCOL_NAMES = frozenset({"name", "signature_bits"})
+
+#: Watched strings resolved against repro.circuit classes.
+CIRCUIT_PROTOCOL_NAMES = frozenset({"corrupt_retention"})
+
+
+def _class_attributes(*modules) -> FrozenSet[str]:
+    """Union of attribute names over all classes the modules define.
+
+    Collects class-body members *and* class-level annotations (the
+    protocol attributes declared on the abstract bases live there).
+    Instance attributes assigned in ``__init__`` are covered by the
+    sample-instance probes of the callers.
+    """
+    attributes = set()
+    for module in modules:
+        for _, cls in inspect.getmembers(module, inspect.isclass):
+            if cls.__module__.startswith(module.__name__.rsplit(".", 1)[0]):
+                attributes.update(vars(cls))
+                attributes.update(getattr(cls, "__annotations__", {}))
+    return frozenset(attributes)
+
+
+#: Registry names instantiated as attribute probes (one per concrete
+#: code family, so ``__init__``-assigned attributes are seen too).
+SAMPLE_CODES = ("hamming(7,4)", "crc16", "secded(8,4)", "parity(8)")
+
+
+def code_class_attributes() -> FrozenSet[str]:
+    """Attributes available on the project's code classes."""
+    from repro.codes import (
+        base,
+        crc,
+        hamming,
+        interleave,
+        packed,
+        parity,
+        plane,
+        secded,
+    )
+    from repro.codes.registry import get_code
+    attributes = set(_class_attributes(base, crc, hamming, interleave,
+                                       packed, parity, plane, secded))
+    for name in SAMPLE_CODES:
+        attributes.update(dir(get_code(name)))
+        attributes.update(vars(get_code(name)))
+    return frozenset(attributes)
+
+
+def circuit_class_attributes() -> FrozenSet[str]:
+    """Attributes available on the project's circuit classes."""
+    from repro.circuit import fifo, flipflop, gates, scan, state
+    return _class_attributes(fifo, flipflop, gates, scan, state)
+
+
+class GetattrDriftRule(Rule):
+    id = "getattr-drift"
+    description = ("watched getattr(...) attribute strings must exist on "
+                   "the live code/circuit classes (a rename must not "
+                   "silently engage the estimate fallback)")
+
+    def __init__(self,
+                 code_attrs: Optional[FrozenSet[str]] = None,
+                 circuit_attrs: Optional[FrozenSet[str]] = None):
+        # Injectable for the fixture tests; reflected lazily otherwise
+        # so importing the rule never imports the simulation packages.
+        self._code_attrs = code_attrs
+        self._circuit_attrs = circuit_attrs
+
+    @property
+    def code_attrs(self) -> FrozenSet[str]:
+        if self._code_attrs is None:
+            self._code_attrs = code_class_attributes()
+        return self._code_attrs
+
+    @property
+    def circuit_attrs(self) -> FrozenSet[str]:
+        if self._circuit_attrs is None:
+            self._circuit_attrs = circuit_class_attributes()
+        return self._circuit_attrs
+
+    def check_file(self, project: Project,
+                   file: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if dotted_name(node.func) != "getattr":
+                continue
+            if len(node.args) < 2:
+                continue
+            attr = node.args[1]
+            if not (isinstance(attr, ast.Constant)
+                    and isinstance(attr.value, str)):
+                continue
+            yield from self._check_string(project, file, node,
+                                          attr.value)
+
+    def _check_string(self, project, file, node,
+                      name: str) -> Iterator[Finding]:
+        if name.endswith(CODE_COST_SUFFIXES) \
+                or name in CODE_PROTOCOL_NAMES:
+            if name not in self.code_attrs:
+                yield project.finding(
+                    self.id, file, node,
+                    f"getattr string {name!r} matches no attribute on "
+                    f"any repro.codes class: the estimate fallback now "
+                    f"always wins, silently disabling exact cost "
+                    f"accounting (was the attribute renamed?)")
+        elif name in CIRCUIT_PROTOCOL_NAMES:
+            if name not in self.circuit_attrs:
+                yield project.finding(
+                    self.id, file, node,
+                    f"getattr string {name!r} matches no attribute on "
+                    f"any repro.circuit class: the duck-typed fallback "
+                    f"now always wins (was the attribute renamed?)")
+
+
+RULE = GetattrDriftRule()
+
+__all__ = ["GetattrDriftRule", "RULE", "CODE_COST_SUFFIXES",
+           "CODE_PROTOCOL_NAMES", "CIRCUIT_PROTOCOL_NAMES"]

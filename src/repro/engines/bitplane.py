@@ -212,7 +212,6 @@ class BitPlaneBatchedEngine(SimulationEngine):
                 f"encoded batch size {self._encoded_batch}")
         self._check_geometry(planes, knowns, batch_size)
         full = (1 << batch_size) - 1
-        length = self.chain_length
         corrected = [list(chain_planes) for chain_planes in planes]
 
         block_results = self._decode_blocks(planes, corrected, full,

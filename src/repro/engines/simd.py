@@ -90,7 +90,7 @@ def words_to_planes(words: np.ndarray) -> List[List[int]]:
     """Unpack a ``(C, L, W)`` uint64 word array into protocol planes."""
     num_chains, length, num_words = words.shape
     nbytes = num_words * 8
-    data = np.ascontiguousarray(words).tobytes()
+    data = np.ascontiguousarray(words, dtype=np.uint64).tobytes()
     planes: List[List[int]] = []
     offset = 0
     for _chain in range(num_chains):
@@ -115,7 +115,7 @@ def full_words(batch_size: int) -> np.ndarray:
 def _unpack_bits(words: np.ndarray, batch_size: int) -> np.ndarray:
     """Expand packed words ``(..., W)`` into per-sequence bits
     ``(..., B)`` (uint8 0/1)."""
-    flat = np.ascontiguousarray(words)
+    flat = np.ascontiguousarray(words, dtype=np.uint64)
     bits = np.unpackbits(flat.view(np.uint8), axis=-1, bitorder="little")
     return bits[..., :batch_size]
 
@@ -128,7 +128,8 @@ def _mask_ints(mask: np.ndarray) -> List[int]:
 
 def _words_to_int(words: np.ndarray) -> int:
     """One ``(W,)`` word row as a Python-int sequence mask."""
-    return int.from_bytes(np.ascontiguousarray(words).tobytes(), "little")
+    return int.from_bytes(
+        np.ascontiguousarray(words, dtype=np.uint64).tobytes(), "little")
 
 
 def _runs(group_idx: np.ndarray, seqs: np.ndarray):
@@ -410,7 +411,8 @@ class SimdBatchedEngine(SimulationEngine):
                      for s in row),
                     dtype=np.int64, count=len(row))
                 for row in matrix.rows]
-            monitor.const_idx = np.flatnonzero(np.array(matrix.const))
+            monitor.const_idx = np.flatnonzero(np.array(matrix.const,
+                                                         dtype=np.uint8))
             if all(row.size for row in monitor.rows_flat):
                 sizes = [row.size for row in monitor.rows_flat]
                 monitor.gather_all = np.concatenate(monitor.rows_flat)
@@ -565,7 +567,8 @@ class SimdBatchedEngine(SimulationEngine):
                                      for idx in np.nonzero(changed))):
                 corrected_planes[c][position] = int.from_bytes(
                     np.ascontiguousarray(
-                        corrected_words[c, position]).tobytes(),
+                        corrected_words[c, position],
+                        dtype=np.uint64).tobytes(),
                     "little")
 
         result = assemble_batch_result(self._order,

@@ -94,7 +94,8 @@ def per_sequence_popcounts(words: np.ndarray, batch_size: int) -> np.ndarray:
     filtered by the caller first -- the unpack cost is proportional to
     the rows passed in.
     """
-    flat = np.ascontiguousarray(words).reshape(-1, words.shape[-1])
+    flat = np.ascontiguousarray(words, dtype=np.uint64).reshape(
+        -1, words.shape[-1])
     if not flat.size:
         return np.zeros(batch_size, dtype=np.int64)
     bits = np.unpackbits(flat.view(np.uint8), axis=-1, bitorder="little")

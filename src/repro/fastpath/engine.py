@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
-from repro.codes.base import BlockCode, DecodeStatus
+from repro.codes.base import DecodeStatus
 from repro.codes.packed import packed_block_code, packed_stream_code
 from repro.core.corrector import CorrectionEvent
 from repro.core.monitor import (

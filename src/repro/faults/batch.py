@@ -97,7 +97,7 @@ def batch_flips_arrays(flips: BatchFlips, knowns: Sequence[int],
     masks = masks.reshape(len(chains), num_words)
     if len(chains):
         counts = np.unpackbits(
-            np.ascontiguousarray(masks).view(np.uint8),
+            np.ascontiguousarray(masks, dtype=np.uint64).view(np.uint8),
             axis=-1, bitorder="little")[:, :batch_size].sum(axis=0)
     else:
         counts = np.zeros(batch_size, dtype=np.intp)

@@ -11,7 +11,7 @@ random injection against a physically motivated fault source.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.circuit.flipflop import RetentionFlipFlop
 from repro.faults.patterns import ErrorPattern

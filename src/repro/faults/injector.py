@@ -17,7 +17,7 @@ LFSR-based random location generator the paper's hardware uses.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.circuit.scan import ScanChain
 from repro.faults.lfsr import LFSR

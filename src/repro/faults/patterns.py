@@ -24,7 +24,19 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, Optional, Tuple
+from typing import FrozenSet, Optional, Tuple
+
+
+def _unseeded_rng() -> random.Random:
+    """Fallback stream for factories called without an ``rng``.
+
+    Interactive convenience only: every campaign and test path injects
+    a seeded ``random.Random`` derived from the chunk seed.  This is
+    the single sanctioned unseeded construction in the deterministic
+    packages, carried by the explicit entry in
+    :mod:`repro.devtools.lint.allowlist`.
+    """
+    return random.Random()
 
 
 @dataclass(frozen=True)
@@ -74,7 +86,7 @@ def single_error_pattern(num_chains: int, chain_length: int,
     """One random single-bit error (paper Fig. 7(a))."""
     if num_chains <= 0 or chain_length <= 0:
         raise ValueError("chain geometry must be positive")
-    rng = rng if rng is not None else random.Random()
+    rng = rng if rng is not None else _unseeded_rng()
     chain = rng.randrange(num_chains)
     position = rng.randrange(chain_length)
     return ErrorPattern(locations=frozenset({(chain, position)}),
@@ -90,7 +102,7 @@ def multi_error_pattern(num_chains: int, chain_length: int, num_errors: int,
     if num_errors > total:
         raise ValueError(
             f"cannot place {num_errors} distinct errors in {total} bits")
-    rng = rng if rng is not None else random.Random()
+    rng = rng if rng is not None else _unseeded_rng()
     chosen = rng.sample(range(total), num_errors)
     locations = frozenset(
         (index // chain_length, index % chain_length) for index in chosen)
@@ -112,7 +124,7 @@ def burst_error_pattern(num_chains: int, chain_length: int, burst_size: int,
         raise ValueError("burst size must be positive")
     if burst_size > num_chains * chain_length:
         raise ValueError("burst does not fit in the scan array")
-    rng = rng if rng is not None else random.Random()
+    rng = rng if rng is not None else _unseeded_rng()
     # Spread across adjacent chains first, then across adjacent cycles.
     window_chains = min(num_chains, burst_size)
     window_positions = min(chain_length,
@@ -132,7 +144,7 @@ def random_pattern(num_chains: int, chain_length: int,
     """Independent per-bit flips with the given probability."""
     if not (0 <= error_probability <= 1):
         raise ValueError("error probability must be in [0, 1]")
-    rng = rng if rng is not None else random.Random()
+    rng = rng if rng is not None else _unseeded_rng()
     locations = frozenset(
         (chain, position)
         for chain in range(num_chains)

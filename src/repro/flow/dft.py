@@ -13,7 +13,7 @@ balancing padding and the test-mode concatenation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Tuple
 
 from repro.circuit.base import SequentialCircuit
 from repro.circuit.scan import ScanChain, insert_scan_chains

@@ -7,7 +7,7 @@ side by side.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import List, Sequence
 
 from repro.core.protected import CostReport
 

@@ -63,9 +63,24 @@ class CampaignResult(StreamingCampaignResult):
         super().add(result)
 
     def merge(self, other: StreamingCampaignResult) -> "CampaignResult":
-        """Merge counters and, when ``other`` has one, the sequence log."""
+        """Merge counters and, for a full result, the sequence log.
+
+        Accepts another :class:`CampaignResult` (counters plus the
+        per-sequence log) or a plain
+        :class:`~repro.campaigns.stats.StreamingCampaignResult`
+        (counters only, e.g. a sharded shard).  Anything else raises:
+        an unrelated object with compatible counter attributes would
+        previously merge its counters and silently drop whatever its
+        ``sequences`` attribute -- if any -- meant.
+        """
+        if not isinstance(other, StreamingCampaignResult):
+            raise TypeError(
+                f"cannot merge {type(other).__name__} into "
+                f"CampaignResult; expected CampaignResult or "
+                f"StreamingCampaignResult")
         super().merge(other)
-        self.sequences.extend(getattr(other, "sequences", ()))
+        if isinstance(other, CampaignResult):
+            self.sequences.extend(other.sequences)
         return self
 
     def to_dict(self):

@@ -1,0 +1,23 @@
+"""Shared fixtures of the linter test suite.
+
+The per-rule tests run rules over in-memory fixture sources (no disk
+round-trip): ``run_rule`` parses a source string under a chosen
+project-relative path and returns the findings of one rule's
+``check_file`` pass.
+"""
+
+import pytest
+
+from lint_fixtures import make_file, make_project
+
+
+@pytest.fixture
+def run_rule():
+    """``run_rule(rule, source, relpath)`` -> list of findings."""
+
+    def run(rule, source, relpath="repro/campaigns/fixture.py"):
+        file = make_file(source, relpath)
+        project = make_project(file)
+        return list(rule.check_file(project, file))
+
+    return run

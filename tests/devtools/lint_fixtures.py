@@ -1,0 +1,16 @@
+"""In-memory fixture-source helpers for the linter tests."""
+
+import ast
+from pathlib import Path
+
+from repro.devtools.lint.findings import Project, SourceFile
+
+
+def make_file(source: str, relpath: str) -> SourceFile:
+    """Parse a fixture source string as if it lived at ``relpath``."""
+    return SourceFile(path=Path(relpath), relpath=relpath,
+                      source=source, tree=ast.parse(source))
+
+
+def make_project(*files: SourceFile) -> Project:
+    return Project(root=Path("."), files=list(files))

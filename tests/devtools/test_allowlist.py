@@ -1,0 +1,105 @@
+"""Tests of the explicit allowlist mechanism."""
+
+from lint_fixtures import make_file
+
+from repro.devtools.lint.allowlist import (
+    Allow,
+    DEFAULT_ALLOWLIST,
+    apply_allowlist,
+)
+from repro.devtools.lint.findings import Finding
+
+
+def _finding(rule="determinism", path="repro/campaigns/runner.py",
+             line=2, message="probe"):
+    return Finding(rule=rule, path=path, line=line, message=message)
+
+
+def _file(source, relpath):
+    return make_file(source, relpath)
+
+
+class TestMatching:
+    def test_matching_entry_suppresses(self):
+        file = _file("import random\n"
+                     "root = random.SystemRandom().getrandbits(64)\n",
+                     "repro/campaigns/runner.py")
+        allow = Allow(rule="determinism", path="campaigns/runner.py",
+                      snippet="random.SystemRandom().getrandbits(64)",
+                      justification="test")
+        result = apply_allowlist([_finding()], [file], [allow])
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+
+    def test_wrong_rule_does_not_suppress(self):
+        file = _file("import random\n"
+                     "root = random.SystemRandom().getrandbits(64)\n",
+                     "repro/campaigns/runner.py")
+        allow = Allow(rule="dtype", path="campaigns/runner.py",
+                      snippet="random.SystemRandom().getrandbits(64)",
+                      justification="test")
+        result = apply_allowlist([_finding()], [file], [allow])
+        assert len(result.findings) == 2  # the finding + stale entry
+
+    def test_snippet_must_be_on_the_flagged_line(self):
+        # Same file, same rule, but the offending line is different
+        # code: the entry must NOT silence it.
+        file = _file("import random\n"
+                     "x = random.random()\n",
+                     "repro/campaigns/runner.py")
+        allow = Allow(rule="determinism", path="campaigns/runner.py",
+                      snippet="random.SystemRandom().getrandbits(64)",
+                      justification="test")
+        result = apply_allowlist([_finding()], [file], [allow])
+        assert len(result.findings) == 2
+
+    def test_path_matches_on_suffix(self):
+        file = _file("import random\n"
+                     "root = random.SystemRandom().getrandbits(64)\n",
+                     "src/repro/campaigns/runner.py")
+        allow = Allow(rule="determinism", path="campaigns/runner.py",
+                      snippet="random.SystemRandom().getrandbits(64)",
+                      justification="test")
+        finding = _finding(path="src/repro/campaigns/runner.py")
+        result = apply_allowlist([finding], [file], [allow])
+        assert result.findings == []
+
+
+class TestStaleEntries:
+    def test_unused_entry_in_scanned_file_is_reported(self):
+        file = _file("X = 1\n", "repro/campaigns/runner.py")
+        allow = Allow(rule="determinism", path="campaigns/runner.py",
+                      snippet="random.SystemRandom().getrandbits(64)",
+                      justification="test")
+        result = apply_allowlist([], [file], [allow])
+        assert result.unused == [allow]
+        assert len(result.findings) == 1
+        assert result.findings[0].rule == "allowlist"
+
+    def test_unused_entry_outside_scan_is_silent(self):
+        # Scanning a fixture directory must not flag the project
+        # allowlist as stale.
+        file = _file("X = 1\n", "fixtures/sample.py")
+        allow = Allow(rule="determinism", path="campaigns/runner.py",
+                      snippet="random.SystemRandom().getrandbits(64)",
+                      justification="test")
+        result = apply_allowlist([], [file], [allow])
+        assert result.unused == []
+        assert result.findings == []
+
+
+class TestDefaultAllowlist:
+    def test_entries_are_specific_and_justified(self):
+        for allow in DEFAULT_ALLOWLIST:
+            assert allow.rule, allow
+            assert allow.path.endswith(".py"), allow
+            assert allow.snippet.strip(), allow
+            assert len(allow.justification) > 40, (
+                "allowlist justifications must actually justify")
+
+    def test_no_blanket_entries(self):
+        # The design rule: an entry silences one kind of line in one
+        # file, never a whole rule or directory.
+        for allow in DEFAULT_ALLOWLIST:
+            assert "/" in allow.path or allow.path.endswith(".py")
+            assert allow.snippet != ""

@@ -1,0 +1,155 @@
+"""Fixture tests of the ``determinism`` rule."""
+
+import textwrap
+
+import pytest
+
+from repro.devtools.lint.rules.determinism import RULE
+
+
+def _messages(findings):
+    return [f.message for f in findings]
+
+
+class TestGlobalRandomState:
+    def test_flags_global_random_call(self, run_rule):
+        findings = run_rule(RULE, textwrap.dedent("""\
+            import random
+            def draw():
+                return random.random()
+            """), "repro/engines/fixture.py")
+        assert len(findings) == 1
+        assert "global instance" in findings[0].message
+        assert findings[0].line == 3
+
+    def test_flags_aliased_module(self, run_rule):
+        findings = run_rule(RULE, textwrap.dedent("""\
+            import random as rnd
+            def draw():
+                return rnd.randint(0, 7)
+            """), "repro/faults/fixture.py")
+        assert len(findings) == 1
+
+    def test_flags_from_import_member(self, run_rule):
+        findings = run_rule(RULE, textwrap.dedent("""\
+            from random import randint as ri
+            def draw():
+                return ri(0, 7)
+            """), "repro/codes/fixture.py")
+        assert len(findings) == 1
+        assert "imported as ri" in findings[0].message
+
+    def test_flags_unseeded_random_instance(self, run_rule):
+        findings = run_rule(RULE, textwrap.dedent("""\
+            import random
+            def make():
+                return random.Random()
+            """), "repro/campaigns/fixture.py")
+        assert _messages(findings) == [
+            "unseeded random.Random(): results will differ between "
+            "runs; derive the seed from the campaign root "
+            "(repro.campaigns.seeding.child_seed)"]
+
+    def test_flags_system_random(self, run_rule):
+        findings = run_rule(RULE, textwrap.dedent("""\
+            import random
+            def root():
+                return random.SystemRandom().getrandbits(64)
+            """), "repro/campaigns/fixture.py")
+        assert len(findings) == 1
+        assert "OS entropy" in findings[0].message
+
+    def test_seeded_random_is_quiet(self, run_rule):
+        findings = run_rule(RULE, textwrap.dedent("""\
+            import random
+            def make(seed):
+                return random.Random(seed)
+            """), "repro/campaigns/fixture.py")
+        assert findings == []
+
+
+class TestNumpyRandomState:
+    def test_flags_legacy_global(self, run_rule):
+        findings = run_rule(RULE, textwrap.dedent("""\
+            import numpy as np
+            def setup():
+                np.random.seed(42)
+                return np.random.rand(4)
+            """), "repro/engines/fixture.py")
+        assert len(findings) == 2
+
+    def test_flags_unseeded_default_rng(self, run_rule):
+        findings = run_rule(RULE, textwrap.dedent("""\
+            import numpy as np
+            def make():
+                return np.random.default_rng()
+            """), "repro/faults/fixture.py")
+        assert len(findings) == 1
+        assert "unseeded np.random.default_rng" in findings[0].message
+
+    def test_seeded_default_rng_is_quiet(self, run_rule):
+        findings = run_rule(RULE, textwrap.dedent("""\
+            import numpy as np
+            def make(seed):
+                return np.random.default_rng(seed)
+            """), "repro/faults/fixture.py")
+        assert findings == []
+
+
+class TestWallClock:
+    @pytest.mark.parametrize("call", [
+        "time.time()",
+        "time.time_ns()",
+        "datetime.datetime.now()",
+        "datetime.date.today()",
+    ])
+    def test_flags_clock_reads(self, run_rule, call):
+        findings = run_rule(
+            RULE,
+            f"import time\nimport datetime\nSTAMP = {call}\n",
+            "repro/campaigns/fixture.py")
+        assert len(findings) == 1
+        assert "wall-clock" in findings[0].message
+
+    def test_perf_counter_is_quiet(self, run_rule):
+        findings = run_rule(
+            RULE, "import time\nT0 = time.perf_counter()\n",
+            "repro/campaigns/fixture.py")
+        assert findings == []
+
+
+class TestSetIterationOrder:
+    def test_flags_for_over_set_literal(self, run_rule):
+        findings = run_rule(RULE, textwrap.dedent("""\
+            def walk(a, b):
+                for item in {a, b}:
+                    print(item)
+            """), "repro/codes/fixture.py")
+        assert len(findings) == 1
+        assert "hash randomization" in findings[0].message
+
+    def test_flags_list_of_set_call(self, run_rule):
+        findings = run_rule(
+            RULE, "def order(xs):\n    return list(set(xs))\n",
+            "repro/campaigns/fixture.py")
+        assert len(findings) == 1
+
+    def test_sorted_set_is_quiet(self, run_rule):
+        findings = run_rule(
+            RULE, "def order(xs):\n    return sorted(set(xs))\n",
+            "repro/campaigns/fixture.py")
+        assert findings == []
+
+
+class TestScope:
+    def test_out_of_scope_package_is_quiet(self, run_rule):
+        source = "import random\nX = random.random()\n"
+        assert run_rule(RULE, source, "repro/analysis/fixture.py") == []
+        assert run_rule(RULE, source, "repro/validation/fixture.py") == []
+
+    def test_scope_matches_directory_not_filename(self, run_rule):
+        # A file *named* engines.py outside the packages is out of
+        # scope; a file inside engines/ is in scope.
+        source = "import random\nX = random.random()\n"
+        assert run_rule(RULE, source, "repro/engines.py") == []
+        assert len(run_rule(RULE, source, "repro/engines/x.py")) == 1

@@ -1,0 +1,76 @@
+"""Fixture and reflection tests of the ``getattr-drift`` rule."""
+
+from repro.devtools.lint.rules.getattr_drift import (
+    GetattrDriftRule,
+    code_class_attributes,
+    circuit_class_attributes,
+)
+
+CODE_ATTRS = frozenset({"encoder_xor_count", "name", "signature_bits"})
+CIRCUIT_ATTRS = frozenset({"corrupt_retention"})
+
+
+def _rule():
+    # Injected attribute sets keep the fixture tests hermetic (no
+    # dependency on which code classes the registry currently ships).
+    return GetattrDriftRule(code_attrs=CODE_ATTRS,
+                            circuit_attrs=CIRCUIT_ATTRS)
+
+
+class TestWatchedStrings:
+    def test_live_cost_attribute_is_quiet(self, run_rule):
+        findings = run_rule(
+            _rule(),
+            'count = getattr(code, "encoder_xor_count", None)\n',
+            "repro/core/fixture.py")
+        assert findings == []
+
+    def test_renamed_cost_attribute_fires(self, run_rule):
+        findings = run_rule(
+            _rule(),
+            'count = getattr(code, "encoder2_xor_count", None)\n',
+            "repro/core/fixture.py")
+        assert len(findings) == 1
+        assert "estimate fallback" in findings[0].message
+
+    def test_renamed_gate_count_fires(self, run_rule):
+        findings = run_rule(
+            _rule(),
+            'count = getattr(code, "fixer_gate_count", None)\n',
+            "repro/core/fixture.py")
+        assert len(findings) == 1
+
+    def test_circuit_protocol_string_is_checked(self, run_rule):
+        quiet = run_rule(
+            _rule(),
+            'fn = getattr(flop, "corrupt_retention", None)\n',
+            "repro/faults/fixture.py")
+        assert quiet == []
+        drifted = run_rule(
+            GetattrDriftRule(code_attrs=CODE_ATTRS,
+                             circuit_attrs=frozenset()),
+            'fn = getattr(flop, "corrupt_retention", None)\n',
+            "repro/faults/fixture.py")
+        assert len(drifted) == 1
+        assert "repro.circuit" in drifted[0].message
+
+    def test_unwatched_strings_are_ignored(self, run_rule):
+        findings = run_rule(
+            _rule(),
+            'x = getattr(obj, "whatever_attribute", None)\n'
+            'y = getattr(obj, attribute_variable, None)\n'
+            "z = getattr(obj)\n",
+            "repro/core/fixture.py")
+        assert findings == []
+
+
+class TestLiveReflection:
+    def test_every_watched_string_in_tree_resolves(self):
+        """The attributes the cost/injection paths getattr-probe exist
+        on the live classes -- the drift the rule guards against."""
+        codes = code_class_attributes()
+        for name in ("encoder_xor_count", "decoder_xor_count",
+                     "feedback_xor_count", "corrector_gate_count",
+                     "name", "signature_bits"):
+            assert name in codes, name
+        assert "corrupt_retention" in circuit_class_attributes()

@@ -1,0 +1,85 @@
+"""Fixture tests of the ``pickle`` rule."""
+
+import textwrap
+
+from repro.devtools.lint.rules.pickle_safety import RULE
+
+HEADER = """\
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+from repro.campaigns.runner import CampaignTask
+"""
+
+
+class TestFieldHazards:
+    def test_callable_annotation_fires(self, run_rule):
+        findings = run_rule(RULE, HEADER + textwrap.dedent("""\
+            @dataclass(frozen=True)
+            class CallbackTask(CampaignTask):
+                factory: Optional[Callable[[int], int]] = None
+            """), "repro/campaigns/fixture.py")
+        assert len(findings) == 1
+        assert "Callable" in findings[0].message
+
+    def test_lambda_default_fires(self, run_rule):
+        findings = run_rule(RULE, HEADER + textwrap.dedent("""\
+            @dataclass(frozen=True)
+            class LambdaTask(CampaignTask):
+                scale = lambda x: x + 1
+                width: object = lambda: 4
+            """), "repro/campaigns/fixture.py")
+        assert any("lambda" in f.message for f in findings)
+
+    def test_plain_value_fields_are_quiet(self, run_rule):
+        findings = run_rule(RULE, HEADER + textwrap.dedent("""\
+            @dataclass(frozen=True)
+            class PlainTask(CampaignTask):
+                width: int = 4
+                codes: tuple = ("hamming(7,4)",)
+            """), "repro/campaigns/fixture.py")
+        assert findings == []
+
+
+class TestSelfAssignmentHazards:
+    def test_self_lambda_fires(self, run_rule):
+        findings = run_rule(RULE, HEADER + textwrap.dedent("""\
+            class SneakyTask(CampaignTask):
+                def configure(self):
+                    self.transform = lambda x: x
+            """), "repro/campaigns/fixture.py")
+        assert len(findings) == 1
+        assert "self.transform" in findings[0].message
+
+    def test_self_open_handle_fires(self, run_rule):
+        findings = run_rule(RULE, HEADER + textwrap.dedent("""\
+            class LoggingTask(CampaignTask):
+                def configure(self, path):
+                    self.log = open(path, "a")
+            """), "repro/campaigns/fixture.py")
+        assert len(findings) == 1
+        assert "open" in findings[0].message
+
+    def test_local_handles_inside_methods_are_quiet(self, run_rule):
+        # Opening inside the method body without storing on self is
+        # exactly the recommended pattern.
+        findings = run_rule(RULE, HEADER + textwrap.dedent("""\
+            class FineTask(CampaignTask):
+                def run_chunk(self, start, size, root_seed):
+                    with open("data") as handle:
+                        return handle.read()
+            """), "repro/campaigns/fixture.py")
+        assert findings == []
+
+
+class TestRealTaskClasses:
+    def test_shipped_tasks_pickle_cleanly(self):
+        """Cross-check the rule's claim against the real pickler."""
+        import pickle
+
+        from repro.campaigns.tasks import FIFOValidationCampaignTask
+
+        task = FIFOValidationCampaignTask(width=8, depth=8,
+                                          codes=("hamming(7,4)",),
+                                          num_chains=8)
+        clone = pickle.loads(pickle.dumps(task))
+        assert clone == task
