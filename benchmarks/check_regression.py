@@ -61,14 +61,38 @@ def load_history(name: str) -> dict:
 
 
 def format_delta(measured, history_entry) -> str:
-    """A ``(+x% vs <timestamp>)`` annotation, or a no-history note."""
+    """A ``(+x% vs <timestamp>)`` annotation, or a no-history note.
+
+    Tolerant by design: an empty history file, a missing entry or a
+    non-numeric previous value all degrade to an informational note --
+    deltas never gate and must never traceback.
+    """
     if history_entry is None:
         return "no committed history"
     previous, recorded_at = history_entry
-    if not previous:
+    if not isinstance(previous, (int, float)) or isinstance(previous, bool) \
+            or not previous:
         return "no committed history"
     delta = (measured - previous) / previous * 100.0
     return f"{delta:+.1f}% vs {recorded_at}"
+
+
+def load_results(path: Path, what: str):
+    """The ``results`` tree of one BENCH json, or ``(None, message)``.
+
+    Malformed JSON or a missing ``results`` key yields a clear failure
+    string instead of a traceback -- a truncated or hand-edited bench
+    file must fail the guard readably.
+    """
+    try:
+        payload = json.loads(path.read_text("utf-8"))
+    except (OSError, ValueError) as exc:
+        return None, f"{what} {path} is unreadable ({exc})"
+    results = payload.get("results") if isinstance(payload, dict) else None
+    if not isinstance(results, dict):
+        return None, (f"{what} {path} has no 'results' mapping -- "
+                      f"was it written by record_bench?")
+    return results, None
 
 
 def iter_floors(results: dict, path=()):
@@ -101,8 +125,13 @@ def check_bench(name: str) -> list:
     if not fresh_path.exists():
         return [f"{name}: fresh results {fresh_path} missing -- did the "
                 f"benchmark run?"]
-    reference = json.loads(reference_path.read_text("utf-8"))["results"]
-    fresh = json.loads(fresh_path.read_text("utf-8"))["results"]
+    reference, error = load_results(reference_path,
+                                    f"{name}: committed reference")
+    if error:
+        return [error]
+    fresh, error = load_results(fresh_path, f"{name}: fresh results")
+    if error:
+        return [error]
     history = load_history(name)
 
     failures = []
@@ -110,9 +139,15 @@ def check_bench(name: str) -> list:
     for path, metric, floor in iter_floors(reference):
         section = lookup(fresh, path)
         label = "/".join(path + (metric,))
+        if not isinstance(floor, (int, float)) or isinstance(floor, bool):
+            failures.append(
+                f"{name}: {label} has a non-numeric committed floor "
+                f"{floor!r}")
+            continue
         if not isinstance(section, dict) or metric not in section:
             failures.append(
-                f"{name}: {label} missing from the fresh results")
+                f"{name}: {label} missing from the fresh results -- did "
+                f"the benchmark that records it run?")
             continue
         measured = section[metric]
         checked += 1
@@ -138,6 +173,14 @@ def check_bench(name: str) -> list:
 
 def main(argv) -> int:
     names = argv or ["engines", "fastpath"]
+    try:
+        has_history = bool(HISTORY_PATH.read_text("utf-8").strip())
+    except OSError:
+        has_history = False
+    if not has_history:
+        print("note: committed BENCH_history.jsonl is missing or empty; "
+              "deltas print as 'no committed history' (floors still "
+              "gate)")
     failures = []
     for name in names:
         failures.extend(check_bench(name))

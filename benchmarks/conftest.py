@@ -104,13 +104,34 @@ def flatten_metrics(results: dict, path=()) -> dict:
     return out
 
 
+def _engine_metadata() -> dict:
+    """Array-backend/engine fingerprint embedded in every benchmark
+    envelope and history row (never raises -- benchmarks must record
+    even on a pure-stdlib install, where both entries are None)."""
+    numpy_version = None
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except ImportError:
+        pass
+    backend = None
+    try:
+        from repro.engines.backend import default_backend_name
+        backend = default_backend_name()
+    except Exception:
+        pass
+    return {"numpy": numpy_version, "backend": backend}
+
+
 def record_bench(name: str, results: dict,
                  section: "str | None" = None) -> Path:
     """Write one benchmark's results as ``BENCH_<name>.json``.
 
     ``results`` must be JSON-serialisable; the envelope adds the
-    Python/platform fingerprint and a timestamp so numbers from
-    different machines are never compared silently.
+    Python/platform fingerprint, the array-backend metadata (numpy
+    version + default backend name) and a timestamp so numbers from
+    different machines -- or different array backends -- are never
+    compared silently.
 
     With ``section`` the file holds one sub-dict per microbenchmark
     (``results[section]``) and this call replaces only its own
@@ -127,6 +148,7 @@ def record_bench(name: str, results: dict,
     directories = [BENCH_SCRATCH_DIR]
     if os.environ.get("REPRO_BENCH_UPDATE_REFERENCE"):
         directories.append(BENCH_REFERENCE_DIR)
+    engine_meta = _engine_metadata()
     path = None
     for directory in directories:
         directory.mkdir(parents=True, exist_ok=True)
@@ -151,6 +173,8 @@ def record_bench(name: str, results: dict,
             "python": platform.python_version(),
             "implementation": platform.python_implementation(),
             "platform": platform.platform(),
+            "numpy": engine_meta["numpy"],
+            "backend": engine_meta["backend"],
             "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ",
                                          time.gmtime()),
             "results": merged,
@@ -163,6 +187,8 @@ def record_bench(name: str, results: dict,
             "recorded_at": payload["recorded_at"],
             "python": payload["python"],
             "platform": payload["platform"],
+            "numpy": engine_meta["numpy"],
+            "backend": engine_meta["backend"],
             "metrics": flatten_metrics(results),
         }
         with open(directory / BENCH_HISTORY_NAME, "a",

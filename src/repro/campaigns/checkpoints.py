@@ -29,6 +29,77 @@ from typing import Any, Callable, Dict, Optional
 CHECKPOINT_FORMAT = 1
 
 
+def _fingerprint_fields(fingerprint: Any) -> Optional[Dict[str, str]]:
+    """Parse a dataclass-repr task fingerprint into ``{field: value}``.
+
+    Task fingerprints are dataclass reprs
+    (``Task(width=32, codes=('a', 'b'), ...)``); splitting happens at
+    top-level commas only (bracket/quote aware).  Returns ``None`` for
+    anything that does not look like one -- custom tasks may fingerprint
+    differently, and the caller then falls back to the generic message.
+    """
+    if not isinstance(fingerprint, str):
+        return None
+    start = fingerprint.find("(")
+    if start <= 0 or not fingerprint.endswith(")"):
+        return None
+    body = fingerprint[start + 1:-1]
+    fields: Dict[str, str] = {}
+    depth = 0
+    quote = None
+    token_start = 0
+    tokens = []
+    for i, ch in enumerate(body):
+        if quote is not None:
+            if ch == quote and body[i - 1] != "\\":
+                quote = None
+        elif ch in "'\"":
+            quote = ch
+        elif ch in "([{":
+            depth += 1
+        elif ch in ")]}":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            tokens.append(body[token_start:i])
+            token_start = i + 1
+    tokens.append(body[token_start:])
+    for token in tokens:
+        token = token.strip()
+        if not token:
+            continue
+        name, eq, value = token.partition("=")
+        if not eq or not name.isidentifier():
+            return None
+        fields[name] = value
+    return fields
+
+
+def _describe_task_mismatch(old: Any, new: Any) -> Optional[str]:
+    """Name the task-fingerprint fields that differ between a stored
+    checkpoint and the running campaign (``None`` when unparseable)."""
+    old_fields = _fingerprint_fields(old)
+    new_fields = _fingerprint_fields(new)
+    if old_fields is None or new_fields is None:
+        return None
+    added = sorted(set(new_fields) - set(old_fields))
+    removed = sorted(set(old_fields) - set(new_fields))
+    changed = sorted(name for name in set(old_fields) & set(new_fields)
+                     if old_fields[name] != new_fields[name])
+    parts = []
+    if added:
+        parts.append(
+            f"task field(s) new in this version: {', '.join(added)} "
+            f"(the checkpoint predates them)")
+    if removed:
+        parts.append(
+            f"task field(s) no longer present: {', '.join(removed)}")
+    if changed:
+        parts.append("task field(s) with different values: " + ", ".join(
+            f"{name}: {old_fields[name]} -> {new_fields[name]}"
+            for name in changed))
+    return "; ".join(parts) if parts else None
+
+
 class CheckpointStore:
     """Owns one campaign's checkpoint file (or none).
 
@@ -67,14 +138,28 @@ class CheckpointStore:
     @staticmethod
     def validate(payload: Dict[str, Any],
                  header: Dict[str, Any]) -> None:
-        """Refuse a payload whose header fields disagree with ours."""
+        """Refuse a payload whose header fields disagree with ours.
+
+        A ``task`` fingerprint mismatch is the common upgrade hazard (a
+        new task field -- e.g. ``summary_path`` in PR 8 -- changes the
+        fingerprint of every pre-existing checkpoint), so the error
+        names the exact task fields that were added, removed or changed
+        rather than just saying "task".
+        """
         mismatched = [key for key, value in header.items()
                       if payload.get(key) != value]
         if mismatched:
+            detail = ""
+            if "task" in mismatched:
+                described = _describe_task_mismatch(
+                    payload.get("task"), header["task"])
+                if described:
+                    detail = f"; {described}"
             raise ValueError(
                 f"does not match this campaign "
-                f"(stale fields: {', '.join(sorted(mismatched))}); "
-                f"delete the file to start over")
+                f"(stale fields: {', '.join(sorted(mismatched))}"
+                f"{detail}); delete the file to start over, or re-run "
+                f"with the original campaign parameters")
 
     @staticmethod
     def restore_completed(payload: Dict[str, Any],

@@ -84,6 +84,16 @@ run_sequence_batch`: one stimulus burst per group, one injection per
         statistics are engine-independent and worker-count
         bit-identical; the two *modes* sample different (statistically
         equivalent) streams.  Requires ``batch_size`` and numpy.
+    summary_path:
+        Summary-path selection forwarded to the engine on the columnar
+        path (array sampler + summary-capable engine): ``"auto"``
+        (default) lets the engine pick between its sparse-delta fast
+        path and the dense word pipeline by the batch's flip density;
+        ``"delta"`` / ``"dense"`` force one side (useful for A/B
+        benchmarking -- the paths are bit-identical, property-tested).
+        Non-``"auto"`` values require ``sampler="array"`` (the object
+        path has no path selection).  The field is part of the task
+        fingerprint, so changing it invalidates checkpoints.
     """
 
     width: int = 32
@@ -97,6 +107,7 @@ run_sequence_batch`: one stimulus burst per group, one injection per
     words_per_sequence: Optional[int] = None
     batch_size: Optional[int] = None
     sampler: str = "scalar"
+    summary_path: str = "auto"
 
     def __post_init__(self) -> None:
         # Accept a bare code name the way ProtectedDesign does, rather
@@ -115,6 +126,14 @@ run_sequence_batch`: one stimulus burst per group, one injection per
             raise ValueError(
                 f"unknown sampler {self.sampler!r}; choose 'scalar' or "
                 f"'array'")
+        if self.summary_path not in ("auto", "delta", "dense"):
+            raise ValueError(
+                f"unknown summary_path {self.summary_path!r}; choose "
+                f"'auto', 'delta' or 'dense'")
+        if self.summary_path != "auto" and self.sampler != "array":
+            raise ValueError(
+                "summary_path selection needs the columnar summary "
+                "path; set sampler='array' (and batch_size)")
         if self.sampler == "array":
             if self.batch_size is None:
                 raise ValueError(
@@ -230,6 +249,11 @@ run_sequence_batch_summary` ->
 
         rng = np.random.default_rng(child_seed(chunk_seed, "pattern"))
         use_summary = design.supports_batch_summary
+        if self.summary_path != "auto" and not use_summary:
+            raise ValueError(
+                f"summary_path={self.summary_path!r} was forced but "
+                f"engine {self.engine!r} has no columnar summary "
+                f"support; the object fallback has no path selection")
         result = StreamingCampaignResult()
         remaining = num_sequences
         while remaining:
@@ -240,7 +264,8 @@ run_sequence_batch_summary` ->
                 group, rng, num_errors=self.burst_size)
             if use_summary:
                 arrays = testbench.run_sequence_batch_summary(
-                    sampled, group, self.inject_phase)
+                    sampled, group, self.inject_phase,
+                    path=self.summary_path)
                 result.add_batch(arrays)
             else:
                 for sequence in testbench.run_sequence_batch(

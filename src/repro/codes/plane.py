@@ -74,6 +74,28 @@ class GF2Matrix:
     def num_outputs(self) -> int:
         return len(self.rows)
 
+    def column_responses(self) -> Tuple[int, ...]:
+        """Per-input response columns of the map's linear part.
+
+        Entry ``i`` is an integer whose bit ``j`` is set when input
+        bit ``i`` participates in output row ``j``: toggling input
+        ``i`` toggles exactly the output bits of
+        ``column_responses()[i]``.  This is the superposition form of
+        the matrix -- the output delta of any input delta is the XOR
+        of the flipped inputs' columns (the affine ``const`` part
+        cancels in every fresh-versus-stored comparison), which is
+        what the sparse-delta summary path
+        (:mod:`repro.engines.delta`) gathers instead of re-folding
+        whole words.  numpy-free like the matrix itself; the delta
+        module caches the ndarray form per code parameters.
+        """
+        columns = [0] * self.num_inputs
+        for j, row in enumerate(self.rows):
+            bit = 1 << j
+            for index in row:
+                columns[index] |= bit
+        return tuple(columns)
+
 
 #: Shared matrices memoised on the code *parameters*: campaign workers
 #: rebuild ``ProtectedDesign`` (and with it every engine) per chunk,

@@ -669,7 +669,8 @@ class ProtectedDesign:
         return outcomes
 
     def sleep_wake_cycle_batch_summary(self, flips, batch_size: int,
-                                       inject_phase: str = "sleep"):
+                                       inject_phase: str = "sleep",
+                                       path: str = "auto"):
         """Run ``B`` sequences as one batch, returning columnar verdicts.
 
         The summary twin of :meth:`sleep_wake_cycle_batch` for
@@ -697,9 +698,20 @@ class ProtectedDesign:
         Requires an engine with summary support
         (:attr:`supports_batch_summary`) and, like the batched object
         path, ``upset_model=None``.
+
+        ``path`` selects the engine's summary implementation
+        (``"auto"`` / ``"delta"`` / ``"dense"``, see
+        :meth:`~repro.engines.base.SimulationEngine.run_batch_summary`);
+        the default ``"auto"`` is not forwarded, so third-party summary
+        engines predating the parameter keep working unless a path is
+        forced.
         """
         if inject_phase not in ("sleep", "post_wake"):
             raise ValueError("inject_phase must be 'sleep' or 'post_wake'")
+        if path not in ("auto", "delta", "dense"):
+            raise ValueError(
+                f"unknown summary path {path!r}; choose 'auto', 'delta' "
+                f"or 'dense'")
         if batch_size < 1:
             raise ValueError("batch size must be >= 1")
         if self.domain.upset_model is not None:
@@ -769,7 +781,12 @@ class ProtectedDesign:
         self._wake_gate_on()
         self.controller.wake_completed()
 
-        arrays = engine.run_batch_summary(states, knowns, flips, batch_size)
+        if path == "auto":
+            arrays = engine.run_batch_summary(states, knowns, flips,
+                                              batch_size)
+        else:
+            arrays = engine.run_batch_summary(states, knowns, flips,
+                                              batch_size, path=path)
 
         any_detected = bool(arrays.detected.any())
         any_uncorrectable = bool(arrays.uncorrectable.any())

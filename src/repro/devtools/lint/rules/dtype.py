@@ -29,6 +29,8 @@ from repro.devtools.lint.findings import (
 #: Files (relpath suffixes) carrying the uint64 word-pipeline
 #: discipline.
 SCOPED_FILES = (
+    "engines/backend.py",
+    "engines/delta.py",
     "engines/simd.py",
     "engines/summary.py",
     "faults/batch.py",
@@ -49,7 +51,8 @@ def in_scope(file: SourceFile) -> bool:
 class DtypeRule(Rule):
     id = "dtype"
     description = ("ndarray constructors in the word-pipeline modules "
-                   "(engines/simd.py, engines/summary.py, "
+                   "(engines/backend.py, engines/delta.py, "
+                   "engines/simd.py, engines/summary.py, "
                    "faults/batch.py) must pass an explicit dtype=")
 
     def check_file(self, project: Project,

@@ -1,0 +1,207 @@
+"""Pluggable array backends: the injected ``xp`` namespace.
+
+The array-native engines (:mod:`repro.engines.simd`, the shared kernels
+of :mod:`repro.engines.summary`, the flip resolvers of
+:mod:`repro.faults.batch`) historically hard-coded ``import numpy as
+np``.  This module turns the array namespace into an injected
+dependency -- the ``xp`` convention of the array-API ecosystem -- so
+the same word-packed pipeline can run on any numpy-compatible module:
+
+* an :class:`ArrayBackend` bundles the namespace (``xp``) with the two
+  host-boundary conversions the pipeline needs: ``asarray`` moves a
+  host (numpy) array into the backend's native memory and ``to_host``
+  brings a native array back for Python-int extraction;
+* a process-wide registry mirrors :mod:`repro.engines.registry`:
+  ``"numpy"`` registers whenever numpy is importable, ``"cuda"``
+  (CuPy) registers whenever ``cupy`` is importable -- gated with the
+  same ``find_spec`` probe as the ``[simd]`` extra, so an install
+  without CuPy simply has no ``"cuda"`` entry and nothing errors;
+* a :class:`Workspace` provides keyed, shape/dtype-checked reusable
+  buffers so an engine's steady-state batches stop allocating fresh
+  large arrays every pass.
+
+For the numpy backend both conversions are identity functions; for
+CuPy they are ``cupy.asarray`` / ``cupy.asnumpy``.  Numerical
+equivalence of a non-default backend is asserted by the same
+equivalence property suites that pin the simd engine to the reference
+engine -- they parametrise over whatever backends this registry
+exposes at run time.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from typing import Any, Callable, Dict, Optional, Tuple
+
+
+class ArrayBackend:
+    """One array namespace plus its host-boundary conversions.
+
+    Parameters
+    ----------
+    name:
+        Registry name (``"numpy"``, ``"cuda"``, ...).
+    xp:
+        The array module itself (``numpy``, ``cupy``, ...).
+    asarray:
+        Host (numpy) ndarray to backend-native array.  The word
+        pipeline packs protocol integers on the host (``frombuffer``
+        over Python-int bytes), then crosses into backend memory
+        exactly once per pass through this hook.
+    to_host:
+        Backend-native array to host (numpy) ndarray; the reverse
+        boundary, crossed only where Python ints must be produced
+        (sequence masks, plane extraction).
+    """
+
+    __slots__ = ("name", "xp", "asarray", "to_host")
+
+    def __init__(self, name: str, xp: Any,
+                 asarray: Callable[[Any], Any],
+                 to_host: Callable[[Any], Any]):
+        self.name = name
+        self.xp = xp
+        self.asarray = asarray
+        self.to_host = to_host
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArrayBackend({self.name!r})"
+
+
+BackendFactory = Callable[[], ArrayBackend]
+
+_FACTORIES: Dict[str, BackendFactory] = {}
+_INSTANCES: Dict[str, ArrayBackend] = {}
+
+#: Backend used when an engine is built without an explicit selection.
+DEFAULT_BACKEND = "numpy"
+
+
+def register_backend(name: str, factory: BackendFactory,
+                     replace: bool = False) -> None:
+    """Register an array-backend factory under a (lower-cased) name.
+
+    The factory runs at most once per process (instances are cached);
+    it is the place to import the heavyweight array module, so merely
+    registering a backend costs nothing.
+    """
+    key = name.lower()
+    if not replace and key in _FACTORIES:
+        raise ValueError(
+            f"array backend {name!r} is already registered; pass "
+            f"replace=True to overwrite it")
+    _FACTORIES[key] = factory
+    _INSTANCES.pop(key, None)
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a registered backend (mainly for test hygiene)."""
+    key = name.lower()
+    if key not in _FACTORIES:
+        raise ValueError(f"array backend {name!r} is not registered")
+    del _FACTORIES[key]
+    _INSTANCES.pop(key, None)
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Backend names resolvable by :func:`get_backend`, in
+    registration order (``"numpy"`` first when numpy is installed)."""
+    return tuple(_FACTORIES)
+
+
+def get_backend(name: Optional[str] = None) -> ArrayBackend:
+    """Resolve a backend name (default :data:`DEFAULT_BACKEND`) to its
+    cached :class:`ArrayBackend` instance; raise ``ValueError`` if
+    unknown."""
+    key = (name if name is not None else DEFAULT_BACKEND).lower()
+    if key not in _FACTORIES:
+        raise ValueError(
+            f"unknown array backend {name!r}; choose from "
+            f"{available_backends()}")
+    instance = _INSTANCES.get(key)
+    if instance is None:
+        instance = _FACTORIES[key]()
+        if not isinstance(instance, ArrayBackend):
+            raise TypeError(
+                f"factory for array backend {key!r} returned "
+                f"{type(instance).__name__}, not an ArrayBackend")
+        _INSTANCES[key] = instance
+    return instance
+
+
+def default_backend_name() -> Optional[str]:
+    """The default backend's name, or ``None`` on a pure-stdlib
+    install (benchmark metadata uses this; it must never raise)."""
+    return DEFAULT_BACKEND if DEFAULT_BACKEND in _FACTORIES else None
+
+
+class Workspace:
+    """Keyed reusable buffers for an engine's steady-state passes.
+
+    ``take(key, shape, dtype)`` returns the buffer registered under
+    ``key``, allocating (``xp.empty``) only when the key is new or its
+    shape/dtype changed -- so a campaign running equally-shaped batches
+    through one engine allocates its large arrays once and then reuses
+    them every pass.  Buffers come back **uninitialised**: the caller
+    owns every element it reads (the word pipeline fully overwrites
+    its buffers each pass).  One workspace belongs to one engine
+    instance; buffers must never escape the pass that took them.
+    """
+
+    __slots__ = ("xp", "_buffers")
+
+    def __init__(self, xp: Any):
+        self.xp = xp
+        self._buffers: Dict[Any, Any] = {}
+
+    def take(self, key: Any, shape: Tuple[int, ...], dtype: Any) -> Any:
+        buffer = self._buffers.get(key)
+        if (buffer is None or buffer.shape != tuple(shape)
+                or buffer.dtype != dtype):
+            buffer = self.xp.empty(shape, dtype=dtype)
+            self._buffers[key] = buffer
+        return buffer
+
+    def clear(self) -> None:
+        """Drop every buffer (e.g. before a geometry change)."""
+        self._buffers.clear()
+
+
+def _register_builtins() -> None:
+    # find_spec keeps the probes import-free: registering costs
+    # nothing, the heavyweight module import happens inside the
+    # factory on first get_backend() resolution.
+    def numpy_factory() -> ArrayBackend:
+        import numpy
+
+        def identity(array):
+            return array
+
+        return ArrayBackend("numpy", numpy, identity, identity)
+
+    def cuda_factory() -> ArrayBackend:
+        import cupy  # pragma: no cover - exercised only with CuPy
+
+        return ArrayBackend("cuda", cupy, cupy.asarray, cupy.asnumpy)
+
+    if importlib.util.find_spec("numpy") is not None:
+        register_backend("numpy", numpy_factory)
+    # CuPy rides the same gating idiom as the [simd] extra: present ->
+    # selectable, absent -> silently not listed (no error, no entry).
+    if importlib.util.find_spec("cupy") is not None:  # pragma: no cover
+        register_backend("cuda", cuda_factory)
+
+
+_register_builtins()
+
+__all__ = [
+    "ArrayBackend",
+    "BackendFactory",
+    "DEFAULT_BACKEND",
+    "Workspace",
+    "available_backends",
+    "default_backend_name",
+    "get_backend",
+    "register_backend",
+    "unregister_backend",
+]

@@ -246,7 +246,8 @@ class SimulationEngine(ABC):
     # -- summary interface (optional) -----------------------------------
     def run_batch_summary(self, states: Sequence[int],
                           knowns: Sequence[int], flips,
-                          batch_size: int) -> BatchOutcomeArrays:
+                          batch_size: int,
+                          path: str = "auto") -> BatchOutcomeArrays:
         """Run a whole batch end to end, returning columnar verdicts.
 
         ``states[c]`` / ``knowns[c]`` are chain ``c``'s packed
@@ -264,6 +265,15 @@ class SimulationEngine(ABC):
         minus every per-sequence object.  The returned arrays are
         bit-identical to folding the object path's outcomes field by
         field (property-tested).
+
+        ``path`` selects the summary implementation on engines that
+        offer more than one (``"auto"`` -- the engine picks; the simd
+        engine adds a sparse-delta fast path selectable with
+        ``"delta"`` / forcible off with ``"dense"``).  Engines with a
+        single implementation accept ``"auto"`` and ``"dense"`` and
+        raise ``ValueError`` for paths they do not provide; since the
+        paths are bit-identical wherever both exist, callers that do
+        not care simply leave the default.
         """
         raise NotImplementedError(
             f"engine {self.name or type(self).__name__!r} does not "

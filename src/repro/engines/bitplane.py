@@ -335,7 +335,8 @@ class BitPlaneBatchedEngine(SimulationEngine):
     # Summary interface (columnar counters, no report/event objects)
     # ------------------------------------------------------------------
     def run_batch_summary(self, states: Sequence[int],
-                          knowns: Sequence[int], flips, batch_size: int):
+                          knowns: Sequence[int], flips, batch_size: int,
+                          path: str = "auto"):
         """Run a whole batch through the plane path, returning columnar
         verdicts and skipping every report/event materialisation.
 
@@ -343,8 +344,14 @@ class BitPlaneBatchedEngine(SimulationEngine):
         :meth:`encode_pass_batch` / :meth:`decode_pass_batch`; only the
         bookkeeping differs (counts instead of event lists, ndarrays
         instead of reports).  Requires numpy (see
-        :attr:`supports_summary`).
+        :attr:`supports_summary`).  The bit-plane engine has a single
+        summary implementation: ``path`` accepts ``"auto"``/``"dense"``
+        and raises for the simd engine's ``"delta"`` fast path.
         """
+        if path not in ("auto", "dense"):
+            raise ValueError(
+                f"engine 'batched' has no summary path {path!r}; the "
+                f"sparse-delta fast path needs engine='simd'")
         from repro.engines.base import BatchOutcomeArrays
         from repro.engines.summary import (
             counts_array,

@@ -1,0 +1,444 @@
+"""Sparse-delta superposition fast path for the columnar summary pass.
+
+Every registered monitoring code is linear over GF(2), and the dense
+summary pipeline of :mod:`repro.engines.simd` computes its stored
+check words from the *same* replicated baseline it later decodes
+against.  Superposition therefore collapses the whole pass: the
+syndrome a decode slice observes is exactly the XOR of the **response
+columns** of the cells flipped in that slice (the affine constants and
+the baseline cancel in every fresh-versus-stored comparison), and a
+CRC signature mismatches exactly when the XOR of the flipped cells'
+signature columns is non-zero.  Nothing about the baseline needs to be
+encoded, injected, decoded or compared at all -- a batch's verdicts
+are a pure function of its flip coordinates:
+
+* per (code, geometry) this module precomputes, **once per process**,
+  the syndrome->verdict lookup tables and the per-cell column tables
+  (one GF(2) matrix column per flippable bit position, exported by
+  :meth:`repro.codes.plane.GF2Matrix.column_responses`);
+* per batch, :func:`delta_summary` does O(#flips log #flips) sort/
+  XOR-gather work -- independent of ``chains x chain_length x words``
+  -- and reproduces the dense pass bit for bit: detected /
+  uncorrectable verdicts, correction counts, correction *feedback*
+  into the CRC streams (miscorrections included), and the state-domain
+  residual comparator.
+
+The dense pass stays the authority for structures superposition cannot
+shortcut (correcting blocks sharing chains, whose last-block-wins
+replay is order-dependent) and for dense batches, where folding whole
+words is cheaper than sorting millions of coordinates -- the engine
+falls back automatically above :data:`DELTA_CROSSOVER_FLIPS_PER_SEQ`.
+Bit-identity across the crossover is property-tested in
+``tests/engines/test_delta_path.py``.
+
+The process-wide LUT cache here also serves the dense kernels
+(:class:`repro.engines.simd._HammingKernel` /
+``_SECDEDKernel``): sharded campaign workers rebuild
+``ProtectedDesign`` -- and with it every engine -- per chunk, and
+before this cache each rebuild re-derived the same syndrome->position
+tables (the same treatment PR 5 gave the GF(2) matrices).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.codes.hamming import HammingCode
+from repro.codes.parity import ParityCode
+from repro.codes.plane import block_parity_matrix
+from repro.codes.secded import SECDEDCode
+from repro.engines.base import BatchOutcomeArrays
+
+#: Auto-crossover between the sparse-delta and dense summary paths, in
+#: mean flips per sequence.  The delta pass costs ~O(F log F) on F
+#: total flips while the dense pass costs a geometry-proportional
+#: constant, so the true break-even scales with the scan-cell count:
+#: measured ~32 flips/seq on the paper's 32x32-FIFO configuration (80
+#: chains x 13 cells, Hamming(7,4)+CRC-16, B=1024; single-error
+#: batches run ~12x faster on delta) but only ~4 on toy geometries
+#: (16 chains x 17 cells).  8.0 is the conservative fixed point:
+#: every realistic campaign density (the paper's 1-4 flips/seq curves)
+#: lands on delta on any geometry without ever losing more than a few
+#: percent where dense would have won, and dense keeps the burst-storm
+#: regime it is built for.  Batches at *exactly* the threshold take
+#: the delta path (``<=``); ``engine.delta_crossover`` overrides per
+#: instance.
+DELTA_CROSSOVER_FLIPS_PER_SEQ = 8.0
+
+
+# ----------------------------------------------------------------------
+# Process-wide (code -> table) cache
+# ----------------------------------------------------------------------
+#: Shared verdict/column tables memoised on the code *parameters*,
+#: like the GF(2) matrix cache of :mod:`repro.codes.plane`: only the
+#: exact built-in code types are cached (a subclass may override the
+#: defining equations), keys carry the type object itself, and the
+#: cached ndarrays are frozen read-only so sharing one instance across
+#: engines and processes is safe.
+_TABLE_CACHE: Dict[tuple, np.ndarray] = {}
+
+
+def _code_key(code, kind: str) -> Optional[tuple]:
+    if type(code) in (HammingCode, SECDEDCode):
+        return (kind, type(code), code.n, code.k)
+    if type(code) is ParityCode:
+        return (kind, type(code), code.k, code.odd)
+    return None
+
+
+def _shared_table(key: Optional[tuple],
+                  build: Callable[[], np.ndarray]) -> np.ndarray:
+    if key is not None:
+        cached = _TABLE_CACHE.get(key)
+        if cached is not None:
+            return cached
+    table = build()
+    table.setflags(write=False)
+    if key is not None:
+        _TABLE_CACHE[key] = table
+    return table
+
+
+def correction_lut(code) -> np.ndarray:
+    """The syndrome -> systematic-position correction LUT of a
+    correcting block code, shared process-wide.
+
+    Exactly the table the dense kernels index (``-1`` clean, ``-2``
+    detected-uncorrectable, ``0..n-1`` the systematic position to
+    flip): Hamming codes get the full ``1 << r`` table with the clean
+    entry, SECDED codes the ``1 << base_r`` single-error table of the
+    base code (the overall-parity case split happens outside the
+    table).  The returned array is read-only; every engine instance of
+    a same-parameter code shares one copy.
+    """
+    if isinstance(code, SECDEDCode):
+        def build() -> np.ndarray:
+            base_r = code.n - code.k - 1
+            lut = np.full(1 << base_r, -2, dtype=np.int16)
+            for position in range(1, code.n):
+                lut[position] = code._position_to_systematic[position]
+            return lut
+    elif isinstance(code, HammingCode):
+        def build() -> np.ndarray:
+            lut = np.full(1 << code.r, -2, dtype=np.int16)
+            lut[0] = -1
+            for position in range(1, code.n + 1):
+                lut[position] = code._position_to_systematic[position]
+            return lut
+    else:
+        raise ValueError(
+            f"{type(code).__name__} has no syndrome correction LUT")
+    return _shared_table(_code_key(code, "correction"), build)
+
+
+def verdict_lut(code) -> np.ndarray:
+    """The *extended-syndrome* verdict LUT of the delta path.
+
+    Indexed by the slice's whole observable mismatch (for SECDED the
+    base syndrome plus the overall-parity mismatch as the top bit),
+    the entry is the verdict position of the dense kernels: ``-1``
+    clean, ``-2`` detected-uncorrectable, ``0..n-1`` the systematic
+    position the decoder would flip (``>= k`` meaning a check-bit
+    position: detected, corrected outside the data word, no data
+    action).  For Hamming the extended syndrome *is* the syndrome, so
+    this is :func:`correction_lut` itself; for SECDED the four case
+    splits of the dense kernel become table entries; a parity bit has
+    a one-bit syndrome.
+    """
+    if isinstance(code, SECDEDCode):
+        def build() -> np.ndarray:
+            base_r = code.n - code.k - 1
+            base = correction_lut(code)
+            lut = np.full(1 << (base_r + 1), -2, dtype=np.int16)
+            lut[0] = -1
+            # Overall-parity mismatch set: a single error, either the
+            # overall bit itself (syndrome 0) or the base LUT's call.
+            overall = 1 << base_r
+            lut[overall:] = base
+            lut[overall] = code.n - 1
+            return lut
+    elif isinstance(code, HammingCode):
+        return correction_lut(code)
+    elif isinstance(code, ParityCode):
+        def build() -> np.ndarray:
+            return np.array([-1, -2], dtype=np.int16)
+    else:
+        raise ValueError(
+            f"{type(code).__name__} has no structured GF(2) form; the "
+            f"delta path only serves the dense kernels' code families")
+    return _shared_table(_code_key(code, "verdict"), build)
+
+
+def syndrome_columns(code) -> np.ndarray:
+    """Per data-bit extended-syndrome response columns, ``(k,)`` uint32.
+
+    Entry ``i`` is the extended syndrome a *single* flip of systematic
+    data bit ``i`` produces -- one column of the code's GF(2) parity
+    matrix (:meth:`~repro.codes.plane.GF2Matrix.column_responses`),
+    with SECDED's overall-parity mismatch packed as the top bit (every
+    data flip toggles the received overall parity, regardless of the
+    expanded encode row).  Any slice's extended syndrome is the XOR of
+    its flipped bits' columns.
+    """
+    if isinstance(code, SECDEDCode):
+        def build() -> np.ndarray:
+            base_r = code.n - code.k - 1
+            base_mask = (1 << base_r) - 1
+            overall = 1 << base_r
+            responses = block_parity_matrix(code).column_responses()
+            return np.array([(column & base_mask) | overall
+                             for column in responses], dtype=np.uint32)
+    elif isinstance(code, (HammingCode, ParityCode)):
+        def build() -> np.ndarray:
+            responses = block_parity_matrix(code).column_responses()
+            return np.array(responses, dtype=np.uint32)
+    else:
+        raise ValueError(
+            f"{type(code).__name__} has no structured GF(2) form; the "
+            f"delta path only serves the dense kernels' code families")
+    return _shared_table(_code_key(code, "columns"), build)
+
+
+# ----------------------------------------------------------------------
+# The per-(bank, geometry) plan
+# ----------------------------------------------------------------------
+class DeltaPlan:
+    """Precomputed delta-path structure of one engine's monitor bank.
+
+    Built once per engine instance from the dense engine's own monitor
+    wrappers (duck-typed: code groups with ``kernel``/``monitors``/
+    ``gather_idx``, stream monitors with ``rows_flat``); per batch only
+    :func:`delta_summary` runs.  ``supported`` is ``False`` -- with
+    ``reason`` saying why -- for structures superposition cannot
+    shortcut; the engine then serves every batch on the dense path.
+    """
+
+    __slots__ = ("supported", "reason", "num_chains", "chain_length",
+                 "num_monitors", "mon_width", "mon_k", "mon_group",
+                 "mon_chain", "chain_monitor", "chain_col", "luts",
+                 "obs_cols")
+
+    def __init__(self) -> None:
+        self.supported = False
+        self.reason: Optional[str] = None
+
+
+def _unsupported(reason: str) -> DeltaPlan:
+    plan = DeltaPlan()
+    plan.reason = reason
+    return plan
+
+
+def build_plan(groups: Sequence[Any], observing: Sequence[Any],
+               overlapping_correctors: bool, num_chains: int,
+               chain_length: int, xp: Any = None) -> DeltaPlan:
+    """Precompute the delta path's gather tables for one monitor bank.
+
+    ``groups`` / ``observing`` are the dense engine's code groups and
+    stream monitors (see :class:`DeltaPlan`); ``xp`` is the injected
+    array namespace (default numpy) the per-batch arrays should live
+    in -- the shared LUT/column tables are built on the host and
+    converted once here.
+    """
+    xp = np if xp is None else xp
+    if overlapping_correctors:
+        return _unsupported(
+            "correcting blocks share scan chains; their last-block-wins "
+            "replay is order-dependent, which superposition cannot "
+            "express")
+    if not hasattr(getattr(xp, "bitwise_xor", None), "reduceat"):
+        return _unsupported(
+            f"array backend {getattr(xp, '__name__', xp)!r} provides no "
+            f"ufunc.reduceat for the per-slice XOR folds")
+
+    chain_monitor = np.full(num_chains, -1, dtype=np.int64)
+    chain_col = np.zeros(num_chains, dtype=np.uint32)
+    mon_width: List[int] = []
+    mon_k: List[int] = []
+    mon_group: List[int] = []
+    mon_chain_rows: List[np.ndarray] = []
+    luts: List[Any] = []
+    for g, group in enumerate(groups):
+        code = group.kernel.code
+        try:
+            luts.append(xp.asarray(verdict_lut(code)))
+            columns = syndrome_columns(code)
+        except ValueError as exc:
+            return _unsupported(str(exc))
+        for local, monitor in enumerate(group.monitors):
+            index = len(mon_width)
+            mon_width.append(monitor.width)
+            mon_k.append(group.kernel.k)
+            mon_group.append(g)
+            mon_chain_rows.append(np.asarray(group.gather_idx[local],
+                                             dtype=np.int64))
+            for slot, chain in enumerate(monitor.chain_idx_arr.tolist()):
+                if chain_monitor[chain] != -1:
+                    return _unsupported(
+                        f"chain {chain} is covered by more than one "
+                        f"correcting block")
+                chain_monitor[chain] = index
+                chain_col[chain] = columns[slot]
+
+    plan = DeltaPlan()
+    plan.supported = True
+    plan.num_chains = num_chains
+    plan.chain_length = chain_length
+    plan.num_monitors = len(mon_width)
+    plan.mon_width = xp.asarray(np.array(mon_width, dtype=np.int16))
+    plan.mon_k = xp.asarray(np.array(mon_k, dtype=np.int16))
+    plan.mon_group = xp.asarray(np.array(mon_group, dtype=np.int64))
+    kmax = max((row.size for row in mon_chain_rows), default=0)
+    mon_chain = np.zeros((len(mon_chain_rows), kmax), dtype=np.int64)
+    for index, row in enumerate(mon_chain_rows):
+        mon_chain[index, :row.size] = row
+    plan.mon_chain = xp.asarray(mon_chain)
+    plan.chain_monitor = xp.asarray(chain_monitor)
+    plan.chain_col = xp.asarray(chain_col)
+    plan.luts = tuple(luts)
+
+    obs_cols: List[Any] = []
+    for monitor in observing:
+        column = np.zeros(num_chains * chain_length, dtype=np.uint64)
+        width = len(monitor.rows_flat)
+        for j, row in enumerate(monitor.rows_flat):
+            if row.size:
+                column[np.asarray(row, dtype=np.int64)] |= \
+                    np.uint64(1 << (width - 1 - j))
+        obs_cols.append(xp.asarray(column))
+    plan.obs_cols = tuple(obs_cols)
+    return plan
+
+
+# ----------------------------------------------------------------------
+# The per-batch pass
+# ----------------------------------------------------------------------
+def _run_starts(keys: Any, xp: Any) -> Any:
+    """Start indices of the equal-value runs of a sorted key array."""
+    head = xp.ones(1, dtype=bool)
+    return xp.flatnonzero(xp.concatenate((head, keys[1:] != keys[:-1])))
+
+
+def delta_summary(plan: DeltaPlan, known_bits: Any, seqs: Any, cells: Any,
+                  injected: Any, batch_size: int,
+                  xp: Any = None) -> BatchOutcomeArrays:
+    """One batch's columnar verdicts from its flip coordinates alone.
+
+    ``seqs``/``cells`` are the known-gated, per-sequence-deduplicated
+    flip coordinates (``cells = chain * chain_length + position``, any
+    order) and ``injected`` the per-sequence effective-flip counts --
+    the contract of :func:`repro.faults.batch.pattern_batch_coords`.
+    ``known_bits`` is the ``(C, L)`` bool known matrix; the baseline
+    state itself never enters (it cancels by superposition).  Returns
+    arrays bit-identical to the dense summary pass.
+    """
+    xp = np if xp is None else xp
+    length = plan.chain_length
+    num_cells = plan.num_chains * length
+    detected = xp.zeros(batch_size, dtype=bool)
+    uncorrectable = xp.zeros(batch_size, dtype=bool)
+    corrections = xp.zeros(batch_size, dtype=np.int64)
+    unknown_positions = int(known_bits.size) - int(known_bits.sum())
+    residuals = xp.full(batch_size, unknown_positions, dtype=np.int64)
+
+    # -- block verdicts: per (sequence, decode slice) syndrome XOR ------
+    fix_seqs = fix_cells = None
+    if len(cells) and plan.num_monitors:
+        chains = cells // length
+        monitor = plan.chain_monitor[chains]
+        covered = monitor >= 0
+        if covered.any():
+            c_seq = seqs[covered]
+            c_mon = monitor[covered]
+            c_pos = cells[covered] - chains[covered] * length
+            c_col = plan.chain_col[chains[covered]]
+            key = (c_seq * plan.num_monitors + c_mon) * length + c_pos
+            order = xp.argsort(key, kind="stable")
+            sorted_key = key[order]
+            starts = _run_starts(sorted_key, xp)
+            syndrome = xp.bitwise_xor.reduceat(c_col[order], starts)
+            slice_key = sorted_key[starts]
+            err = syndrome != 0
+            if err.any():
+                e_syn = syndrome[err]
+                e_key = slice_key[err]
+                e_seq = e_key // (plan.num_monitors * length)
+                remainder = e_key - e_seq * (plan.num_monitors * length)
+                e_mon = remainder // length
+                e_pos = remainder - e_mon * length
+                detected[e_seq] = True
+                verdict = xp.empty(e_syn.shape, dtype=np.int16)
+                group_of = plan.mon_group[e_mon]
+                for g, lut in enumerate(plan.luts):
+                    in_group = group_of == g
+                    if in_group.any():
+                        verdict[in_group] = lut[e_syn[in_group]]
+                widths = plan.mon_width[e_mon]
+                ks = plan.mon_k[e_mon]
+                uncorr = ((verdict == -2)
+                          | ((verdict >= widths) & (verdict < ks)))
+                uncorrectable[e_seq[uncorr]] = True
+                fix = (verdict >= 0) & (verdict < widths)
+                if fix.any():
+                    fix_seqs = e_seq[fix]
+                    corrections += xp.bincount(fix_seqs,
+                                               minlength=batch_size)
+                    fix_chain = plan.mon_chain[
+                        e_mon[fix], verdict[fix].astype(np.int64)]
+                    fix_cells = fix_chain * length + e_pos[fix]
+
+    # -- net state delta: flips XOR correction feedback -----------------
+    if fix_cells is not None:
+        all_seqs = xp.concatenate((seqs, fix_seqs))
+        all_cells = xp.concatenate((cells, fix_cells))
+    else:
+        all_seqs, all_cells = seqs, cells
+    if len(all_cells):
+        okey = all_seqs * num_cells + all_cells
+        unique_keys, multiplicity = xp.unique(okey, return_counts=True)
+        odd = (multiplicity & 1).astype(bool)
+        if odd.any():
+            d_key = unique_keys[odd]
+            d_seq = d_key // num_cells
+            d_cell = d_key - d_seq * num_cells
+            # Residual comparator: known delta cells differ from the
+            # pre-sleep state; unknown cells are already counted in the
+            # per-sequence constant (the decode pass drives them).
+            known_cells = known_bits.reshape(-1)[d_cell]
+            if known_cells.any():
+                residuals += xp.bincount(d_seq[known_cells],
+                                         minlength=batch_size)
+            # Stream verdicts: a signature mismatches iff the XOR of
+            # the delta cells' signature columns is non-zero
+            # (correction feedback -- miscorrections included -- is in
+            # the delta by construction).
+            if plan.obs_cols:
+                run_starts = _run_starts(d_seq, xp)
+                run_seqs = d_seq[run_starts]
+                for sig_col in plan.obs_cols:
+                    signature = xp.bitwise_xor.reduceat(sig_col[d_cell],
+                                                        run_starts)
+                    mismatch = run_seqs[signature != 0]
+                    if len(mismatch):
+                        detected[mismatch] = True
+                        uncorrectable[mismatch] = True
+
+    return BatchOutcomeArrays(
+        injected=injected.astype(np.int64),
+        detected=detected,
+        uncorrectable=uncorrectable,
+        residual_errors=residuals,
+        corrections_applied=corrections)
+
+
+__all__ = [
+    "DELTA_CROSSOVER_FLIPS_PER_SEQ",
+    "DeltaPlan",
+    "build_plan",
+    "correction_lut",
+    "delta_summary",
+    "syndrome_columns",
+    "verdict_lut",
+]

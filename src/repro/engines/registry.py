@@ -137,6 +137,13 @@ def _register_builtins() -> None:
                                  len(design.chains),
                                  len(design.chains[0]))
 
+    def cuda_factory(design):  # pragma: no cover - exercised with CuPy
+        from repro.engines.simd import SimdBatchedEngine
+        return SimdBatchedEngine(design.monitor_bank,
+                                 len(design.chains),
+                                 len(design.chains[0]),
+                                 backend="cuda")
+
     register_engine("reference", reference_factory)
     register_engine("packed", packed_factory)
     register_engine("batched", batched_factory)
@@ -147,6 +154,11 @@ def _register_builtins() -> None:
     import importlib.util
     if importlib.util.find_spec("numpy") is not None:
         register_engine("simd", simd_factory)
+        # The same word-packed engine on the CuPy array backend, gated
+        # the same way: without CuPy there is simply no "cuda" entry
+        # (no error, degrades silently -- CI smokes this).
+        if importlib.util.find_spec("cupy") is not None:  # pragma: no cover
+            register_engine("cuda", cuda_factory)
 
 
 _register_builtins()

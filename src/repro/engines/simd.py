@@ -31,6 +31,29 @@ fallback at any error density**:
   the protocol requires, proportional to the number of *error events*,
   never the batch size.
 
+The summary pass additionally carries a **sparse-delta fast path**
+(:mod:`repro.engines.delta`): every registered code is GF(2)-linear
+and the stored check words derive from the same replicated baseline,
+so for sparse batches the whole replicate/encode/inject/decode/compare
+chain collapses into O(#flips) LUT-XOR work over precomputed column
+tables.  ``run_batch_summary(..., path="auto")`` picks the delta path
+whenever the batch's mean flips per sequence is at or below
+:data:`~repro.engines.delta.DELTA_CROSSOVER_FLIPS_PER_SEQ` (and the
+bank structure supports superposition), falling back to the dense word
+pipeline above it; ``path="delta"`` / ``path="dense"`` force either
+side, and the path actually taken is published as
+``engine.last_summary_path``.  The two paths are bit-identical
+(property-tested in ``tests/engines/test_delta_path.py``).
+
+The array namespace is injected through
+:mod:`repro.engines.backend` (the ``xp`` convention): the engine
+resolves an :class:`~repro.engines.backend.ArrayBackend` at
+construction (numpy by default, ``backend="cuda"`` when CuPy is
+installed) and reuses per-engine :class:`~repro.engines.backend.\
+Workspace` buffers for the dense summary pass's dominant arrays, so
+steady-state equally-shaped batches stop allocating fresh state each
+pass.
+
 Bit-exactness with the reference engine is property-tested in
 ``tests/engines/test_simd_equivalence.py`` across all registered
 codes, geometries, batch sizes and fault densities.  The engine
@@ -51,11 +74,18 @@ from repro.codes.plane import block_parity_matrix, crc_stream_matrix
 from repro.codes.secded import SECDEDCode
 from repro.core.corrector import CorrectionEvent
 from repro.core.monitor import MonitorBank, MonitorReport
+from repro.engines.backend import Workspace, get_backend
 from repro.engines.base import (
     BatchDecodeResult,
     BatchOutcomeArrays,
     EngineCapabilities,
     SimulationEngine,
+)
+from repro.engines.delta import (
+    DELTA_CROSSOVER_FLIPS_PER_SEQ,
+    build_plan,
+    correction_lut,
+    delta_summary,
 )
 from repro.engines.packing import (
     pack_chains,
@@ -201,11 +231,9 @@ class _HammingKernel:
         self.rows = tuple(np.array(row, dtype=np.int64)
                           for row in matrix.rows)
         self.const = matrix.const
-        lut = np.full(1 << self.r, -2, dtype=np.int16)
-        lut[0] = -1
-        for position in range(1, code.n + 1):
-            lut[position] = code._position_to_systematic[position]
-        self.lut = lut
+        # Shared process-wide (read-only) so sharded workers rebuilding
+        # engines per chunk stop re-deriving it per instance.
+        self.lut = correction_lut(code)
 
     def encode(self, data: np.ndarray, full: np.ndarray) -> np.ndarray:
         return _parity_words(self.rows, self.const, data, full)
@@ -240,10 +268,8 @@ class _SECDEDKernel:
         self.rows = tuple(np.array(row, dtype=np.int64)
                           for row in matrix.rows)
         self.const = matrix.const
-        lut = np.full(1 << self.base_r, -2, dtype=np.int16)
-        for position in range(1, code.n):
-            lut[position] = code._position_to_systematic[position]
-        self.lut = lut
+        # Shared process-wide (read-only), like the Hamming kernel's.
+        self.lut = correction_lut(code)
 
     def encode(self, data: np.ndarray, full: np.ndarray) -> np.ndarray:
         return _parity_words(self.rows, self.const, data, full)
@@ -378,6 +404,11 @@ class SimdBatchedEngine(SimulationEngine):
         are stored inside the engine; the bank's blocks are untouched.
     num_chains, chain_length:
         Geometry of the chain set the passes run over.
+    backend:
+        Array-backend name resolved through
+        :func:`repro.engines.backend.get_backend` (``None`` -> the
+        default, numpy).  The resolved namespace is published as
+        ``self.xp``; ``"cuda"`` exists whenever CuPy is installed.
 
     Raises ``ValueError`` at construction for codes without a
     structured GF(2) form (adapter-only codes) -- those run on the
@@ -386,8 +417,15 @@ class SimdBatchedEngine(SimulationEngine):
 
     capabilities = EngineCapabilities(batch=True, summary=True)
 
+    #: Delta/dense auto-crossover in mean flips per sequence; override
+    #: per instance to re-tune without forcing a path.
+    delta_crossover = DELTA_CROSSOVER_FLIPS_PER_SEQ
+
     def __init__(self, bank: MonitorBank, num_chains: int,
-                 chain_length: int):
+                 chain_length: int, backend: Optional[str] = None):
+        self._backend = get_backend(backend)
+        self.xp = self._backend.xp
+        self._workspace = Workspace(self.xp)
         self.num_chains = num_chains
         self.chain_length = chain_length
         (self._order, self._correcting, self._observing,
@@ -421,6 +459,31 @@ class SimdBatchedEngine(SimulationEngine):
         self._encoded_batch: Optional[int] = None
         self._clean_reports: Optional[Tuple[MonitorReport, ...]] = None
         self._full_cache: Tuple[int, Optional[np.ndarray]] = (0, None)
+        #: Built lazily on the first summary pass (None until then).
+        self._delta_plan = None
+        #: The path the last run_batch_summary call actually took
+        #: ("delta" or "dense"); None before any summary pass.
+        self.last_summary_path: Optional[str] = None
+        if self._backend.name != "numpy":  # pragma: no cover - no CuPy CI
+            self._adopt_backend()
+
+    def _adopt_backend(self) -> None:  # pragma: no cover - no CuPy CI
+        """Move the per-pass hot structure arrays (gather/scatter
+        indices, LUTs, stream rows) into the backend's native memory;
+        the host keeps the protocol-boundary packers."""
+        move = self._backend.asarray
+        for group in self._groups:
+            group.gather_idx = move(group.gather_idx)
+            kernel = group.kernel
+            kernel.rows = tuple(move(row) for row in kernel.rows)
+            if hasattr(kernel, "lut"):
+                kernel.lut = move(kernel.lut)
+        for monitor in self._observing:
+            monitor.rows_flat = [move(row) for row in monitor.rows_flat]
+            monitor.const_idx = move(monitor.const_idx)
+            if monitor.gather_all is not None:
+                monitor.gather_all = move(monitor.gather_all)
+                monitor.offsets = move(monitor.offsets)
 
     # ------------------------------------------------------------------
     def _full_words(self, batch_size: int) -> np.ndarray:
@@ -457,10 +520,16 @@ class SimdBatchedEngine(SimulationEngine):
                         "unknown positions must hold all-zero planes")
         return words
 
-    def _gather(self, group: _BlockGroup, words: np.ndarray) -> np.ndarray:
+    def _gather(self, group: _BlockGroup, words: np.ndarray,
+                out: Optional[np.ndarray] = None) -> np.ndarray:
         """The group's data words ``(G, k, L, W)``; tied-off padding
-        inputs are constant-zero rows."""
-        data = words[group.gather_idx.reshape(-1)]
+        inputs are constant-zero rows.  ``out`` (workspace buffer of
+        shape ``(G * k, L, W)``) is fully overwritten when given."""
+        idx = group.gather_idx.reshape(-1)
+        if out is None:
+            data = words[idx]
+        else:
+            data = self.xp.take(words, idx, axis=0, out=out)
         data = data.reshape(len(group.monitors), group.kernel.k,
                             self.chain_length, -1)
         if group.pad_mask is not None:
@@ -496,12 +565,20 @@ class SimdBatchedEngine(SimulationEngine):
         words = self._to_words(planes, knowns, batch_size)
         return self._encode_words(words, batch_size)
 
+    def _gather_ws(self, index: int, group: _BlockGroup,
+                   words: np.ndarray) -> np.ndarray:
+        """:meth:`_gather` through a per-group workspace buffer (the
+        gathered view never escapes the pass that took it)."""
+        shape = (group.gather_idx.size, self.chain_length, words.shape[2])
+        buf = self._workspace.take(("gather", index), shape, np.uint64)
+        return self._gather(group, words, out=buf)
+
     def _encode_words(self, words: np.ndarray, batch_size: int) -> int:
         """Encode a word-packed batch, storing the check words."""
         full = self._full_words(batch_size)
-        for group in self._groups:
-            group.stored = group.kernel.encode(self._gather(group, words),
-                                               full)
+        for index, group in enumerate(self._groups):
+            group.stored = group.kernel.encode(
+                self._gather_ws(index, group, words), full)
         words_flat = words.reshape(-1, words.shape[2])
         for monitor in self._observing:
             monitor.stored = self._stream_signature(monitor, words_flat,
@@ -663,7 +740,8 @@ class SimdBatchedEngine(SimulationEngine):
     # ------------------------------------------------------------------
     def run_batch_summary(self, states: Sequence[int],
                           knowns: Sequence[int], flips,
-                          batch_size: int) -> BatchOutcomeArrays:
+                          batch_size: int,
+                          path: str = "auto") -> BatchOutcomeArrays:
         """Replicate, encode, inject, decode and compare -- all in the
         word-packed layout, returning only columnar verdicts.
 
@@ -672,7 +750,94 @@ class SimdBatchedEngine(SimulationEngine):
         replicated/injected planes and folding the object results field
         by field; the summary pass simply skips every report,
         correction-event and plane-int materialisation.
+
+        ``path`` selects the implementation: ``"auto"`` (default)
+        takes the sparse-delta fast path when the bank structure
+        supports superposition and the batch's mean flips per sequence
+        is at or below ``self.delta_crossover`` (exactly-at-threshold
+        batches included), ``"delta"`` / ``"dense"`` force one side
+        (``"delta"`` raises ``ValueError`` on unsupported structures).
+        Both paths return bit-identical arrays; the one taken is
+        published as ``self.last_summary_path``.
         """
+        from repro.engines.summary import bits_matrix
+        from repro.faults.batch import PatternBatch
+
+        if path not in ("auto", "delta", "dense"):
+            raise ValueError(
+                f"unknown summary path {path!r}; choose 'auto', "
+                f"'delta' or 'dense'")
+        if batch_size < 1:
+            raise ValueError("batch size must be >= 1")
+        if len(states) != self.num_chains or len(knowns) != self.num_chains:
+            raise ValueError(
+                f"expected {self.num_chains} chain states, got "
+                f"{len(states)}")
+        known_bits = bits_matrix(knowns, self.chain_length)
+        use_delta = False
+        if path != "dense":
+            plan = self._delta_plan_for()
+            if plan.supported:
+                if isinstance(flips, PatternBatch):
+                    num_flips = flips.num_flips
+                else:
+                    num_flips = sum(bin(mask).count("1")
+                                    for mask in flips.values())
+                use_delta = (path == "delta"
+                             or num_flips
+                             <= self.delta_crossover * batch_size)
+            elif path == "delta":
+                raise ValueError(
+                    f"summary path 'delta' is unavailable for this "
+                    f"monitor bank: {plan.reason}")
+        if use_delta:
+            self.last_summary_path = "delta"
+            return self._delta_summary(plan, knowns, known_bits, flips,
+                                       batch_size)
+        self.last_summary_path = "dense"
+        return self._dense_summary(states, knowns, known_bits, flips,
+                                   batch_size)
+
+    def _delta_plan_for(self):
+        """The engine's delta plan, built lazily once per instance (the
+        LUT/column tables inside are process-wide already)."""
+        if self._delta_plan is None:
+            self._delta_plan = build_plan(
+                self._groups, self._observing,
+                self._overlapping_correctors, self.num_chains,
+                self.chain_length, xp=self.xp)
+        return self._delta_plan
+
+    def _delta_summary(self, plan, knowns: Sequence[int],
+                       known_bits: np.ndarray, flips,
+                       batch_size: int) -> BatchOutcomeArrays:
+        """The sparse fast path: verdicts from flip coordinates alone
+        (the baseline cancels by GF(2) superposition -- see
+        :mod:`repro.engines.delta`)."""
+        from repro.faults.batch import (
+            PatternBatch,
+            batch_flips_coords,
+            pattern_batch_coords,
+        )
+
+        if isinstance(flips, PatternBatch):
+            seqs, cells, injected = pattern_batch_coords(
+                flips, known_bits, batch_size)
+        else:
+            seqs, cells, injected = batch_flips_coords(
+                flips, knowns, batch_size, self.chain_length)
+        if self._backend.name != "numpy":  # pragma: no cover - no CuPy CI
+            move = self._backend.asarray
+            seqs, cells, injected = move(seqs), move(cells), move(injected)
+            known_bits = move(known_bits)
+        return delta_summary(plan, known_bits, seqs, cells, injected,
+                             batch_size, xp=self.xp)
+
+    def _dense_summary(self, states: Sequence[int], knowns: Sequence[int],
+                       known_bits: np.ndarray, flips,
+                       batch_size: int) -> BatchOutcomeArrays:
+        """The dense word pipeline (every density), with workspace-
+        backed state buffers."""
         from repro.engines.summary import (
             bits_matrix,
             replicate_state_words,
@@ -684,20 +849,18 @@ class SimdBatchedEngine(SimulationEngine):
             pattern_batch_arrays,
         )
 
-        if batch_size < 1:
-            raise ValueError("batch size must be >= 1")
-        if len(states) != self.num_chains or len(knowns) != self.num_chains:
-            raise ValueError(
-                f"expected {self.num_chains} chain states, got "
-                f"{len(states)}")
         length = self.chain_length
         full = self._full_words(batch_size)
         state_bits = bits_matrix(states, length)
-        known_bits = bits_matrix(knowns, length)
         # Unknown positions hold all-zero planes (the treat-X-as-0
         # rule), exactly like _to_words requires of protocol callers.
         state_bits &= known_bits
-        words = replicate_state_words(state_bits, full)
+        words = replicate_state_words(
+            state_bits, full,
+            out=self._workspace.take(
+                "summary_words", state_bits.shape + (full.size,),
+                np.uint64),
+            xp=self.xp)
         self._encode_words(words, batch_size)
         # A PatternBatch resolves to scatter arrays without any
         # per-flip Python work; a BatchFlips dict goes through the
@@ -717,10 +880,15 @@ class SimdBatchedEngine(SimulationEngine):
         num_words = words.shape[2]
         overlap = self._overlapping_correctors
         group_flips: List[Tuple[np.ndarray, np.ndarray]] = []
-        pre_correction = words.copy() if overlap else None
+        if overlap:
+            pre_correction = self._workspace.take("summary_pre",
+                                                  words.shape, np.uint64)
+            pre_correction[...] = words
+        else:
+            pre_correction = None
         words_flat = words.reshape(-1)
-        for group in self._groups:
-            out = group.kernel.decode(self._gather(group, words),
+        for index, group in enumerate(self._groups):
+            out = group.kernel.decode(self._gather_ws(index, group, words),
                                       group.stored, full, batch_size)
             if out is None:
                 for monitor in group.monitors:
@@ -781,7 +949,8 @@ class SimdBatchedEngine(SimulationEngine):
         residuals = residual_counts_words(states, knowns, words,
                                           batch_size,
                                           state_bits=state_bits,
-                                          known_bits=known_bits)
+                                          known_bits=known_bits,
+                                          xp=self.xp)
 
         return BatchOutcomeArrays(
             injected=injected.astype(np.int64),

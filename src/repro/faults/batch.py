@@ -276,6 +276,69 @@ def pattern_batch_arrays(batch: "PatternBatch", knowns: Sequence[int],
     return (unique_cells // length, unique_cells % length, masks, counts)
 
 
+def pattern_batch_coords(batch: "PatternBatch", known_bits,
+                         batch_size: int):
+    """Resolve a :class:`PatternBatch` into flat flip *coordinates* --
+    the sparse-delta summary path's input form.
+
+    Returns ``(seqs, cells, counts)``: parallel int64 arrays with flip
+    ``f`` hitting flat scan cell ``cells[f]`` (``chain * chain_length +
+    position``) in sequence ``seqs[f]``, sorted by ``(sequence,
+    cell)``, plus the per-sequence effective-flip counts.  The same
+    gating/dedup contract as :func:`pattern_batch_arrays` (flips on
+    unknown cells dropped, repeated (sequence, cell) pairs collapsed to
+    the :class:`~repro.faults.patterns.ErrorPattern` set semantics), so
+    the two resolutions describe the identical injection --
+    ``known_bits`` is the expanded ``(C, L)`` bool known matrix the
+    summary pass already holds.
+    """
+    import numpy as np
+
+    length = batch.chain_length
+    chains, positions, seqs = batch.chains, batch.positions, batch.seqs
+    if len(chains):
+        keep = known_bits[chains, positions]
+        chains, positions, seqs = chains[keep], positions[keep], seqs[keep]
+    if not len(chains):
+        empty = np.empty(0, dtype=np.int64)
+        return (empty, empty.copy(),
+                np.zeros(batch_size, dtype=np.int64))
+    num_cells = batch.num_chains * length
+    unique_flips = np.unique(seqs * num_cells
+                             + (chains * length + positions))
+    seqs = unique_flips // num_cells
+    cells = unique_flips - seqs * num_cells
+    counts = np.bincount(seqs, minlength=batch_size).astype(np.int64)
+    return seqs, cells, counts
+
+
+def batch_flips_coords(flips: BatchFlips, knowns: Sequence[int],
+                       batch_size: int, chain_length: int):
+    """Resolve a :data:`BatchFlips` dict into the flat flip-coordinate
+    form of :func:`pattern_batch_coords` (``(seqs, cells, counts)``,
+    flips on unknown positions dropped).
+
+    A dict already holds one mask per distinct cell, so no dedup is
+    needed; the masks simply unpack into (sequence, cell) pairs.
+    """
+    import numpy as np
+
+    chains, positions, masks, counts = batch_flips_arrays(
+        flips, knowns, batch_size)
+    if not chains.size:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), counts.astype(np.int64)
+    bits = np.unpackbits(
+        np.ascontiguousarray(masks, dtype=np.uint64).view(np.uint8),
+        axis=-1, bitorder="little")[:, :batch_size]
+    rows, seqs = np.nonzero(bits)
+    cells = chains[rows] * chain_length + positions[rows]
+    order = np.argsort(seqs * (len(knowns) * chain_length) + cells,
+                       kind="stable")
+    return seqs[order].astype(np.int64), cells[order], \
+        counts.astype(np.int64)
+
+
 def sample_pattern_batch(kind: str, num_chains: int, chain_length: int,
                          batch_size: int, rng,
                          num_errors: int = 4) -> PatternBatch:
@@ -350,6 +413,8 @@ __all__ = [
     "batch_flips_arrays",
     "apply_batch_flips_words",
     "PatternBatch",
+    "batch_flips_coords",
     "pattern_batch_arrays",
+    "pattern_batch_coords",
     "sample_pattern_batch",
 ]

@@ -259,6 +259,7 @@ def run_sharded_single_error_campaign(
         words_per_sequence: Optional[int] = None,
         batch_size: Optional[int] = None,
         sampler: str = "scalar",
+        summary_path: str = "auto",
         num_workers: int = 1,
         chunk_size: Optional[int] = None,
         checkpoint_path: Optional[str] = None,
@@ -272,14 +273,16 @@ def run_sharded_single_error_campaign(
     each chunk's sequences in bit-plane batches;
     ``sampler="array"`` (with a summary-capable engine such as
     ``"simd"`` for the columnar fast path) additionally vectorises the
-    pattern sampling and counter ingestion; see
+    pattern sampling and counter ingestion, and ``summary_path`` forces
+    the sparse-delta or dense summary implementation (default
+    ``"auto"``: density-crossover selection); see
     :class:`~repro.campaigns.tasks.FIFOValidationCampaignTask`.
     """
     task = FIFOValidationCampaignTask(
         width=width, depth=depth, codes=codes, num_chains=num_chains,
         pattern="single", inject_phase=inject_phase, engine=engine,
         words_per_sequence=words_per_sequence, batch_size=batch_size,
-        sampler=sampler)
+        sampler=sampler, summary_path=summary_path)
     return run_sharded_campaign(task, num_sequences, seed=seed,
                                 num_workers=num_workers,
                                 chunk_size=chunk_size,
@@ -303,6 +306,7 @@ def run_sharded_multiple_error_campaign(
         words_per_sequence: Optional[int] = None,
         batch_size: Optional[int] = None,
         sampler: str = "scalar",
+        summary_path: str = "auto",
         num_workers: int = 1,
         chunk_size: Optional[int] = None,
         checkpoint_path: Optional[str] = None,
@@ -316,7 +320,9 @@ def run_sharded_multiple_error_campaign(
     each chunk's sequences in bit-plane batches;
     ``sampler="array"`` (with a summary-capable engine such as
     ``"simd"`` for the columnar fast path) additionally vectorises the
-    pattern sampling and counter ingestion; see
+    pattern sampling and counter ingestion, and ``summary_path`` forces
+    the sparse-delta or dense summary implementation (default
+    ``"auto"``: density-crossover selection); see
     :class:`~repro.campaigns.tasks.FIFOValidationCampaignTask`.
     """
     task = FIFOValidationCampaignTask(
@@ -324,7 +330,7 @@ def run_sharded_multiple_error_campaign(
         pattern="burst" if clustered else "multiple",
         burst_size=burst_size, inject_phase=inject_phase, engine=engine,
         words_per_sequence=words_per_sequence, batch_size=batch_size,
-        sampler=sampler)
+        sampler=sampler, summary_path=summary_path)
     return run_sharded_campaign(task, num_sequences, seed=seed,
                                 num_workers=num_workers,
                                 chunk_size=chunk_size,

@@ -214,7 +214,8 @@ class FIFOTestbench:
                 for outcome in outcomes]
 
     def run_sequence_batch_summary(self, flips, batch_size: int,
-                                   inject_phase: str = "sleep"):
+                                   inject_phase: str = "sleep",
+                                   path: str = "auto"):
         """Run a batch of test sequences, returning columnar verdicts.
 
         The summary twin of :meth:`run_sequence_batch`: stages 1--2 run
@@ -232,13 +233,15 @@ sleep_wake_cycle_batch_summary` whose vectorised state-domain
         counters ingest it through
         :meth:`~repro.campaigns.stats.StreamingCampaignResult.add_batch`
         with statistics bit-identical to the object path's.
+        ``path`` forwards to the engine's summary-path selection
+        (``"auto"`` / ``"delta"`` / ``"dense"``).
         """
         self.dut.reset()
         words = self.stimulus.burst(self.words_per_sequence)
         for word in words:
             self.dut.push(word)
         return self.dut_design.sleep_wake_cycle_batch_summary(
-            flips, batch_size, inject_phase=inject_phase)
+            flips, batch_size, inject_phase=inject_phase, path=path)
 
 
 __all__ = ["FIFOTestbench", "TestSequenceResult", "BatchSequenceResult"]

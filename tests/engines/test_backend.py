@@ -1,0 +1,113 @@
+"""Array-backend registry and workspace contract.
+
+The backend layer is stdlib-importable: registration costs nothing
+(factories import their array module lazily), the ``cuda`` entry only
+appears when CuPy is importable, and a missing CuPy degrades to
+*silence* -- no registry entry, no error -- in both the backend and the
+engine registry.  The workspace contract (same key + shape -> same
+buffer, shape change -> fresh allocation) is what lets the summary
+pipeline run a whole campaign on one set of arrays.
+"""
+
+import importlib.util
+
+import pytest
+
+from repro.engines.backend import (
+    ArrayBackend,
+    Workspace,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+
+HAVE_NUMPY = importlib.util.find_spec("numpy") is not None
+HAVE_CUPY = importlib.util.find_spec("cupy") is not None
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="needs numpy")
+def test_numpy_backend_is_registered_and_default():
+    assert "numpy" in available_backends()
+    assert default_backend_name() == "numpy"
+    backend = get_backend()
+    assert backend is get_backend("numpy")
+    assert backend.name == "numpy"
+    import numpy
+    assert backend.xp is numpy
+    # The host round-trip is the identity on the numpy backend.
+    array = numpy.zeros(3, dtype=numpy.uint64)
+    assert backend.asarray(array) is array
+    assert backend.to_host(array) is array
+
+
+@pytest.mark.skipif(HAVE_CUPY, reason="CuPy present")
+def test_without_cupy_no_cuda_entry_anywhere():
+    """Graceful degradation: neither the backend registry nor the
+    engine registry grows a 'cuda' entry, and asking for it is a clear
+    ValueError rather than an ImportError."""
+    assert "cuda" not in available_backends()
+    with pytest.raises(ValueError, match="unknown array backend"):
+        get_backend("cuda")
+    if HAVE_NUMPY:
+        from repro.engines.registry import available_engines
+        assert "cuda" not in available_engines()
+
+
+def test_get_backend_unknown_name():
+    with pytest.raises(ValueError, match="no-such-backend"):
+        get_backend("no-such-backend")
+
+
+def test_register_unregister_round_trip():
+    calls = []
+
+    def factory():
+        calls.append(1)
+        return ArrayBackend("stub", object(), lambda a: a, lambda a: a)
+
+    register_backend("stub", factory)
+    try:
+        assert "stub" in available_backends()
+        # Name resolution is case-insensitive; the instance is cached
+        # (the factory runs once per process).
+        assert get_backend("STUB") is get_backend("stub")
+        assert len(calls) == 1
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("stub", factory)
+        register_backend("stub", factory, replace=True)
+    finally:
+        unregister_backend("stub")
+    assert "stub" not in available_backends()
+    with pytest.raises(ValueError, match="not registered"):
+        unregister_backend("stub")
+
+
+def test_factory_must_return_backend():
+    register_backend("bad-stub", lambda: object())
+    try:
+        with pytest.raises(TypeError, match="ArrayBackend"):
+            get_backend("bad-stub")
+    finally:
+        unregister_backend("bad-stub")
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="needs numpy")
+def test_workspace_reuses_buffers_by_key_and_shape():
+    import numpy as np
+
+    workspace = Workspace(np)
+    first = workspace.take("words", (4, 2), np.uint64)
+    assert first.shape == (4, 2) and first.dtype == np.uint64
+    # Same key and shape: the very same buffer comes back.
+    assert workspace.take("words", (4, 2), np.uint64) is first
+    # Another key never aliases.
+    other = workspace.take("pre", (4, 2), np.uint64)
+    assert other is not first
+    # A shape or dtype change reallocates.
+    assert workspace.take("words", (5, 2), np.uint64) is not first
+    resized = workspace.take("words", (4, 2), np.int16)
+    assert resized is not first and resized.dtype == np.int16
+    workspace.clear()
+    assert workspace.take("pre", (4, 2), np.uint64) is not other

@@ -1,0 +1,276 @@
+"""Property suite: the sparse-delta summary path is bit-identical to
+the dense path.
+
+``run_batch_summary(..., path="delta")`` must produce exactly the
+arrays of ``path="dense"`` -- every field of
+:class:`BatchOutcomeArrays` -- across all registered code families,
+geometries with and without padding, batch sizes including B=1 and
+non-multiples of 64, and fault densities on both sides of (and exactly
+at) the crossover threshold, including zero-flip sequences and
+unknown-cell holes.  The suite also pins the automatic path selection
+(``last_summary_path``), the forced-delta failure mode on unsupported
+monitor structure, and the process-wide sharing of the correction /
+verdict lookup tables.
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.circuit.fifo import SyncFIFO                         # noqa: E402
+from repro.circuit.generators import make_random_state_circuit  # noqa: E402
+from repro.core.protected import ProtectedDesign                # noqa: E402
+from repro.engines.base import BatchOutcomeArrays               # noqa: E402
+from repro.engines.delta import (                               # noqa: E402
+    DELTA_CROSSOVER_FLIPS_PER_SEQ,
+    correction_lut,
+    verdict_lut,
+)
+from repro.engines.registry import get_engine                   # noqa: E402
+from repro.faults.batch import sample_pattern_batch             # noqa: E402
+
+#: Code/geometry matrix: every registered family, correcting and
+#: detecting codes alone and stacked, padded tails, plus the paper's
+#: 32x32 FIFO configuration.
+CONFIGS = [
+    ("hamming74_crc16", ["hamming(7,4)", "crc16"], 8, 56),
+    ("hamming74_padded", ["hamming(7,4)"], 5, 33),
+    ("hamming6357_crc32", ["hamming(63,57)", "crc32"], 6, 80),
+    ("secded84", ["secded(8,4)"], 8, 40),
+    ("secded84_crc16", ["secded(8,4)", "crc16"], 6, 24),
+    ("parity8", ["parity(8)"], 4, 16),
+    ("parity12_ccitt", ["parity(12)", "crc16-ccitt"], 6, 36),
+    ("crc8_only", ["crc8"], 3, 21),
+]
+
+#: 1 exercises the single-word degenerate case; 100 and 257 are not
+#: multiples of 64, so the word-packed tails matter.
+BATCH_SIZES = (1, 64, 100, 257)
+
+
+def _design(codes, num_chains, num_registers, seed=11):
+    circuit = make_random_state_circuit(num_registers, seed=seed)
+    return ProtectedDesign(circuit, codes=list(codes),
+                           num_chains=num_chains, engine="simd",
+                           lfsr_seed=5)
+
+
+def _paper_design():
+    fifo = SyncFIFO(32, 32, name="fifo32x32")
+    return ProtectedDesign(fifo, codes=["hamming(7,4)", "crc16"],
+                           num_chains=80, engine="simd", lfsr_seed=7)
+
+
+def _pack(design):
+    from repro.engines.packing import pack_chains
+    states, knowns = pack_chains(design.chains)
+    return list(states), list(knowns)
+
+
+def _punch_holes(states, knowns):
+    """Clear a couple of known bits on every 7th chain (unknown cells
+    contribute to neither residuals nor syndromes)."""
+    states = list(states)
+    knowns = list(knowns)
+    for c in range(0, len(knowns), 7):
+        knowns[c] &= ~0b101
+        states[c] &= knowns[c]
+    return states, knowns
+
+
+def _both_paths(design, flips, batch_size, states=None, knowns=None):
+    engine = get_engine("simd", design)
+    if states is None:
+        states, knowns = _pack(design)
+    dense = engine.run_batch_summary(states, knowns, flips, batch_size,
+                                     path="dense")
+    assert engine.last_summary_path == "dense"
+    delta = engine.run_batch_summary(states, knowns, flips, batch_size,
+                                     path="delta")
+    assert engine.last_summary_path == "delta"
+    return dense, delta
+
+
+def assert_identical(dense: BatchOutcomeArrays, delta: BatchOutcomeArrays):
+    assert np.array_equal(dense.injected, delta.injected)
+    assert np.array_equal(dense.detected, delta.detected)
+    assert np.array_equal(dense.corrected_claim, delta.corrected_claim)
+    assert np.array_equal(dense.state_intact, delta.state_intact)
+    assert np.array_equal(dense.corrections_applied,
+                          delta.corrections_applied)
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+@pytest.mark.parametrize(
+    "codes,num_chains,num_registers",
+    [config[1:] for config in CONFIGS],
+    ids=[config[0] for config in CONFIGS])
+@pytest.mark.parametrize("kind", ("single", "burst", "multiple", "none"))
+def test_delta_matches_dense(codes, num_chains, num_registers, kind,
+                             batch_size):
+    design = _design(codes, num_chains, num_registers)
+    rng = np.random.default_rng(20100308 + batch_size)
+    sampled = sample_pattern_batch(kind, design.num_chains,
+                                   design.chain_length, batch_size, rng,
+                                   num_errors=4)
+    assert_identical(*_both_paths(design, sampled, batch_size))
+
+
+@pytest.mark.parametrize("kind", ("single", "multiple"))
+def test_delta_matches_dense_paper_config(kind):
+    """The paper's 32x32 FIFO / 80-chain configuration, the geometry
+    the committed campaign_delta_path benchmark runs on."""
+    design = _paper_design()
+    rng = np.random.default_rng(42)
+    sampled = sample_pattern_batch(kind, design.num_chains,
+                                   design.chain_length, 257, rng,
+                                   num_errors=3)
+    assert_identical(*_both_paths(design, sampled, 257))
+
+
+def test_delta_matches_dense_dict_flips():
+    """The legacy dict-of-masks flips form goes through the same
+    coordinate extraction."""
+    design = _design(["secded(8,4)", "crc16"], 6, 24)
+    length = design.chain_length
+    flips = {(0, 1): 0b1011, (1, 3): 0b10, (2, 0): 1 << (length - 1),
+             (5, 2): 0b1000}
+    assert_identical(*_both_paths(design, flips, 9))
+
+
+def test_delta_matches_dense_empty_batch():
+    """Zero flips everywhere: the delta path does no LUT work at all
+    yet must still report the clean verdicts and intact state."""
+    design = _design(["hamming(7,4)", "crc16"], 8, 56)
+    dense, delta = _both_paths(design, {}, 65)
+    assert_identical(dense, delta)
+    assert not dense.detected.any()
+    assert dense.state_intact.all()
+
+
+@pytest.mark.parametrize("batch_size", (1, 100))
+def test_delta_matches_dense_with_unknown_cells(batch_size):
+    """Unknown (tied-off / non-scanned) cells are excluded from both
+    syndromes and residual comparison on both paths."""
+    design = _design(["hamming(7,4)", "crc16"], 8, 56)
+    states, knowns = _punch_holes(*_pack(design))
+    rng = np.random.default_rng(7)
+    sampled = sample_pattern_batch("multiple", design.num_chains,
+                                   design.chain_length, batch_size, rng,
+                                   num_errors=4)
+    assert_identical(*_both_paths(design, sampled, batch_size,
+                                  states=states, knowns=knowns))
+
+
+def test_auto_selects_delta_below_crossover():
+    """A single-error batch sits far below the crossover, so "auto"
+    takes the delta path."""
+    design = _design(["hamming(7,4)", "crc16"], 8, 56)
+    engine = get_engine("simd", design)
+    states, knowns = _pack(design)
+    rng = np.random.default_rng(3)
+    sampled = sample_pattern_batch("single", design.num_chains,
+                                   design.chain_length, 64, rng)
+    engine.run_batch_summary(states, knowns, sampled, 64)
+    assert engine.last_summary_path == "delta"
+
+
+def test_auto_selects_dense_above_crossover():
+    """A batch denser than the crossover falls back to the dense
+    fold (here by lowering the instance crossover under the sampled
+    density instead of sampling thousands of flips)."""
+    design = _design(["hamming(7,4)", "crc16"], 8, 56)
+    engine = get_engine("simd", design)
+    states, knowns = _pack(design)
+    rng = np.random.default_rng(3)
+    sampled = sample_pattern_batch("multiple", design.num_chains,
+                                   design.chain_length, 64, rng,
+                                   num_errors=4)
+    engine.delta_crossover = 0.5
+    engine.run_batch_summary(states, knowns, sampled, 64)
+    assert engine.last_summary_path == "dense"
+
+
+def test_auto_takes_delta_exactly_at_threshold():
+    """num_flips == crossover * batch_size is still the delta path
+    (the comparison is <=, not <)."""
+    design = _design(["hamming(7,4)", "crc16"], 8, 56)
+    engine = get_engine("simd", design)
+    engine.delta_crossover = 1.0
+    states, knowns = _pack(design)
+    batch = 16
+    flips = {}
+    for b in range(batch):
+        key = (b % design.num_chains, 0)
+        flips[key] = flips.get(key, 0) | (1 << b)
+    total = sum(bin(mask).count("1") for mask in flips.values())
+    assert total == engine.delta_crossover * batch
+    engine.run_batch_summary(states, knowns, flips, batch)
+    assert engine.last_summary_path == "delta"
+    # One flip more tips it over.
+    flips[(0, 1)] = flips.get((0, 1), 0) | 0b10
+    engine.run_batch_summary(states, knowns, flips, batch)
+    assert engine.last_summary_path == "dense"
+
+
+def test_default_crossover_is_module_constant():
+    design = _design(["hamming(7,4)", "crc16"], 8, 56)
+    engine = get_engine("simd", design)
+    assert engine.delta_crossover == DELTA_CROSSOVER_FLIPS_PER_SEQ
+
+
+def test_forced_delta_on_unsupported_structure_raises():
+    """Overlapping correcting blocks replay with last-block-wins
+    semantics the superposition cannot reproduce: auto must silently
+    take the dense path, forced "delta" must fail loudly."""
+    design = _design(["hamming(7,4)", "secded(8,4)"], 8, 56)
+    engine = get_engine("simd", design)
+    if engine._delta_plan_for().supported:
+        pytest.skip("structure unexpectedly delta-capable")
+    states, knowns = _pack(design)
+    engine.run_batch_summary(states, knowns, {(0, 0): 1}, 4)
+    assert engine.last_summary_path == "dense"
+    with pytest.raises(ValueError, match="delta"):
+        engine.run_batch_summary(states, knowns, {(0, 0): 1}, 4,
+                                 path="delta")
+
+
+def test_unknown_path_name_rejected():
+    design = _design(["hamming(7,4)", "crc16"], 8, 56)
+    engine = get_engine("simd", design)
+    states, knowns = _pack(design)
+    with pytest.raises(ValueError, match="path"):
+        engine.run_batch_summary(states, knowns, {}, 4, path="fast")
+    with pytest.raises(ValueError, match="path"):
+        design.sleep_wake_cycle_batch_summary({}, 4, path="fast")
+
+
+def test_design_level_path_forwarding():
+    """sleep_wake_cycle_batch_summary forwards forced paths to the
+    engine and the results agree field for field."""
+    design = _design(["hamming(7,4)", "crc16"], 8, 56)
+    rng = np.random.default_rng(5)
+    sampled = sample_pattern_batch("burst", design.num_chains,
+                                   design.chain_length, 33, rng,
+                                   num_errors=3)
+    dense = design.sleep_wake_cycle_batch_summary(sampled, 33,
+                                                  path="dense")
+    delta = design.sleep_wake_cycle_batch_summary(sampled, 33,
+                                                  path="delta")
+    assert_identical(dense, delta)
+
+
+def test_correction_luts_are_shared_and_frozen():
+    """Satellite: the syndrome->position tables are memoised
+    process-wide on the code parameters -- two engines over the same
+    code family share the very same (read-only) ndarray."""
+    from repro.codes.registry import get_code
+
+    lut_a = correction_lut(get_code("hamming(7,4)"))
+    lut_b = correction_lut(get_code("hamming(7,4)"))
+    assert lut_a is lut_b
+    assert not lut_a.flags.writeable
+    assert correction_lut(get_code("hamming(15,11)")) is not lut_a
+    code_a, code_b = get_code("secded(8,4)"), get_code("secded(8,4)")
+    assert verdict_lut(code_a) is verdict_lut(code_b)
+    assert not verdict_lut(code_a).flags.writeable
