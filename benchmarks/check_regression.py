@@ -15,7 +15,13 @@ Usage (from the repo root)::
 
 Each argument names one ``BENCH_<name>.json`` pair.  A fresh file or
 section that is missing entirely also fails the guard -- a benchmark
-silently not running is itself a regression.
+silently not running is itself a regression.  The one sanctioned
+exception: a committed section may declare ``"requires": ["numba",
+...]``, naming the optional modules its benchmark needs; when such a
+section is missing from the fresh results *and* one of those modules
+is not importable here, the guard reports it as **skipped, not
+regressed** (the benchmark could not have run on this install).  With
+every requirement importable, a missing section still fails.
 
 Alongside the pass/fail verdict, every guarded metric is compared
 against the most recent entry of the committed ``BENCH_history.jsonl``
@@ -116,6 +122,30 @@ def lookup(results: dict, path):
     return node
 
 
+def missing_requirements(reference_section) -> list:
+    """Modules a committed section's ``requires`` list names that are
+    not importable here (empty when the section declares none, or all
+    are present)."""
+    import importlib.util
+
+    if not isinstance(reference_section, dict):
+        return []
+    requires = reference_section.get("requires")
+    if not isinstance(requires, (list, tuple)):
+        return []
+    missing = []
+    for module in requires:
+        if not isinstance(module, str):
+            continue
+        try:
+            spec = importlib.util.find_spec(module)
+        except (ImportError, ValueError):
+            spec = None
+        if spec is None:
+            missing.append(module)
+    return missing
+
+
 def check_bench(name: str) -> list:
     """Check one BENCH pair; returns a list of failure strings."""
     reference_path = REPO_ROOT / f"BENCH_{name}.json"
@@ -136,6 +166,7 @@ def check_bench(name: str) -> list:
 
     failures = []
     checked = 0
+    skipped = 0
     for path, metric, floor in iter_floors(reference):
         section = lookup(fresh, path)
         label = "/".join(path + (metric,))
@@ -145,6 +176,13 @@ def check_bench(name: str) -> list:
                 f"{floor!r}")
             continue
         if not isinstance(section, dict) or metric not in section:
+            absent = missing_requirements(lookup(reference, path))
+            if absent:
+                skipped += 1
+                print(f"SKIP {name}: {label} -- section requires "
+                      f"{', '.join(absent)} (not importable here); "
+                      f"skipped, not regressed")
+                continue
             failures.append(
                 f"{name}: {label} missing from the fresh results -- did "
                 f"the benchmark that records it run?")
@@ -164,7 +202,7 @@ def check_bench(name: str) -> list:
                                               metric_key)))
             print(f"OK  {name}: {label} = {measured:.2f} "
                   f"(floor {floor}; {delta})")
-    if not checked and not failures:
+    if not checked and not skipped and not failures:
         failures.append(
             f"{name}: the committed reference declares no floors -- "
             f"nothing to guard")

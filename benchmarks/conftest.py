@@ -107,7 +107,9 @@ def flatten_metrics(results: dict, path=()) -> dict:
 def _engine_metadata() -> dict:
     """Array-backend/engine fingerprint embedded in every benchmark
     envelope and history row (never raises -- benchmarks must record
-    even on a pure-stdlib install, where both entries are None)."""
+    even on a pure-stdlib install, where every entry is None).  The
+    numba version rides along so jit-engine numbers are never compared
+    across compiler versions (or against uncompiled runs) silently."""
     numpy_version = None
     try:
         import numpy
@@ -120,7 +122,14 @@ def _engine_metadata() -> dict:
         backend = default_backend_name()
     except Exception:
         pass
-    return {"numpy": numpy_version, "backend": backend}
+    numba_version = None
+    try:
+        from repro.engines.jit import NUMBA_VERSION
+        numba_version = NUMBA_VERSION
+    except Exception:
+        pass
+    return {"numpy": numpy_version, "backend": backend,
+            "numba": numba_version}
 
 
 def record_bench(name: str, results: dict,
@@ -175,6 +184,7 @@ def record_bench(name: str, results: dict,
             "platform": platform.platform(),
             "numpy": engine_meta["numpy"],
             "backend": engine_meta["backend"],
+            "numba": engine_meta["numba"],
             "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ",
                                          time.gmtime()),
             "results": merged,
@@ -189,6 +199,7 @@ def record_bench(name: str, results: dict,
             "platform": payload["platform"],
             "numpy": engine_meta["numpy"],
             "backend": engine_meta["backend"],
+            "numba": engine_meta["numba"],
             "metrics": flatten_metrics(results),
         }
         with open(directory / BENCH_HISTORY_NAME, "a",

@@ -90,7 +90,9 @@ run_sequence_batch`: one stimulus burst per group, one injection per
         (default) lets the engine pick between its sparse-delta fast
         path and the dense word pipeline by the batch's flip density;
         ``"delta"`` / ``"dense"`` force one side (useful for A/B
-        benchmarking -- the paths are bit-identical, property-tested).
+        benchmarking -- the paths are bit-identical, property-tested);
+        ``"jit"`` forces the fused single-pass kernels of
+        ``engine="jit"`` (only that engine provides it).
         Non-``"auto"`` values require ``sampler="array"`` (the object
         path has no path selection).  The field is part of the task
         fingerprint, so changing it invalidates checkpoints.
@@ -126,10 +128,10 @@ run_sequence_batch`: one stimulus burst per group, one injection per
             raise ValueError(
                 f"unknown sampler {self.sampler!r}; choose 'scalar' or "
                 f"'array'")
-        if self.summary_path not in ("auto", "delta", "dense"):
+        if self.summary_path not in ("auto", "delta", "dense", "jit"):
             raise ValueError(
                 f"unknown summary_path {self.summary_path!r}; choose "
-                f"'auto', 'delta' or 'dense'")
+                f"'auto', 'delta', 'dense' or 'jit'")
         if self.summary_path != "auto" and self.sampler != "array":
             raise ValueError(
                 "summary_path selection needs the columnar summary "

@@ -700,7 +700,8 @@ class ProtectedDesign:
         path, ``upset_model=None``.
 
         ``path`` selects the engine's summary implementation
-        (``"auto"`` / ``"delta"`` / ``"dense"``, see
+        (``"auto"`` / ``"delta"`` / ``"dense"``, plus ``"jit"`` on the
+        jit engine, see
         :meth:`~repro.engines.base.SimulationEngine.run_batch_summary`);
         the default ``"auto"`` is not forwarded, so third-party summary
         engines predating the parameter keep working unless a path is
@@ -708,10 +709,10 @@ class ProtectedDesign:
         """
         if inject_phase not in ("sleep", "post_wake"):
             raise ValueError("inject_phase must be 'sleep' or 'post_wake'")
-        if path not in ("auto", "delta", "dense"):
+        if path not in ("auto", "delta", "dense", "jit"):
             raise ValueError(
-                f"unknown summary path {path!r}; choose 'auto', 'delta' "
-                f"or 'dense'")
+                f"unknown summary path {path!r}; choose 'auto', 'delta', "
+                f"'dense' or 'jit'")
         if batch_size < 1:
             raise ValueError("batch size must be >= 1")
         if self.domain.upset_model is not None:

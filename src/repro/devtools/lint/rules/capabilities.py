@@ -125,6 +125,7 @@ class CapabilityRule(Rule):
     # ------------------------------------------------------------------
     def check_project(self, project: Project) -> Iterator[Finding]:
         yield from check_registered_engines()
+        yield from check_conditional_registration()
 
 
 def _minimal_design():
@@ -180,7 +181,58 @@ def check_registered_engines(engine_names: Optional[Tuple[str, ...]] = None
                         f"a disabled flag"))
 
 
+def check_conditional_registration(
+        conditional=None, engine_names: Optional[Tuple[str, ...]] = None
+        ) -> Iterator[Finding]:
+    """Gate-versus-registry cross-check for the conditionally
+    registered built-ins (``simd``/``cuda``/``jit``).
+
+    The reflection pass above only sees engines that *are* registered,
+    so a rotted registration gate -- the dependency importable but the
+    ``register_engine`` call gone or broken -- would silently shrink
+    the registry.  This pass walks
+    :data:`repro.engines.registry.CONDITIONAL_ENGINES` and fires when
+    a gating module is importable but its engine is absent, and when
+    an engine is registered although its gate is not importable (its
+    factory would ImportError at first use).  A dependency that is
+    simply not installed yields **nothing**: silent degradation is the
+    contract, not a finding.  ``conditional``/``engine_names`` narrow
+    the check (fixture-test hooks).
+    """
+    import importlib.util
+
+    from repro.engines.registry import CONDITIONAL_ENGINES, \
+        available_engines
+
+    if conditional is None:
+        conditional = CONDITIONAL_ENGINES
+    names = engine_names if engine_names is not None else \
+        available_engines()
+    for name, (module, extra) in conditional.items():
+        try:
+            importable = importlib.util.find_spec(module) is not None
+        except (ImportError, ValueError):
+            importable = False
+        registered = name in names
+        if importable and not registered:
+            yield Finding(
+                rule="capability", path="repro.engines.registry", line=0,
+                message=(
+                    f"engine {name!r} is gated on {module} ({extra}), "
+                    f"which is importable here, yet the registry does "
+                    f"not list it -- the conditional registration has "
+                    f"rotted"))
+        elif registered and not importable:
+            yield Finding(
+                rule="capability", path="repro.engines.registry", line=0,
+                message=(
+                    f"engine {name!r} is registered although its "
+                    f"gating module {module} is not importable -- its "
+                    f"factory will raise ImportError at first use "
+                    f"instead of degrading silently"))
+
+
 RULE = CapabilityRule()
 
 __all__ = ["CapabilityRule", "RULE", "check_registered_engines",
-           "FLAG_METHODS"]
+           "check_conditional_registration", "FLAG_METHODS"]

@@ -31,6 +31,7 @@ from repro.devtools.lint.findings import (
 SCOPED_FILES = (
     "engines/backend.py",
     "engines/delta.py",
+    "engines/jit.py",
     "engines/simd.py",
     "engines/summary.py",
     "faults/batch.py",
@@ -52,8 +53,9 @@ class DtypeRule(Rule):
     id = "dtype"
     description = ("ndarray constructors in the word-pipeline modules "
                    "(engines/backend.py, engines/delta.py, "
-                   "engines/simd.py, engines/summary.py, "
-                   "faults/batch.py) must pass an explicit dtype=")
+                   "engines/jit.py, engines/simd.py, "
+                   "engines/summary.py, faults/batch.py) must pass an "
+                   "explicit dtype=")
 
     def check_file(self, project: Project,
                    file: SourceFile) -> Iterator[Finding]:

@@ -11,10 +11,13 @@ The subsystem has three parts:
 * the built-in engines: ``"reference"`` (bit-serial per-flop models),
   ``"packed"`` (packed-integer fast path,
   :mod:`repro.engines.packed`), ``"batched"`` (bit-plane batch engine
-  simulating B sequences per pass, :mod:`repro.engines.bitplane`), and
+  simulating B sequences per pass, :mod:`repro.engines.bitplane`),
   ``"simd"`` (numpy word-packed fully vectorised batch engine,
   :mod:`repro.engines.simd`; registered only when numpy is importable
-  -- the ``[simd]`` packaging extra).
+  -- the ``[simd]`` packaging extra), and ``"jit"`` (the simd engine
+  with the summary pass replaced by Numba-fused single-pass kernels,
+  :mod:`repro.engines.jit`; registered only when numba is importable
+  -- the ``[jit]`` extra).
 
 The batch engines share their result assembly
 (:mod:`repro.engines.reporting`) and the GF(2) code matrices of

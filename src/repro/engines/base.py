@@ -269,7 +269,9 @@ class SimulationEngine(ABC):
         ``path`` selects the summary implementation on engines that
         offer more than one (``"auto"`` -- the engine picks; the simd
         engine adds a sparse-delta fast path selectable with
-        ``"delta"`` / forcible off with ``"dense"``).  Engines with a
+        ``"delta"`` / forcible off with ``"dense"``; the jit engine
+        additionally accepts ``"jit"`` to force its fused single-pass
+        kernels).  Engines with a
         single implementation accept ``"auto"`` and ``"dense"`` and
         raise ``ValueError`` for paths they do not provide; since the
         paths are bit-identical wherever both exist, callers that do

@@ -84,6 +84,18 @@ def available_engines() -> Tuple[str, ...]:
     return tuple(_FACTORIES)
 
 
+#: Built-in engines that register conditionally, mapped to the module
+#: whose importability gates them.  Shared with the capability lint
+#: rule (which cross-checks gate against registry) and used below to
+#: turn "unknown engine" into an actionable install hint when the name
+#: is merely *absent*, not misspelled.
+CONDITIONAL_ENGINES = {
+    "simd": ("numpy", "the [simd] packaging extra"),
+    "cuda": ("cupy", "the same word-packed engine on GPU arrays"),
+    "jit": ("numba", "the [jit] packaging extra"),
+}
+
+
 def validate_engine(name: str) -> str:
     """Check an engine name, returning its canonical (lower-case) form;
     raise ``ValueError`` if unknown.
@@ -92,11 +104,21 @@ def validate_engine(name: str) -> str:
     sharded tasks call this at configuration time so a typo fails
     before any worker process is spawned.  The returned name is the
     registry key itself, so everything downstream (engine caches,
-    ``design.engine``) speaks one spelling.
+    ``design.engine``) speaks one spelling.  Optional engines
+    (``"simd"``/``"cuda"``/``"jit"``) that are absent because their
+    dependency is not installed fail with the dependency named, so a
+    forced selection on a bare install is actionable rather than
+    looking like a typo.
     """
     if not isinstance(name, str) or name.lower() not in _FACTORIES:
+        hint = ""
+        if isinstance(name, str) and name.lower() in CONDITIONAL_ENGINES:
+            module, extra = CONDITIONAL_ENGINES[name.lower()]
+            hint = (f"; engine {name.lower()!r} registers only when "
+                    f"{module} is importable ({extra})")
         raise ValueError(
-            f"unknown engine {name!r}; choose from {available_engines()}")
+            f"unknown engine {name!r}; choose from "
+            f"{available_engines()}{hint}")
     return name.lower()
 
 
@@ -144,6 +166,12 @@ def _register_builtins() -> None:
                                  len(design.chains[0]),
                                  backend="cuda")
 
+    def jit_factory(design):  # pragma: no cover - exercised with numba
+        from repro.engines.jit import JitFusedEngine
+        return JitFusedEngine(design.monitor_bank,
+                              len(design.chains),
+                              len(design.chains[0]))
+
     register_engine("reference", reference_factory)
     register_engine("packed", packed_factory)
     register_engine("batched", batched_factory)
@@ -159,11 +187,19 @@ def _register_builtins() -> None:
         # (no error, degrades silently -- CI smokes this).
         if importlib.util.find_spec("cupy") is not None:  # pragma: no cover
             register_engine("cuda", cuda_factory)
+        # The Numba-fused single-pass summary engine ([jit] extra),
+        # gated identically: without numba there is simply no "jit"
+        # entry -- no error, degrades silently (CI smokes this), and
+        # the uncompiled kernels stay importable for the bit-identity
+        # property suite.
+        if importlib.util.find_spec("numba") is not None:
+            register_engine("jit", jit_factory)
 
 
 _register_builtins()
 
 __all__ = [
+    "CONDITIONAL_ENGINES",
     "EngineFactory",
     "register_engine",
     "unregister_engine",

@@ -312,6 +312,57 @@ def pattern_batch_coords(batch: "PatternBatch", known_bits,
     return seqs, cells, counts
 
 
+def _coords_to_csr(cells, counts, batch_size: int, starts_out=None):
+    """Row pointers of (sequence, cell)-sorted flip coordinates.
+
+    ``counts`` is the per-sequence flip count; because the coordinate
+    resolvers emit cells sorted by (sequence, cell), the exclusive
+    prefix sum of ``counts`` is exactly the CSR row-pointer array:
+    sequence ``b``'s flips are ``cells[starts[b]:starts[b + 1]]``.
+    ``starts_out`` (shape ``(batch_size + 1,)``, int64) is fully
+    overwritten when given -- the engines' workspace-buffer hook.
+    """
+    import numpy as np
+
+    if starts_out is None:
+        starts_out = np.empty(batch_size + 1, dtype=np.int64)
+    starts_out[0] = 0
+    np.cumsum(counts, out=starts_out[1:])
+    return starts_out
+
+
+def pattern_batch_csr(batch: "PatternBatch", known_bits, batch_size: int,
+                      starts_out=None):
+    """Resolve a :class:`PatternBatch` into CSR flip slices -- the
+    fused summary kernels' input form (:mod:`repro.engines.jit`).
+
+    Returns ``(starts, cells, counts)``: ``starts`` is the
+    ``(batch_size + 1,)`` int64 row-pointer array with sequence ``b``'s
+    flips at ``cells[starts[b]:starts[b + 1]]`` (cells ascending within
+    a sequence), and ``cells``/``counts`` carry exactly the
+    gating/dedup contract of :func:`pattern_batch_coords` (flips on
+    unknown cells dropped, repeated (sequence, cell) pairs collapsed).
+    A per-sequence kernel thus walks its slice with no sorting, no
+    searching and no per-flip Python work.
+    """
+    seqs, cells, counts = pattern_batch_coords(batch, known_bits,
+                                               batch_size)
+    del seqs  # implied by the row pointers
+    return (_coords_to_csr(cells, counts, batch_size, starts_out),
+            cells, counts)
+
+
+def batch_flips_csr(flips: BatchFlips, knowns: Sequence[int],
+                    batch_size: int, chain_length: int, starts_out=None):
+    """Resolve a :data:`BatchFlips` dict into the CSR slice form of
+    :func:`pattern_batch_csr` (``(starts, cells, counts)``)."""
+    seqs, cells, counts = batch_flips_coords(flips, knowns, batch_size,
+                                             chain_length)
+    del seqs
+    return (_coords_to_csr(cells, counts, batch_size, starts_out),
+            cells, counts)
+
+
 def batch_flips_coords(flips: BatchFlips, knowns: Sequence[int],
                        batch_size: int, chain_length: int):
     """Resolve a :data:`BatchFlips` dict into the flat flip-coordinate
@@ -414,7 +465,9 @@ __all__ = [
     "apply_batch_flips_words",
     "PatternBatch",
     "batch_flips_coords",
+    "batch_flips_csr",
     "pattern_batch_arrays",
     "pattern_batch_coords",
+    "pattern_batch_csr",
     "sample_pattern_batch",
 ]

@@ -234,7 +234,8 @@ sleep_wake_cycle_batch_summary` whose vectorised state-domain
         :meth:`~repro.campaigns.stats.StreamingCampaignResult.add_batch`
         with statistics bit-identical to the object path's.
         ``path`` forwards to the engine's summary-path selection
-        (``"auto"`` / ``"delta"`` / ``"dense"``).
+        (``"auto"`` / ``"delta"`` / ``"dense"``, plus ``"jit"`` on the
+        jit engine).
         """
         self.dut.reset()
         words = self.stimulus.burst(self.words_per_sequence)

@@ -78,6 +78,72 @@ def test_sharded_driver_forwards_summary_path():
     assert two == delta
 
 
+def _register_pure_jit(name="jit-pure"):
+    """A registry entry for the fused engine in interpreter mode, so
+    the campaign plumbing is exercised end to end without numba."""
+    from repro.engines.jit import JitFusedEngine
+    from repro.engines.registry import register_engine
+
+    register_engine(name, lambda design: JitFusedEngine(
+        design.monitor_bank, design.num_chains, design.chain_length,
+        compiled=False))
+
+
+def test_jit_path_accepted_and_routed():
+    """summary_path='jit' passes task validation and reaches the
+    engine; counters are bit-identical to the simd paths on the same
+    seeds."""
+    from repro.engines.registry import unregister_engine
+
+    _register_pure_jit()
+    try:
+        jit = FIFOValidationCampaignTask(
+            summary_path="jit", **dict(COMMON, engine="jit-pure"))
+        auto = FIFOValidationCampaignTask(
+            **dict(COMMON, engine="jit-pure"))
+        simd = FIFOValidationCampaignTask(**COMMON)
+        results = [task.run_chunk(chunk_seed=424242, num_sequences=50)
+                   for task in (jit, auto, simd)]
+        assert results[0] == results[1] == results[2]
+        assert results[0].stats.num_sequences == 50
+    finally:
+        unregister_engine("jit-pure")
+
+
+def test_forced_jit_path_on_simd_engine_fails_loudly():
+    """Only the jit engine provides the 'jit' path; the simd engine
+    rejects it with its unknown-path error rather than silently
+    running something else."""
+    task = FIFOValidationCampaignTask(summary_path="jit", **COMMON)
+    with pytest.raises(ValueError, match="unknown summary path"):
+        task.run_chunk(chunk_seed=1, num_sequences=16)
+
+
+def test_sharded_jit_campaign_is_worker_count_deterministic():
+    """1- and 2-worker sharded runs of a jit-path campaign produce
+    identical counters (the thread executor shares the registry, so
+    the inline registration is visible to every worker)."""
+    from repro.engines.registry import unregister_engine
+    from repro.validation.campaign import run_sharded_single_error_campaign
+
+    _register_pure_jit()
+    try:
+        kwargs = dict(width=8, depth=8, num_chains=8, seed=20100308,
+                      chunk_size=16, batch_size=8, engine="jit-pure",
+                      sampler="array", summary_path="jit",
+                      executor="thread")
+        one = run_sharded_single_error_campaign(64, **kwargs)
+        two = run_sharded_single_error_campaign(64, num_workers=2,
+                                                **kwargs)
+        simd = run_sharded_single_error_campaign(
+            64, width=8, depth=8, num_chains=8, seed=20100308,
+            chunk_size=16, batch_size=8, engine="simd",
+            sampler="array")
+        assert one == two == simd
+    finally:
+        unregister_engine("jit-pure")
+
+
 def test_fingerprint_carries_summary_path():
     auto = FIFOValidationCampaignTask(**COMMON)
     delta = FIFOValidationCampaignTask(summary_path="delta", **COMMON)

@@ -1,13 +1,16 @@
 """Fixture and reflection tests of the ``capability`` rule."""
 
+import importlib.util
 import textwrap
 
 from repro.devtools.lint.rules.capabilities import (
     RULE,
+    check_conditional_registration,
     check_registered_engines,
 )
 from repro.engines.base import EngineCapabilities, SimulationEngine
 from repro.engines.registry import (
+    CONDITIONAL_ENGINES,
     available_engines,
     register_engine,
     unregister_engine,
@@ -140,3 +143,41 @@ class TestRegistryReflection:
         assert len(findings) == 1
         assert "summary=True" in findings[0].message
         assert "run_batch_summary" in findings[0].message
+
+
+class TestConditionalRegistration:
+    def test_live_registry_is_consistent(self):
+        """Whatever this install has (numpy/cupy/numba present or
+        not), gate and registry must agree -- in particular, an absent
+        numba must NOT fire on the unregistered jit engine."""
+        assert list(check_conditional_registration()) == []
+
+    def test_jit_is_in_the_conditional_table(self):
+        assert CONDITIONAL_ENGINES["jit"][0] == "numba"
+        assert ("jit" in available_engines()) == (
+            importlib.util.find_spec("numba") is not None)
+
+    def test_importable_gate_without_registration_fires(self):
+        """The rot the pass exists for: the dependency is installed
+        but the engine never registered."""
+        findings = list(check_conditional_registration(
+            conditional={"ghost": ("json", "stdlib, always importable")},
+            engine_names=()))
+        assert len(findings) == 1
+        assert "ghost" in findings[0].message
+        assert "has rotted" in findings[0].message
+
+    def test_registration_without_importable_gate_fires(self):
+        findings = list(check_conditional_registration(
+            conditional={"ghost": ("definitely_not_a_module", "extra")},
+            engine_names=("ghost",)))
+        assert len(findings) == 1
+        assert "ImportError at first use" in findings[0].message
+
+    def test_absent_gate_and_absent_engine_is_silent(self):
+        """Graceful degradation: nothing installed, nothing registered,
+        nothing reported."""
+        findings = list(check_conditional_registration(
+            conditional={"ghost": ("definitely_not_a_module", "extra")},
+            engine_names=()))
+        assert findings == []

@@ -85,6 +85,61 @@ def test_missing_metric_in_fresh_results_is_named(guard):
     assert "did the benchmark that records it run" in failures[0]
 
 
+def test_missing_section_with_absent_requirement_skips(guard, capsys):
+    """A committed section declaring ``requires`` on a module that is
+    not importable here reports 'skipped, not regressed' when the
+    fresh run never produced it (the optional benchmark could not have
+    run), and the guard passes."""
+    _write(guard.REPO_ROOT / "BENCH_engines.json", _bench_payload(
+        {"campaign_jit_path": {"speedup": 3.2,
+                               "requires": ["definitely_not_a_module"],
+                               "floors": {"speedup": 2.0}}}))
+    _write(guard.FRESH_DIR / "BENCH_engines.json", _bench_payload({}))
+    assert guard.check_bench("engines") == []
+    assert guard.main(["engines"]) == 0
+    out = capsys.readouterr().out
+    assert "skipped, not regressed" in out
+    assert "definitely_not_a_module" in out
+
+
+def test_missing_section_with_satisfied_requirement_still_fails(guard):
+    """When every required module *is* importable, a missing section
+    is a real regression -- the benchmark should have run."""
+    _write(guard.REPO_ROOT / "BENCH_engines.json", _bench_payload(
+        {"campaign_jit_path": {"speedup": 3.2, "requires": ["json"],
+                               "floors": {"speedup": 2.0}}}))
+    _write(guard.FRESH_DIR / "BENCH_engines.json", _bench_payload({}))
+    failures = guard.check_bench("engines")
+    assert len(failures) == 1
+    assert "did the benchmark that records it run" in failures[0]
+
+
+def test_present_section_with_requires_is_gated_normally(guard):
+    """``requires`` only excuses absence: a section the fresh run did
+    produce is floor-checked like any other, requirements or not."""
+    committed = {"campaign_jit_path": {
+        "speedup": 3.2, "requires": ["definitely_not_a_module"],
+        "floors": {"speedup": 2.0}}}
+    _write(guard.REPO_ROOT / "BENCH_engines.json",
+           _bench_payload(committed))
+    _write(guard.FRESH_DIR / "BENCH_engines.json", _bench_payload(
+        {"campaign_jit_path": {"speedup": 1.1}}))
+    failures = guard.check_bench("engines")
+    assert "regressed below the committed floor" in failures[0]
+
+
+def test_all_sections_skipped_is_not_nothing_to_guard(guard, capsys):
+    """A bench whose every floored section legitimately skipped must
+    not trip the 'declares no floors' backstop."""
+    _write(guard.REPO_ROOT / "BENCH_jitonly.json", {
+        "bench": "jitonly",
+        "results": {"s": {"m": 3.0, "requires": ["definitely_not_a_module"],
+                          "floors": {"m": 2.0}}}})
+    _write(guard.FRESH_DIR / "BENCH_jitonly.json",
+           {"bench": "jitonly", "results": {}})
+    assert guard.check_bench("jitonly") == []
+
+
 def test_regression_below_floor_fails(guard):
     _write(guard.REPO_ROOT / "BENCH_engines.json", _bench_payload(
         {"s": {"m": 3.0, "floors": {"m": 2.0}}}))
@@ -150,6 +205,14 @@ def test_record_bench_embeds_backend_metadata(recorder, tmp_path):
         .splitlines()[-1])
     assert "numpy" in row and "backend" in row
     assert row["section"] == "campaign_delta_path"
+    # The numba version rides along the same way: the installed
+    # version string, or null where the [jit] extra is absent.
+    for record in (payload, row):
+        assert "numba" in record
+        if importlib.util.find_spec("numba") is None:
+            assert record["numba"] is None
+        else:  # pragma: no cover - jit-smoke installs only
+            assert isinstance(record["numba"], str)
     if importlib.util.find_spec("numpy") is not None:
         import numpy
         assert payload["numpy"] == numpy.__version__
@@ -176,4 +239,5 @@ def test_engine_metadata_never_raises(recorder, monkeypatch):
                 if m.startswith(("numpy", "repro"))]:
         monkeypatch.delitem(sys.modules, mod)
     monkeypatch.setattr(builtins, "__import__", failing)
-    assert recorder._engine_metadata() == {"numpy": None, "backend": None}
+    assert recorder._engine_metadata() == {"numpy": None, "backend": None,
+                                           "numba": None}

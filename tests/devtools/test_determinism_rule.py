@@ -153,3 +153,9 @@ class TestScope:
         source = "import random\nX = random.random()\n"
         assert run_rule(RULE, source, "repro/engines.py") == []
         assert len(run_rule(RULE, source, "repro/engines/x.py")) == 1
+
+    def test_jit_engine_module_is_in_scope(self, run_rule):
+        # The conditionally-registered jit engine rides the engines/
+        # directory scope like every other engine module.
+        source = "import random\nX = random.random()\n"
+        assert len(run_rule(RULE, source, "repro/engines/jit.py")) == 1
