@@ -1,0 +1,146 @@
+"""Benchmark E10: warm persistent pool vs cold per-job executors.
+
+The campaign service's weak regime is many small jobs: a cold executor
+pays pool spin-up, task shipping and full bench construction (design,
+chains, monitor bank, engine workspaces) for every chunk of every job,
+so on short campaigns the fixed costs dominate the actual simulation.
+The warm :class:`~repro.campaigns.executors.PersistentProcessExecutor`
+pays each of those once per worker *lifetime*: the pool survives across
+``submit_jobs`` calls, tasks ship at most once per worker, and workers
+memoize the seed-independent bench per task fingerprint, rebuilding
+only the seed-dependent streams per chunk.
+
+This benchmark pins the amortization on two regimes and records both as
+the committed ``campaign_warm_pool`` section:
+
+* **many small jobs** -- K back-to-back campaigns through one warm pool
+  versus a fresh cold executor per job (the historical path).  This is
+  the guarded headline (``warm_speedup_many_jobs``, floor 2x);
+* **small-chunk single campaign** -- one campaign of deliberately tiny
+  chunks, where the cold path rebuilds the bench per chunk.
+
+Both sides are asserted bit-identical to the serial reference before
+any timing is recorded -- a fast-but-wrong warm path must fail here,
+not in a downstream statistics check.  The per-chunk setup-vs-compute
+split reported through ``CampaignProgress`` is also checked: by the
+final warm job the worker-state cache is hot, so its cumulative
+``setup_seconds`` must be exactly zero.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import bench_sequences, print_section, record_bench
+from repro.campaigns.executors import PersistentProcessExecutor
+from repro.campaigns.runner import ShardedCampaignRunner
+from repro.campaigns.tasks import FIFOValidationCampaignTask
+
+
+def _service_task():
+    """The paper's 32x32/80-chain configuration on the simd engine --
+    heavy seed-independent construction, vectorised per-chunk compute:
+    exactly the balance the warm pool exists to amortize."""
+    return FIFOValidationCampaignTask(
+        width=32, depth=32, codes=("hamming(7,4)", "crc16"), num_chains=80,
+        pattern="single", engine="simd", sampler="array", batch_size=8,
+        words_per_sequence=8)
+
+
+@pytest.mark.benchmark(group="campaign-warm-pool")
+def test_warm_pool_amortization(benchmark):
+    pytest.importorskip("numpy")
+    task = _service_task()
+    sequences = bench_sequences(64)
+    chunk_size = min(8, sequences)
+    num_jobs = 8
+    seeds = [20100308 + job for job in range(num_jobs)]
+
+    serial = {seed: ShardedCampaignRunner(task, sequences, seed=seed,
+                                          chunk_size=chunk_size,
+                                          executor="serial").run()
+              for seed in seeds}
+
+    # -- many small jobs: fresh cold executor per job (historical) ----
+    start = time.perf_counter()
+    for seed in seeds:
+        result = ShardedCampaignRunner(task, sequences, seed=seed,
+                                       chunk_size=chunk_size,
+                                       executor="process").run()
+        assert result == serial[seed]
+    cold_jobs_s = time.perf_counter() - start
+
+    # -- many small jobs: one warm pool serves every job --------------
+    progress = {}
+    start = time.perf_counter()
+    with PersistentProcessExecutor(1) as pool:
+        for seed in seeds:
+            snapshots = []
+            result = ShardedCampaignRunner(
+                task, sequences, seed=seed, chunk_size=chunk_size,
+                executor=pool,
+                progress_callback=snapshots.append).run()
+            assert result == serial[seed]
+            progress[seed] = snapshots[-1]
+    warm_jobs_s = time.perf_counter() - start
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    # The amortization is observable through the timing split: the
+    # first job pays the worker-state build once, the last job's
+    # chunks are all served from the hot cache.
+    first, last = progress[seeds[0]], progress[seeds[-1]]
+    assert first.setup_seconds > 0.0
+    assert last.setup_seconds == 0.0
+    assert last.compute_seconds > 0.0
+
+    # -- small-chunk single campaign ----------------------------------
+    long_sequences = sequences * 2
+    start = time.perf_counter()
+    cold_long = ShardedCampaignRunner(task, long_sequences, seed=7,
+                                      chunk_size=chunk_size,
+                                      executor="process").run()
+    cold_chunks_s = time.perf_counter() - start
+    start = time.perf_counter()
+    warm_long = ShardedCampaignRunner(task, long_sequences, seed=7,
+                                      chunk_size=chunk_size,
+                                      executor="process-warm").run()
+    warm_chunks_s = time.perf_counter() - start
+    assert warm_long == cold_long
+
+    results = {
+        "requires": ["numpy"],
+        "num_jobs": num_jobs,
+        "sequences_per_job": sequences,
+        "chunk_size": chunk_size,
+        "cold_jobs_s": cold_jobs_s,
+        "warm_jobs_s": warm_jobs_s,
+        "warm_speedup_many_jobs": cold_jobs_s / warm_jobs_s,
+        "cold_small_chunks_s": cold_chunks_s,
+        "warm_small_chunks_s": warm_chunks_s,
+        "warm_speedup_small_chunks": cold_chunks_s / warm_chunks_s,
+        "first_job_setup_s": first.setup_seconds,
+        "last_job_setup_s": last.setup_seconds,
+        "floors": {
+            # One warm pool must beat per-job cold executors decisively
+            # in the many-small-jobs regime (locally ~3.5x; the floor
+            # is deliberately loose for noisy CI boxes).
+            "warm_speedup_many_jobs": 2.0,
+        },
+    }
+    path = record_bench("campaigns", results, section="campaign_warm_pool")
+
+    print_section(
+        f"Warm persistent pool ({num_jobs} jobs x {sequences} sequences, "
+        f"chunk={chunk_size}, simd engine, 1 worker)",
+        "\n".join([
+            f"cold (fresh executor per job): {cold_jobs_s * 1e3:8.1f} ms",
+            f"warm (one persistent pool)   : {warm_jobs_s * 1e3:8.1f} ms "
+            f"({results['warm_speedup_many_jobs']:.2f}x)",
+            f"cold small-chunk campaign    : {cold_chunks_s * 1e3:8.1f} ms",
+            f"warm small-chunk campaign    : {warm_chunks_s * 1e3:8.1f} ms "
+            f"({results['warm_speedup_small_chunks']:.2f}x)",
+            f"first-job setup {first.setup_seconds * 1e3:.1f} ms -> "
+            f"last-job setup {last.setup_seconds * 1e3:.1f} ms "
+            f"(cache hot)",
+            f"results written to {path}",
+        ]))

@@ -10,11 +10,19 @@ one layer per concern so each can evolve (and be swapped) alone:
   statistics are bit-identical for any executor and worker count;
 * :mod:`repro.campaigns.executors` -- **where** chunks run: inline
   (:class:`~repro.campaigns.executors.SerialExecutor`), thread pool
-  (:class:`~repro.campaigns.executors.ThreadExecutor`), or process
+  (:class:`~repro.campaigns.executors.ThreadExecutor`), process
   fan-out (:class:`~repro.campaigns.executors.ProcessExecutor`, tasks
-  pickled once per worker), with failures wrapped as
+  pickled once per worker), or the **warm persistent pools**
+  (:class:`~repro.campaigns.executors.PersistentProcessExecutor` /
+  :class:`~repro.campaigns.executors.PersistentThreadExecutor`) whose
+  workers, task tables and per-fingerprint state caches survive
+  across calls and scheduler jobs, with failures wrapped as
   :class:`~repro.campaigns.executors.ChunkExecutionError` naming the
   chunk that died;
+* :mod:`repro.campaigns.worker_cache` -- the worker-side memo behind
+  the warm pools: seed-independent heavy state per task fingerprint
+  (:class:`~repro.campaigns.worker_cache.WorkerStateCache`), rebuilt
+  seed-dependent streams per chunk, bit-identity preserved;
 * :mod:`repro.campaigns.checkpoints` -- **durability**: the JSON
   checkpoint store (header validation, atomic replace, interval-based
   flush policy) behind resume-after-interruption;
@@ -55,11 +63,15 @@ from repro.campaigns.plan import (
 from repro.campaigns.executors import (
     ChunkExecutionError,
     ChunkExecutor,
+    ChunkTiming,
+    PersistentProcessExecutor,
+    PersistentThreadExecutor,
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
     resolve_executor,
 )
+from repro.campaigns.worker_cache import WorkerStateCache
 from repro.campaigns.checkpoints import CheckpointStore
 from repro.campaigns.runner import (
     CampaignProgress,
@@ -80,9 +92,13 @@ __all__ = [
     "ChunkPlanEntry",
     "ChunkExecutionError",
     "ChunkExecutor",
+    "ChunkTiming",
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "PersistentProcessExecutor",
+    "PersistentThreadExecutor",
+    "WorkerStateCache",
     "resolve_executor",
     "CheckpointStore",
     "CampaignProgress",

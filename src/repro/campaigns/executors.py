@@ -7,7 +7,9 @@ Executors own *where* chunks run and nothing else: the plan layer has
 already fixed every seed and boundary, so any executor at any
 concurrency produces bit-identical merged statistics for the same plan.
 
-Three implementations ship:
+Five implementations ship, in two families:
+
+**One-shot** (pool per ``submit_jobs`` call):
 
 * :class:`SerialExecutor` -- inline in the calling thread; the
   ``num_workers == 1`` path and the degenerate single-chunk fallback.
@@ -20,10 +22,28 @@ Three implementations ship:
   initializer, instead of a task copy pickled into every job tuple;
   job tuples carry only ``(position, slot, index, seed, count)``.
 
+**Warm persistent** (pool outlives ``submit_jobs`` calls; explicit
+``close()`` / context-manager lifecycle, optional idle teardown):
+
+* :class:`PersistentProcessExecutor` -- long-lived worker processes
+  created once and reused by every subsequent call (and every
+  scheduler job).  Tasks ship **incrementally**: a worker receives a
+  task at most once per process lifetime, keyed on
+  ``task.fingerprint()``; workers memoize seed-independent heavy
+  state per fingerprint in a :class:`~repro.campaigns.worker_cache.\
+WorkerStateCache` and run chunks through ``run_chunk_warm``.
+  Dispatch streams through a bounded in-flight window, so a
+  10^5-chunk plan never materializes 10^5 job tuples.
+* :class:`PersistentThreadExecutor` -- the same warm lifecycle over a
+  long-lived thread pool, with one state cache per worker thread.
+
 Chunk failures surface as :class:`ChunkExecutionError` carrying the
 failing chunk's index, seed and count (plus the worker traceback for
 process pools), so a 10^7-sequence campaign names the chunk that died
-and a resume can re-run exactly that work.
+and a resume can re-run exactly that work.  A failed chunk does not
+poison a warm pool: the pool survives, stale in-flight results are
+discarded by epoch, and the next ``submit_jobs`` replaces any worker
+that died.
 
 The scheduler-facing entry point is :meth:`ChunkExecutorBase.\
 submit_jobs`, which multiplexes entries from *several* tasks over one
@@ -34,12 +54,21 @@ convenience defined in terms of it.
 from __future__ import annotations
 
 import multiprocessing
+import queue as _queue
 import sys
+import threading
+import time
 import traceback
 from typing import (Any, Dict, Iterable, Iterator, List, Optional, Sequence,
-                    Tuple)
+                    Set, Tuple)
 
 from repro.campaigns.plan import ChunkPlanEntry
+from repro.campaigns.worker_cache import (
+    DEFAULT_MAX_ENTRIES,
+    ChunkTiming,
+    WorkerStateCache,
+    task_state_key,
+)
 
 try:  # pragma: no cover - typing nicety only
     from typing import Protocol
@@ -97,7 +126,7 @@ class ChunkExecutor(Protocol):
     :class:`ChunkExecutionError` from the consuming iterator.
     """
 
-    def submit(self, entries: Sequence[ChunkPlanEntry],
+    def submit(self, entries: Iterable[ChunkPlanEntry],
                task: Any) -> Iterator[Tuple[int, Any]]:
         ...
 
@@ -105,11 +134,16 @@ class ChunkExecutor(Protocol):
 class ChunkExecutorBase:
     """Shared plumbing: ``submit`` in terms of ``submit_jobs``."""
 
-    def submit(self, entries: Sequence[ChunkPlanEntry],
+    def submit(self, entries: Iterable[ChunkPlanEntry],
                task: Any) -> Iterator[Tuple[int, Any]]:
-        """Run one task's entries; yield ``(index, result)`` pairs."""
+        """Run one task's entries; yield ``(index, result)`` pairs.
+
+        ``entries`` is consumed lazily: streaming executors pull from
+        it as their in-flight window frees up (one-shot executors
+        materialize it).
+        """
         for _, index, result in self.submit_jobs(
-                [(None, entry, task) for entry in entries]):
+                ((None, entry, task) for entry in entries)):
             yield index, result
 
     def submit_jobs(self, jobs: Iterable[TaggedJob]
@@ -180,6 +214,16 @@ class ThreadExecutor(ChunkExecutorBase):
         return f"ThreadExecutor(num_workers={self.num_workers})"
 
 
+def _start_context(start_method: Optional[str]):
+    """The multiprocessing context for ``start_method`` (default:
+    ``fork`` when available, else ``spawn``)."""
+    method = start_method
+    if method is None:
+        available = multiprocessing.get_all_start_methods()
+        method = "fork" if "fork" in available else "spawn"
+    return multiprocessing.get_context(method)
+
+
 # -- process pool plumbing (module level: pickled by name) -------------
 #: Worker-side task table, installed once per worker by the pool
 #: initializer.  Keys are small integer slots assigned by the parent,
@@ -203,6 +247,33 @@ def _init_worker(parent_sys_path: List[str],
             sys.path.insert(0, entry)
     _WORKER_TASKS.clear()
     _WORKER_TASKS.update(tasks)
+
+
+def _slot_jobs(jobs: Sequence[TaggedJob]
+               ) -> Tuple[List[Tuple[int, int, int, int, int]],
+                          Dict[int, Any]]:
+    """Assign task-table slots and build the pool's job tuples.
+
+    Slots are keyed on ``task.fingerprint()`` -- **not** ``id(task)``:
+    object identity is neither stable (a freed task's id can be
+    reused by a different task while the pool is still running) nor
+    meaningful (two equal-fingerprint task objects describe the same
+    work and must share one table entry).  Factored out of
+    :meth:`ProcessExecutor.submit_jobs` so the slotting contract is
+    directly testable.
+    """
+    slots: Dict[str, int] = {}
+    tasks: Dict[int, Any] = {}
+    tuples: List[Tuple[int, int, int, int, int]] = []
+    for position, (_tag, entry, task) in enumerate(jobs):
+        key = task_state_key(task)
+        slot = slots.get(key)
+        if slot is None:
+            slot = slots[key] = len(slots)
+            tasks[slot] = task
+        tuples.append((position, slot, entry.index, entry.chunk_seed,
+                       entry.count))
+    return tuples, tasks
 
 
 def _run_pool_job(job: Tuple[int, int, int, int, int]
@@ -248,11 +319,7 @@ class ProcessExecutor(ChunkExecutorBase):
         self._start_method = start_method
 
     def _pool_context(self):
-        method = self._start_method
-        if method is None:
-            available = multiprocessing.get_all_start_methods()
-            method = "fork" if "fork" in available else "spawn"
-        return multiprocessing.get_context(method)
+        return _start_context(self._start_method)
 
     def submit_jobs(self, jobs: Iterable[TaggedJob]
                     ) -> Iterator[Tuple[Any, int, Any]]:
@@ -260,14 +327,7 @@ class ProcessExecutor(ChunkExecutorBase):
         if len(jobs) <= 1 or self.num_workers == 1:
             yield from SerialExecutor().submit_jobs(jobs)
             return
-        slots: Dict[int, int] = {}
-        tasks: Dict[int, Any] = {}
-        tuples = []
-        for position, (tag, entry, task) in enumerate(jobs):
-            slot = slots.setdefault(id(task), len(slots))
-            tasks[slot] = task
-            tuples.append((position, slot, entry.index, entry.chunk_seed,
-                           entry.count))
+        tuples, tasks = _slot_jobs(jobs)
         context = self._pool_context()
         workers = min(self.num_workers, len(tuples))
         with context.Pool(workers, initializer=_init_worker,
@@ -287,8 +347,482 @@ class ProcessExecutor(ChunkExecutorBase):
                 f"start_method={self._start_method!r})")
 
 
+# -- warm persistent pool plumbing (module level: pickled by name) -----
+def _persistent_worker_main(parent_sys_path: List[str], worker_id: int,
+                            job_queue: Any, result_queue: Any,
+                            max_cached: int) -> None:
+    """Long-lived worker loop of :class:`PersistentProcessExecutor`.
+
+    Protocol (one job queue per worker, one shared result queue):
+
+    * ``("task", key, task)`` -- install ``task`` in this worker's
+      table under its fingerprint ``key``.  The parent sends this at
+      most once per (worker lifetime, fingerprint): that is the
+      incremental task shipping that replaces the cold pool's
+      re-shipping of the whole table on every ``submit_jobs``.
+    * ``("job", epoch, position, key, chunk_seed, count)`` -- run one
+      chunk through the warm path: lease the task's memoized state
+      from the worker's :class:`~repro.campaigns.worker_cache.\
+WorkerStateCache` (building it on first sight -- that build is the
+      ``setup`` half of the reported timing) and ``run_chunk_warm``.
+      Replies ``(worker_id, epoch, position, result, (setup, compute,
+      cache_hit), None)`` on success, ``(worker_id, epoch, position,
+      None, None, traceback_text)`` on failure.
+    * ``("stop",)`` -- exit the loop (sent by ``close()``).
+    """
+    for entry in reversed(parent_sys_path):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+    tasks: Dict[str, Any] = {}
+    cache = WorkerStateCache(max_entries=max_cached)
+    while True:
+        try:
+            message = job_queue.get()
+        except (EOFError, OSError):  # pragma: no cover - parent died
+            return
+        kind = message[0]
+        if kind == "stop":
+            return
+        if kind == "task":
+            tasks[message[1]] = message[2]
+            continue
+        _, epoch, position, key, chunk_seed, count = message
+        try:
+            task = tasks[key]
+            state, setup, cache_hit = cache.lease(task)
+            started = time.perf_counter()
+            result = task.run_chunk_warm(state, chunk_seed, count)
+            compute = time.perf_counter() - started
+            result_queue.put((worker_id, epoch, position, result,
+                              (setup, compute, cache_hit), None))
+        except Exception:
+            result_queue.put((worker_id, epoch, position, None, None,
+                              traceback.format_exc()))
+
+
+class _WorkerRecord:
+    """Parent-side bookkeeping for one persistent worker process."""
+
+    __slots__ = ("process", "queue", "shipped", "inflight")
+
+    def __init__(self, process: Any, job_queue: Any):
+        self.process = process
+        self.queue = job_queue
+        #: Task fingerprints already shipped to this worker's table.
+        self.shipped: Set[str] = set()
+        #: Jobs dispatched but not yet answered (any epoch).
+        self.inflight = 0
+
+
+class _WarmLifecycleMixin:
+    """Shared close/context-manager/idle-timer plumbing of the warm
+    executors.  Subclasses implement ``_teardown()`` (drop the pool,
+    keep the executor reusable) and set ``_closed`` in ``close()``."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC safety net only
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                f"{type(self).__name__} is closed; create a new "
+                f"executor (close() is final)")
+
+    def _cancel_idle_timer(self) -> None:
+        if self._idle_timer is not None:
+            self._idle_timer.cancel()
+            self._idle_timer = None
+
+    def _start_idle_timer(self) -> None:
+        if self.idle_timeout is None:
+            return
+        timer = threading.Timer(self.idle_timeout, self._idle_teardown)
+        timer.daemon = True
+        timer.start()
+        self._idle_timer = timer
+
+    def _idle_teardown(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            # Drop the idle pool but stay usable: the next submit_jobs
+            # simply pays one (cold) pool spin-up again.
+            self._teardown()
+
+    def close(self) -> None:
+        """Tear the pool down and retire the executor (idempotent)."""
+        with self._lock:
+            self._cancel_idle_timer()
+            self._teardown()
+            self._closed = True
+
+
+class PersistentProcessExecutor(_WarmLifecycleMixin, ChunkExecutorBase):
+    """Warm process fan-out: one pool, many ``submit_jobs`` calls.
+
+    The cold :class:`ProcessExecutor` pays pool spin-up, task-table
+    shipping and per-chunk bench construction on **every** call; this
+    executor pays each cost once per worker lifetime:
+
+    * worker processes are created on first use and reused by every
+      subsequent ``submit_jobs`` (and so by every scheduler job);
+    * a task ships to a worker at most once, keyed on
+      ``task.fingerprint()``;
+    * workers memoize seed-independent heavy state (design, engine,
+      workspaces, LUTs, jit warm-up) per fingerprint and run chunks
+      via ``run_chunk_warm`` -- bit-identical to the cold path, for
+      any worker count and any pool-reuse order.
+
+    Dispatch streams: jobs are pulled from the (lazily consumed)
+    iterable only while fewer than ``window`` are in flight, each to
+    the least-loaded worker.  After each yielded result,
+    :attr:`last_chunk_timing` holds that chunk's
+    :class:`~repro.campaigns.worker_cache.ChunkTiming` -- the runner
+    and scheduler surface the cumulative split through
+    ``CampaignProgress``.
+
+    Failure containment: a raised :class:`ChunkExecutionError` leaves
+    the pool warm.  Results of abandoned calls are discarded by epoch,
+    dead workers are replaced (with cold caches) on the next call, and
+    ``close()``/``with`` tears everything down; ``idle_timeout``
+    additionally reclaims the pool after that many idle seconds (the
+    executor stays usable -- the next call re-spawns).
+
+    Unlike the cold executor there is **no** inline degradation for
+    single-job calls or ``num_workers=1`` -- a one-worker warm pool is
+    precisely the many-small-interactive-jobs service regime.
+    """
+
+    def __init__(self, num_workers: int,
+                 start_method: Optional[str] = None,
+                 window: Optional[int] = None,
+                 idle_timeout: Optional[float] = None,
+                 max_cached_states: int = DEFAULT_MAX_ENTRIES):
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if window is not None and window < 1:
+            raise ValueError("window must be >= 1")
+        if idle_timeout is not None and idle_timeout <= 0:
+            raise ValueError("idle_timeout must be positive")
+        self.num_workers = num_workers
+        self._start_method = start_method
+        #: In-flight dispatch bound; enough to keep every worker busy
+        #: plus a small ready queue, small enough that a huge plan is
+        #: never materialized.
+        self.window = window if window is not None else max(
+            2 * num_workers, 4)
+        self.idle_timeout = idle_timeout
+        self._max_cached = max_cached_states
+        self._context: Any = None
+        self._workers: Dict[int, _WorkerRecord] = {}
+        self._next_worker_id = 0
+        self._result_queue: Any = None
+        self._epoch = 0
+        self._closed = False
+        self._lock = threading.RLock()
+        self._idle_timer: Optional[threading.Timer] = None
+        #: Timing of the most recently yielded chunk (consumers read it
+        #: right after each ``submit_jobs`` yield).
+        self.last_chunk_timing: Optional[ChunkTiming] = None
+
+    # -- pool management ------------------------------------------------
+    @property
+    def alive_workers(self) -> int:
+        """Live worker processes right now (0 before first use and
+        after close/idle teardown)."""
+        return sum(1 for record in self._workers.values()
+                   if record.process.is_alive())
+
+    def _ensure_pool(self) -> None:
+        if self._context is None:
+            self._context = _start_context(self._start_method)
+        if self._result_queue is None:
+            self._result_queue = self._context.Queue()
+        self._drain_stale_results()
+        for worker_id, record in list(self._workers.items()):
+            if not record.process.is_alive():
+                # A crashed worker's warm cache died with it; replace
+                # below with a cold one rather than poisoning the pool.
+                record.process.join(timeout=0.1)
+                del self._workers[worker_id]
+        while len(self._workers) < self.num_workers:
+            worker_id = self._next_worker_id
+            self._next_worker_id += 1
+            job_queue = self._context.Queue()
+            process = self._context.Process(
+                target=_persistent_worker_main,
+                args=(list(sys.path), worker_id, job_queue,
+                      self._result_queue, self._max_cached),
+                daemon=True,
+                name=f"repro-warm-worker-{worker_id}")
+            process.start()
+            self._workers[worker_id] = _WorkerRecord(process, job_queue)
+
+    def _drain_stale_results(self) -> None:
+        """Consume results of abandoned epochs without blocking."""
+        if self._result_queue is None:
+            return
+        while True:
+            try:
+                message = self._result_queue.get_nowait()
+            except _queue.Empty:
+                return
+            record = self._workers.get(message[0])
+            if record is not None:
+                record.inflight -= 1
+
+    def _teardown(self) -> None:
+        workers, self._workers = self._workers, {}
+        result_queue, self._result_queue = self._result_queue, None
+        for record in workers.values():
+            if record.process.is_alive():
+                try:
+                    record.queue.put(("stop",))
+                except Exception:  # pragma: no cover - queue torn down
+                    pass
+        for record in workers.values():
+            record.process.join(timeout=5.0)
+            if record.process.is_alive():  # pragma: no cover - stuck chunk
+                record.process.terminate()
+                record.process.join(timeout=1.0)
+            record.queue.close()
+            record.queue.cancel_join_thread()
+        if result_queue is not None:
+            while True:
+                try:
+                    result_queue.get_nowait()
+                except _queue.Empty:
+                    break
+            result_queue.close()
+            result_queue.cancel_join_thread()
+
+    # -- dispatch -------------------------------------------------------
+    def _dispatch(self, epoch: int, position: int, entry: ChunkPlanEntry,
+                  task: Any) -> int:
+        """Send one job to the least-loaded worker; returns its id."""
+        worker_id, record = min(self._workers.items(),
+                                key=lambda item: item[1].inflight)
+        key = task_state_key(task)
+        if key not in record.shipped:
+            record.queue.put(("task", key, task))
+            record.shipped.add(key)
+        record.queue.put(("job", epoch, position, key, entry.chunk_seed,
+                          entry.count))
+        record.inflight += 1
+        return worker_id
+
+    def _next_result(self, epoch: int,
+                     assigned: Dict[int, int]) -> Tuple[Any, ...]:
+        """Block for the next worker reply, watching for worker death.
+
+        A worker that dies mid-chunk would otherwise hang the consumer
+        forever; instead its earliest outstanding chunk is reported as
+        a failure (the pool replaces the worker on the next call).
+        """
+        while True:
+            try:
+                return self._result_queue.get(timeout=1.0)
+            except _queue.Empty:
+                for position in sorted(assigned):
+                    worker_id = assigned[position]
+                    record = self._workers.get(worker_id)
+                    if record is None or record.process.is_alive():
+                        continue
+                    exitcode = record.process.exitcode
+                    record.process.join(timeout=0.1)
+                    del self._workers[worker_id]
+                    return (None, epoch, position, None, None,
+                            f"worker process died (exit code "
+                            f"{exitcode}) before returning a result")
+
+    def submit_jobs(self, jobs: Iterable[TaggedJob]
+                    ) -> Iterator[Tuple[Any, int, Any]]:
+        with self._lock:
+            self._check_open()
+            self._cancel_idle_timer()
+            self._ensure_pool()
+            self._epoch += 1
+            epoch = self._epoch
+        jobs_iter = iter(jobs)
+        pending: Dict[int, Tuple[Any, ChunkPlanEntry]] = {}
+        assigned: Dict[int, int] = {}
+        next_position = 0
+        exhausted = False
+        try:
+            while True:
+                # Top the in-flight window up from the lazy job feed
+                # (this backpressure is what keeps huge plans from
+                # materializing).
+                while not exhausted and len(pending) < self.window:
+                    try:
+                        tag, entry, task = next(jobs_iter)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    position = next_position
+                    next_position += 1
+                    pending[position] = (tag, entry)
+                    assigned[position] = self._dispatch(epoch, position,
+                                                        entry, task)
+                if not pending:
+                    break
+                (worker_id, reply_epoch, position, result, timing,
+                 failure) = self._next_result(epoch, assigned)
+                record = self._workers.get(worker_id)
+                if record is not None:
+                    record.inflight -= 1
+                if reply_epoch != epoch:
+                    # Left over from an abandoned call; already
+                    # accounted above, nothing to route.
+                    continue
+                tag, entry = pending.pop(position)
+                assigned.pop(position, None)
+                if failure is not None:
+                    raise ChunkExecutionError(
+                        entry.index, entry.chunk_seed, entry.count,
+                        "worker process raised",
+                        worker_traceback=failure)
+                self.last_chunk_timing = ChunkTiming(*timing)
+                yield tag, entry.index, result
+        finally:
+            with self._lock:
+                # Whatever this call leaves in flight (early consumer
+                # exit, a raised chunk) is stale for the next one.
+                self._epoch += 1
+                if not self._closed:
+                    self._start_idle_timer()
+
+    def __repr__(self) -> str:
+        return (f"PersistentProcessExecutor(num_workers="
+                f"{self.num_workers}, start_method="
+                f"{self._start_method!r}, window={self.window}, "
+                f"alive_workers={self.alive_workers})")
+
+
+class PersistentThreadExecutor(_WarmLifecycleMixin, ChunkExecutorBase):
+    """Warm thread fan-out: a long-lived thread pool with per-thread
+    state caches.
+
+    The thread twin of :class:`PersistentProcessExecutor`: the pool
+    survives across ``submit_jobs`` calls, each worker thread keeps
+    its own :class:`~repro.campaigns.worker_cache.WorkerStateCache`
+    (designs are not thread-safe, so states are never shared between
+    threads), dispatch streams through the same bounded window, and
+    the same ``close()``/context-manager/``idle_timeout`` lifecycle
+    applies.  Best for GIL-releasing chunk work and for warm service
+    regimes where even process spin-up is too much latency.
+    """
+
+    def __init__(self, num_workers: int,
+                 window: Optional[int] = None,
+                 idle_timeout: Optional[float] = None,
+                 max_cached_states: int = DEFAULT_MAX_ENTRIES):
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if window is not None and window < 1:
+            raise ValueError("window must be >= 1")
+        if idle_timeout is not None and idle_timeout <= 0:
+            raise ValueError("idle_timeout must be positive")
+        self.num_workers = num_workers
+        self.window = window if window is not None else max(
+            2 * num_workers, 4)
+        self.idle_timeout = idle_timeout
+        self._max_cached = max_cached_states
+        self._pool: Any = None
+        self._local = threading.local()
+        self._closed = False
+        self._lock = threading.RLock()
+        self._idle_timer: Optional[threading.Timer] = None
+        self.last_chunk_timing: Optional[ChunkTiming] = None
+
+    def _ensure_pool(self) -> None:
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor as _Pool
+            self._pool = _Pool(max_workers=self.num_workers,
+                               thread_name_prefix="repro-warm")
+
+    def _teardown(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def _thread_cache(self) -> WorkerStateCache:
+        cache = getattr(self._local, "cache", None)
+        if cache is None:
+            cache = WorkerStateCache(max_entries=self._max_cached)
+            self._local.cache = cache
+        return cache
+
+    def _run_warm(self, entry: ChunkPlanEntry, task: Any
+                  ) -> Tuple[Any, ChunkTiming]:
+        try:
+            state, setup, cache_hit = self._thread_cache().lease(task)
+            started = time.perf_counter()
+            result = task.run_chunk_warm(state, entry.chunk_seed,
+                                         entry.count)
+        except ChunkExecutionError:
+            raise
+        except Exception as exc:
+            raise ChunkExecutionError.wrap(entry, exc) from exc
+        return result, ChunkTiming(setup, time.perf_counter() - started,
+                                   cache_hit)
+
+    def submit_jobs(self, jobs: Iterable[TaggedJob]
+                    ) -> Iterator[Tuple[Any, int, Any]]:
+        from concurrent.futures import FIRST_COMPLETED, wait
+
+        with self._lock:
+            self._check_open()
+            self._cancel_idle_timer()
+            self._ensure_pool()
+            pool = self._pool
+        jobs_iter = iter(jobs)
+        futures: Dict[Any, Tuple[Any, ChunkPlanEntry]] = {}
+        exhausted = False
+        try:
+            while True:
+                while not exhausted and len(futures) < self.window:
+                    try:
+                        tag, entry, task = next(jobs_iter)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    future = pool.submit(self._run_warm, entry, task)
+                    futures[future] = (tag, entry)
+                if not futures:
+                    break
+                done, _ = wait(list(futures),
+                               return_when=FIRST_COMPLETED)
+                for future in done:
+                    tag, entry = futures.pop(future)
+                    result, timing = future.result()
+                    self.last_chunk_timing = timing
+                    yield tag, entry.index, result
+        finally:
+            for future in futures:
+                future.cancel()
+            with self._lock:
+                if not self._closed:
+                    self._start_idle_timer()
+
+    def __repr__(self) -> str:
+        return (f"PersistentThreadExecutor(num_workers="
+                f"{self.num_workers}, window={self.window}, "
+                f"warm={self._pool is not None})")
+
+
 #: Executor spec strings accepted by :func:`resolve_executor`.
-EXECUTOR_KINDS = ("serial", "thread", "process")
+EXECUTOR_KINDS = ("serial", "thread", "process", "thread-warm",
+                  "process-warm")
 
 
 def resolve_executor(executor: "ChunkExecutor | str | None",
@@ -299,7 +833,13 @@ def resolve_executor(executor: "ChunkExecutor | str | None",
     ``None`` keeps the historical behaviour: inline for one worker,
     process fan-out otherwise.  A string names a kind from
     ``EXECUTOR_KINDS`` sized by ``num_workers``; an object exposing
-    ``submit`` is returned as-is.
+    ``submit`` is returned as-is.  The warm kinds
+    (``"process-warm"``/``"thread-warm"``) build persistent executors
+    whose pool outlives individual calls -- whoever resolves a spec
+    string owns the resulting lifecycle (the runner and scheduler
+    close spec-resolved executors themselves; pass a pre-built
+    instance to share one warm pool across runners/schedulers and
+    close it yourself).
     """
     if executor is None:
         if num_workers == 1:
@@ -313,6 +853,11 @@ def resolve_executor(executor: "ChunkExecutor | str | None",
             return ThreadExecutor(num_workers)
         if kind in ("process", "processes"):
             return ProcessExecutor(num_workers, start_method=start_method)
+        if kind in ("process-warm", "warm-process"):
+            return PersistentProcessExecutor(num_workers,
+                                             start_method=start_method)
+        if kind in ("thread-warm", "warm-thread"):
+            return PersistentThreadExecutor(num_workers)
         raise ValueError(
             f"unknown executor {executor!r}; choose from "
             f"{EXECUTOR_KINDS} or pass a ChunkExecutor instance")
@@ -327,7 +872,10 @@ __all__ = [
     "ChunkExecutionError",
     "ChunkExecutor",
     "ChunkExecutorBase",
+    "ChunkTiming",
     "EXECUTOR_KINDS",
+    "PersistentProcessExecutor",
+    "PersistentThreadExecutor",
     "ProcessExecutor",
     "SerialExecutor",
     "ThreadExecutor",

@@ -70,6 +70,35 @@ class CampaignTask:
         """Run ``num_sequences`` sequences seeded from ``chunk_seed``."""
         raise NotImplementedError
 
+    def build_worker_state(self) -> Any:
+        """Seed-independent heavy state reused across chunks.
+
+        The warm executors call this once per ``(worker,
+        fingerprint())`` and memoize the result in a
+        :class:`~repro.campaigns.worker_cache.WorkerStateCache`; the
+        state is then passed to every :meth:`run_chunk_warm` call that
+        worker serves for this task.  Only **seed-independent** work
+        belongs here (circuit construction, engine instances, LUTs,
+        kernel warm-up) -- anything derived from a chunk seed must stay
+        in ``run_chunk_warm`` or warm results diverge from cold ones.
+        The default returns ``None``: tasks without a warm path run
+        unchanged (``run_chunk_warm`` falls back to :meth:`run_chunk`).
+        """
+        return None
+
+    def run_chunk_warm(self, state: Any, chunk_seed: int,
+                       num_sequences: int) -> Any:
+        """Run one chunk against prebuilt worker ``state``.
+
+        Must be bit-identical to ``run_chunk(chunk_seed,
+        num_sequences)`` for any prior use of ``state`` -- including a
+        previous chunk that raised mid-flight -- which in practice
+        means re-deriving every random stream from ``chunk_seed`` and
+        restoring any mutated simulation state before running.  The
+        default ignores ``state`` and delegates to :meth:`run_chunk`.
+        """
+        return self.run_chunk(chunk_seed, num_sequences)
+
     def empty_result(self) -> Any:
         """A zero-valued result object (the merge identity)."""
         raise NotImplementedError
@@ -111,6 +140,14 @@ class CampaignProgress:
     since ``run()`` started, and restored-from-checkpoint sequences are
     excluded from the throughput estimate so a resumed campaign does
     not report an impossible rate.
+
+    ``setup_seconds``/``compute_seconds`` are the campaign's cumulative
+    worker-side setup-vs-compute split, reported by executors that
+    expose per-chunk timing (the warm persistent executors; see
+    :class:`~repro.campaigns.worker_cache.ChunkTiming`).  On a warm
+    pool, ``setup_seconds`` stops growing once every worker has built
+    the task's state -- that plateau is the amortization being
+    observable.  Executors without timing leave both at ``0.0``.
     """
 
     chunk_index: int
@@ -121,6 +158,8 @@ class CampaignProgress:
     from_checkpoint: bool = False
     elapsed: float = 0.0
     sequences_restored: int = 0
+    setup_seconds: float = 0.0
+    compute_seconds: float = 0.0
 
     @property
     def fraction(self) -> float:
@@ -303,6 +342,9 @@ class ShardedCampaignRunner:
         store.attach(self._checkpoint_header(), completed)
         restored = sum(counts[i] for i in completed)
         started = time.perf_counter()
+        # Cumulative worker-side setup/compute split, accumulated from
+        # executors that report per-chunk timing (the warm pools).
+        timing = {"setup": 0.0, "compute": 0.0}
 
         def emit(chunk_index: int, from_checkpoint: bool = False) -> None:
             if self.progress_callback is None:
@@ -315,15 +357,28 @@ class ShardedCampaignRunner:
                 total_sequences=self.total_sequences,
                 from_checkpoint=from_checkpoint,
                 elapsed=time.perf_counter() - started,
-                sequences_restored=restored))
+                sequences_restored=restored,
+                setup_seconds=timing["setup"],
+                compute_seconds=timing["compute"]))
 
         if completed:
             emit(max(completed), from_checkpoint=True)
-        pending = plan.pending(completed)
-        if pending:
+        if len(completed) < plan.num_chunks:
             executor = self.executor()
+            # Executors this runner resolved from a spec (None or a
+            # kind string) are this runner's to tear down; a pre-built
+            # instance belongs to the caller, who may be keeping its
+            # pool warm across many runs.
+            owns_executor = (self._executor_spec is None
+                             or isinstance(self._executor_spec, str))
             try:
-                for index, result in executor.submit(pending, self.task):
+                for index, result in executor.submit(
+                        plan.iter_pending(completed), self.task):
+                    chunk_timing = getattr(executor, "last_chunk_timing",
+                                           None)
+                    if chunk_timing is not None:
+                        timing["setup"] += chunk_timing.setup_seconds
+                        timing["compute"] += chunk_timing.compute_seconds
                     store.record(index, result)
                     emit(index)
             finally:
@@ -331,6 +386,8 @@ class ShardedCampaignRunner:
                 # (ChunkExecutionError) and interruption alike, so a
                 # fixed run resumes from everything that completed.
                 store.flush()
+                if owns_executor and hasattr(executor, "close"):
+                    executor.close()
 
         merged = self.task.empty_result()
         for index in sorted(completed):

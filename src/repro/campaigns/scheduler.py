@@ -64,6 +64,11 @@ class CampaignJob:
         self.result: Any = None
         self.done = False
         self.from_cache = False
+        #: Cumulative worker-side setup/compute seconds of this job's
+        #: chunks, from executors that report per-chunk timing (the
+        #: warm pools); stays 0.0 elsewhere.
+        self.setup_seconds = 0.0
+        self.compute_seconds = 0.0
         self._counts = plan.counts()
         self._restored = 0
         self._started = 0.0
@@ -114,7 +119,9 @@ class CampaignJob:
             total_sequences=self.plan.total_sequences,
             from_checkpoint=from_checkpoint,
             elapsed=time.perf_counter() - self._started,
-            sequences_restored=self._restored)
+            sequences_restored=self._restored,
+            setup_seconds=self.setup_seconds,
+            compute_seconds=self.compute_seconds)
 
     def _emit(self, chunk_index: int, from_checkpoint: bool = False) -> None:
         if self.progress_callback is not None:
@@ -137,7 +144,15 @@ class CampaignScheduler:
         ``None`` (inline for ``num_workers == 1``, processes
         otherwise), an executor-kind string, or a
         :class:`~repro.campaigns.executors.ChunkExecutor`; every job
-        submitted to this scheduler shares it.
+        submitted to this scheduler shares it.  The scheduler is the
+        natural home of the warm kinds: with
+        ``executor="process-warm"`` every ``run()`` round -- and
+        every job within a round -- reuses one hot pool with its
+        worker-side state caches (close with :meth:`close` or use the
+        scheduler as a context manager).  A pre-built persistent
+        executor can also be passed in to share one pool across
+        several schedulers/runners; its lifecycle then stays with the
+        caller.
     num_workers, start_method:
         Sizing of the default/string-spec executor, as in
         :class:`~repro.campaigns.runner.ShardedCampaignRunner`.
@@ -160,6 +175,11 @@ CheckpointStore`).
                  num_workers: int = 1,
                  start_method: Optional[str] = None,
                  save_interval: int = 1):
+        # An executor resolved from a spec (None or a kind string) is
+        # this scheduler's to tear down in close(); a pre-built
+        # instance -- e.g. one warm pool shared between schedulers --
+        # belongs to the caller.
+        self._owns_executor = executor is None or isinstance(executor, str)
         self._executor = resolve_executor(executor, num_workers,
                                           start_method=start_method)
         self._save_interval = save_interval
@@ -225,24 +245,32 @@ CheckpointStore`).
 
         # Fair-share dispatch order: one pending chunk from each
         # active job per round.  Executors consume jobs in submission
-        # order, so every job advances proportionally.
+        # order, so every job advances proportionally.  The feed is a
+        # generator: streaming executors pull rounds into their
+        # bounded window as capacity frees up, so a huge job mix is
+        # never materialized as one flat list.
         queues = [(job, job.plan.pending(job.completed)) for job in active]
-        interleaved = []
-        round_index = 0
-        while True:
-            emitted = False
-            for job, pending in queues:
-                if round_index < len(pending):
-                    entry = pending[round_index]
-                    interleaved.append((job, entry, job.task))
-                    emitted = True
-            if not emitted:
-                break
-            round_index += 1
+
+        def interleaved():
+            round_index = 0
+            while True:
+                emitted = False
+                for job, pending in queues:
+                    if round_index < len(pending):
+                        yield (job, pending[round_index], job.task)
+                        emitted = True
+                if not emitted:
+                    return
+                round_index += 1
 
         try:
             for job, index, result in self._executor.submit_jobs(
-                    interleaved):
+                    interleaved()):
+                timing = getattr(self._executor, "last_chunk_timing",
+                                 None)
+                if timing is not None:
+                    job.setup_seconds += timing.setup_seconds
+                    job.compute_seconds += timing.compute_seconds
                 job.store.record(index, result)
                 job._emit(index)
         finally:
@@ -256,6 +284,26 @@ CheckpointStore`).
                 self._cache[job.cache_key] = job.task.result_from_dict(
                     job.result.to_dict())
         return [job.result for job in self._jobs]
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the scheduler's executor, if the scheduler owns it.
+
+        ``run()`` deliberately does **not** tear the executor down --
+        with a warm spec (``executor="process-warm"``) the whole point
+        is that later ``submit``/``run`` rounds reuse the hot pool.
+        Call this (or use the scheduler as a context manager) when the
+        scheduler is done for good.  Executors passed in as pre-built
+        instances are left running for their owner.
+        """
+        if self._owns_executor and hasattr(self._executor, "close"):
+            self._executor.close()
+
+    def __enter__(self) -> "CampaignScheduler":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
 
 __all__ = ["CampaignJob", "CampaignScheduler"]

@@ -179,16 +179,21 @@ run_sequence_batch`: one stimulus burst per group, one injection per
                                                    self.burst_size, rng)
         return lambda rng: None
 
-    def run_chunk(self, chunk_seed: int,
-                  num_sequences: int) -> StreamingCampaignResult:
-        """Build a fresh test bench and run one chunk of sequences."""
+    def _build_bench(self, chunk_seed: int):
+        """Build the protected design + test bench for one chunk seed.
+
+        The construction half of :meth:`run_chunk`; the warm-pool
+        :class:`~repro.campaigns.worker_cache.FIFOChunkWorkspace` calls
+        it once per worker (with a placeholder seed -- its ``reseed``
+        re-derives the seed-dependent parts per chunk) and the cold
+        path calls it per chunk, so both paths are built by the same
+        code.
+        """
         # Heavy imports stay inside the worker-side call so the task
         # module itself is import-cycle-free and cheap to pickle.
         from repro.circuit.fifo import SyncFIFO
         from repro.core.protected import ProtectedDesign
         from repro.validation.testbench import FIFOTestbench
-
-        import random
 
         fifo = SyncFIFO(self.width, self.depth,
                         name=f"fifo{self.width}x{self.depth}")
@@ -200,6 +205,39 @@ run_sequence_batch`: one stimulus burst per group, one injection per
         testbench = FIFOTestbench(
             design, words_per_sequence=self.words_per_sequence,
             seed=child_seed(chunk_seed, "stimulus"))
+        return design, testbench
+
+    def run_chunk(self, chunk_seed: int,
+                  num_sequences: int) -> StreamingCampaignResult:
+        """Build a fresh test bench and run one chunk of sequences."""
+        design, testbench = self._build_bench(chunk_seed)
+        return self._run_sequences(design, testbench, chunk_seed,
+                                   num_sequences)
+
+    def build_worker_state(self):
+        """Warm-pool state: one reusable bench per task fingerprint."""
+        from repro.campaigns.worker_cache import FIFOChunkWorkspace
+        return FIFOChunkWorkspace(self)
+
+    def run_chunk_warm(self, state, chunk_seed: int,
+                       num_sequences: int) -> StreamingCampaignResult:
+        """Run one chunk on a cached workspace, bit-identical to
+        :meth:`run_chunk`.
+
+        ``state.reseed`` restores the bench to its as-built state and
+        re-derives every seed-dependent stream from ``chunk_seed``
+        exactly as :meth:`_build_bench` would, so only construction
+        cost differs between the warm and cold paths.
+        """
+        state.reseed(chunk_seed)
+        return self._run_sequences(state.design, state.testbench,
+                                   chunk_seed, num_sequences)
+
+    def _run_sequences(self, design, testbench, chunk_seed: int,
+                       num_sequences: int) -> StreamingCampaignResult:
+        """The chunk's sequence loop, shared by the cold and warm paths."""
+        import random
+
         if self.sampler == "array":
             return self._run_chunk_array(chunk_seed, num_sequences, design,
                                          testbench)

@@ -18,6 +18,15 @@ tree it flags
 * ``self.<attr> = lambda ...`` / ``self.<attr> = open(...)``
   assignments anywhere in the class body (the non-dataclass route to
   the same unpicklable state).
+
+The warm persistent executors widened the blast radius: state stored
+in :mod:`repro.campaigns.worker_cache` outlives single chunks inside
+long-lived worker processes (and tasks themselves now cross the
+process boundary through the warm pool's incremental shipping), so
+in the worker-cache module **every** class is checked -- not just
+``CampaignTask`` subclasses.  A lambda smuggled into a cached
+workspace would otherwise survive until some unrelated chunk, hours
+into a campaign, first trips over it.
 """
 
 from __future__ import annotations
@@ -57,17 +66,32 @@ def _unpicklable_family(annotation: ast.expr) -> Optional[str]:
     return None
 
 
+#: Module whose every class is in scope: worker-cache state lives for
+#: a whole worker process lifetime, so the same hazards apply to all
+#: classes defined there, CampaignTask subclass or not.
+WORKER_CACHE_MODULE = "campaigns/worker_cache.py"
+
+
 class PickleSafetyRule(Rule):
     id = "pickle"
-    description = ("CampaignTask subclasses must not carry lambda, "
-                   "closure, or open-handle fields (tasks are pickled "
-                   "to process-pool workers)")
+    description = ("CampaignTask subclasses (and all worker-cache "
+                   "state classes) must not carry lambda, closure, or "
+                   "open-handle fields (tasks are pickled to "
+                   "process-pool workers; cached state outlives "
+                   "chunks)")
 
     def check_file(self, project: Project,
                    file: SourceFile) -> Iterator[Finding]:
-        for cls in task_classes(file.tree):
+        for cls in self._classes_in_scope(file):
             yield from self._check_field_defaults(project, file, cls)
             yield from self._check_self_assignments(project, file, cls)
+
+    @staticmethod
+    def _classes_in_scope(file: SourceFile) -> "list[ast.ClassDef]":
+        if file.relpath.endswith(WORKER_CACHE_MODULE):
+            return [node for node in ast.walk(file.tree)
+                    if isinstance(node, ast.ClassDef)]
+        return task_classes(file.tree)
 
     def _check_field_defaults(self, project, file,
                               cls) -> Iterator[Finding]:

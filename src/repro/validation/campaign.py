@@ -218,8 +218,13 @@ def run_sharded_campaign(task: FIFOValidationCampaignTask,
     """Run a validation campaign task through the sharded runner.
 
     The result is bit-identical for any ``num_workers`` and any
-    ``executor`` (``"serial"``, ``"thread"``, ``"process"`` or a
-    :class:`~repro.campaigns.executors.ChunkExecutor` instance) given
+    ``executor`` (``"serial"``, ``"thread"``, ``"process"``, the warm
+    persistent kinds ``"thread-warm"``/``"process-warm"``, or a
+    :class:`~repro.campaigns.executors.ChunkExecutor` instance --
+    pass a pre-built
+    :class:`~repro.campaigns.executors.PersistentProcessExecutor` to
+    serve many calls from one hot pool; the caller then owns its
+    ``close()``) given
     the same ``(seed, num_sequences, chunk_size)``; see
     :class:`~repro.campaigns.runner.ShardedCampaignRunner` for the
     checkpoint/resume (``save_interval`` selects the flush policy) and

@@ -15,6 +15,7 @@ from repro.campaigns.executors import (
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
+    _slot_jobs,
     resolve_executor,
 )
 from repro.campaigns.plan import ChunkPlan
@@ -210,6 +211,45 @@ class TestProcessExecutorShipping:
                   for pos, e in enumerate(entries)]
         assert all(isinstance(v, int) for job in tuples for v in job)
         assert len(pickle.dumps(tuples)) < len(payload) * len(entries)
+
+
+class TestSlotJobs:
+    """Task-table slots key on ``fingerprint()``, never ``id()``."""
+
+    def _jobs(self, *tasks):
+        entries = ChunkPlan.build(1, 10 * len(tasks), 10).entries
+        return [(None, entry, task)
+                for entry, task in zip(entries, tasks)]
+
+    def test_equal_fingerprint_tasks_share_one_slot(self):
+        # Two distinct objects describing the same work: one table
+        # entry, one per-worker pickle.
+        a, b = TrialTask(scale=5), TrialTask(scale=5)
+        assert a is not b
+        tuples, tasks = _slot_jobs(self._jobs(a, b))
+        assert len(tasks) == 1
+        assert [slot for _pos, slot, *_ in tuples] == [0, 0]
+
+    def test_distinct_fingerprints_get_distinct_slots(self):
+        tuples, tasks = _slot_jobs(
+            self._jobs(TrialTask(scale=1), TrialTask(scale=2)))
+        assert len(tasks) == 2
+        assert [slot for _pos, slot, *_ in tuples] == [0, 1]
+
+    def test_id_reuse_cannot_alias_slots(self):
+        # The historical id(task)-keyed table could alias two
+        # *different* tasks if CPython reused a freed id mid-run.
+        # Fingerprint keys are value-based, so even tasks constructed
+        # at the same recycled address slot separately.
+        jobs = []
+        entries = ChunkPlan.build(1, 20, 10).entries
+        for entry, scale in zip(entries, (1, 2)):
+            task = TrialTask(scale=scale)
+            jobs.append((None, entry, task))
+            del task  # eligible for id reuse before slotting runs
+        tuples, tasks = _slot_jobs(jobs)
+        assert len(tasks) == 2
+        assert sorted(t.scale for t in tasks.values()) == [1, 2]
 
 
 class TestResolveExecutor:

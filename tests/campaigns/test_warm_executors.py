@@ -1,0 +1,442 @@
+"""Warm persistent executors: lifecycle, pool reuse, incremental task
+shipping, streaming backpressure, failure containment, and the
+bit-identity acceptance invariant (warm == cold == serial)."""
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+
+import pytest
+
+from repro.analysis.correction_capability import CorrectionCounters
+from repro.campaigns.executors import (
+    EXECUTOR_KINDS,
+    ChunkExecutionError,
+    PersistentProcessExecutor,
+    PersistentThreadExecutor,
+    resolve_executor,
+)
+from repro.campaigns.plan import ChunkPlan
+from repro.campaigns.runner import CampaignTask, ShardedCampaignRunner
+from repro.campaigns.scheduler import CampaignScheduler
+from repro.campaigns.tasks import FIFOValidationCampaignTask
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+@dataclass
+class TrialTask(CampaignTask):
+    """Cheap deterministic task for exercising pool mechanics."""
+
+    scale: int = 3
+
+    def empty_result(self):
+        return CorrectionCounters()
+
+    def run_chunk(self, chunk_seed, num_sequences):
+        import random
+        rng = random.Random(chunk_seed)
+        value = sum(rng.randrange(self.scale * 1000)
+                    for _ in range(num_sequences))
+        return CorrectionCounters(sequences=num_sequences,
+                                  corrected_bits=value)
+
+
+@dataclass
+class FailingTask(TrialTask):
+    """Fails on the chunk whose seed hits ``poison_seed``."""
+
+    poison_seed: int = -1
+
+    def run_chunk(self, chunk_seed, num_sequences):
+        if chunk_seed == self.poison_seed:
+            raise RuntimeError("poisoned chunk")
+        return super().run_chunk(chunk_seed, num_sequences)
+
+
+@dataclass
+class DyingTask(TrialTask):
+    """Kills its whole worker process on the poisoned chunk."""
+
+    poison_seed: int = -1
+
+    def run_chunk(self, chunk_seed, num_sequences):
+        if chunk_seed == self.poison_seed:
+            os._exit(13)
+        return super().run_chunk(chunk_seed, num_sequences)
+
+
+def _sampler_task(mode: str) -> FIFOValidationCampaignTask:
+    common = dict(width=4, depth=4, codes=("hamming(7,4)", "crc16"),
+                  num_chains=4, pattern="burst", burst_size=2,
+                  words_per_sequence=2)
+    if mode == "scalar":
+        return FIFOValidationCampaignTask(engine="packed", **common)
+    if mode == "batched":
+        return FIFOValidationCampaignTask(engine="batched", batch_size=4,
+                                          **common)
+    return FIFOValidationCampaignTask(engine="simd", batch_size=4,
+                                      sampler="array", **common)
+
+
+def _warm_children():
+    """Live warm-pool worker processes spawned by this process."""
+    return [child for child in multiprocessing.active_children()
+            if (child.name or "").startswith("repro-warm-worker")]
+
+
+def _run(pool, task, total=60, seed=11, chunk=10):
+    """One campaign through ``pool``; returns the merged counters."""
+    entries = ChunkPlan.build(seed, total, chunk).entries
+    merged = task.empty_result()
+    for _index, result in sorted(pool.submit(iter(entries), task)):
+        merged.merge(result)
+    return merged
+
+
+def _serial(task, total=60, seed=11, chunk=10):
+    return ShardedCampaignRunner(task, total, seed=seed, chunk_size=chunk,
+                                 executor="serial").run()
+
+
+class TestLifecycle:
+    def test_context_manager_tears_the_pool_down(self):
+        with PersistentProcessExecutor(2) as pool:
+            assert pool.alive_workers == 0  # lazy: nothing spawned yet
+            _run(pool, TrialTask())
+            assert pool.alive_workers == 2
+        assert pool.alive_workers == 0
+        assert _warm_children() == []
+
+    def test_close_is_final_and_idempotent(self):
+        pool = PersistentProcessExecutor(1)
+        _run(pool, TrialTask())
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            list(pool.submit(iter(ChunkPlan.build(1, 10, 5).entries),
+                             TrialTask()))
+
+    def test_thread_pool_lifecycle(self):
+        with PersistentThreadExecutor(2) as pool:
+            assert _run(pool, TrialTask()) == _serial(TrialTask())
+        pool.close()  # idempotent after __exit__
+        with pytest.raises(RuntimeError, match="closed"):
+            list(pool.submit(iter(ChunkPlan.build(1, 10, 5).entries),
+                             TrialTask()))
+
+    def test_idle_timeout_reclaims_then_respawns(self):
+        with PersistentProcessExecutor(1, idle_timeout=0.2) as pool:
+            reference = _run(pool, TrialTask())
+            assert pool.alive_workers == 1
+            deadline = time.monotonic() + 10.0
+            while pool.alive_workers and time.monotonic() < deadline:
+                time.sleep(0.05)
+            # The pool was reclaimed, but the executor stays usable:
+            # the next call pays one cold spin-up again.
+            assert pool.alive_workers == 0
+            assert _run(pool, TrialTask()) == reference
+            assert pool.alive_workers == 1
+
+    def test_constructor_validation(self):
+        for cls in (PersistentProcessExecutor, PersistentThreadExecutor):
+            with pytest.raises(ValueError):
+                cls(0)
+            with pytest.raises(ValueError):
+                cls(2, window=0)
+            with pytest.raises(ValueError):
+                cls(2, idle_timeout=0.0)
+
+
+class TestPoolReuse:
+    def test_workers_survive_across_submit_calls(self):
+        with PersistentProcessExecutor(2) as pool:
+            first = _run(pool, TrialTask())
+            pids = sorted(r.process.pid for r in pool._workers.values())
+            second = _run(pool, TrialTask(), seed=12)
+            assert sorted(r.process.pid
+                          for r in pool._workers.values()) == pids
+            assert first == _serial(TrialTask())
+            assert second == _serial(TrialTask(), seed=12)
+
+    def test_task_ships_at_most_once_per_worker(self):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+
+        class CountingTask(TrialTask):
+            pickles = 0
+
+            def __reduce__(self):
+                CountingTask.pickles += 1
+                return (TrialTask, (self.scale,))
+
+        CountingTask.pickles = 0
+        with PersistentProcessExecutor(2, start_method="fork") as pool:
+            for seed in (21, 22, 23):
+                _run(pool, CountingTask(), seed=seed)
+        # Three submit_jobs calls of 6 chunks each historically meant
+        # up to 18 task pickles; incremental shipping means one per
+        # worker lifetime.
+        assert CountingTask.pickles == 2
+
+    def test_repeat_chunks_hit_the_worker_cache(self):
+        with PersistentProcessExecutor(1) as pool:
+            task = TrialTask()
+            entries = ChunkPlan.build(5, 30, 10).entries
+            first_call = []
+            for _ in pool.submit(iter(entries), task):
+                first_call.append(pool.last_chunk_timing)
+            second_call = []
+            for _ in pool.submit(iter(entries), task):
+                second_call.append(pool.last_chunk_timing)
+        # First sighting builds the state (a miss), everything after
+        # is served warm with zero setup.
+        assert [t.cache_hit for t in first_call] == [False, True, True]
+        assert all(t.cache_hit for t in second_call)
+        assert all(t.setup_seconds == 0.0 for t in second_call)
+
+
+class TestBackpressure:
+    def test_dispatch_never_outruns_the_window(self):
+        class CountingFeed:
+            def __init__(self, jobs):
+                self.jobs = iter(jobs)
+                self.pulled = 0
+
+            def __iter__(self):
+                return self
+
+            def __next__(self):
+                item = next(self.jobs)
+                self.pulled += 1
+                return item
+
+        task = TrialTask()
+        entries = ChunkPlan.build(9, 200, 10).entries  # 20 chunks
+        window = 3
+        with PersistentProcessExecutor(1, window=window) as pool:
+            feed = CountingFeed((None, e, task) for e in entries)
+            consumed = 0
+            for _ in pool.submit_jobs(feed):
+                consumed += 1
+                # The lazy feed is topped up only as capacity frees:
+                # a huge plan is never materialized into the pool.
+                assert feed.pulled <= consumed + window
+            assert consumed == len(entries)
+            assert feed.pulled == len(entries)
+
+    def test_thread_pool_honours_the_window_too(self):
+        task = TrialTask()
+        entries = ChunkPlan.build(9, 120, 10).entries
+        pulled = []
+
+        def feed():
+            for entry in entries:
+                pulled.append(entry.index)
+                yield (None, entry, task)
+
+        with PersistentThreadExecutor(2, window=4) as pool:
+            consumed = 0
+            for _ in pool.submit_jobs(feed()):
+                consumed += 1
+                assert len(pulled) <= consumed + 4
+
+
+class TestFailureContainment:
+    def test_raised_chunk_leaves_the_pool_warm(self):
+        plan = ChunkPlan.build(7, 40, 10)
+        poison = plan.entries[2].chunk_seed
+        with PersistentProcessExecutor(2) as pool:
+            with pytest.raises(ChunkExecutionError) as excinfo:
+                _run(pool, FailingTask(poison_seed=poison), total=40,
+                     seed=7)
+            assert "poisoned chunk" in (excinfo.value.worker_traceback
+                                        or "")
+            # Same pool, next campaign: still correct, nobody died.
+            assert _run(pool, TrialTask()) == _serial(TrialTask())
+            assert pool.alive_workers == 2
+        assert _warm_children() == []
+
+    def test_failure_names_the_chunk(self):
+        plan = ChunkPlan.build(7, 40, 10)
+        entry = plan.entries[2]
+        with PersistentProcessExecutor(1) as pool:
+            with pytest.raises(ChunkExecutionError) as excinfo:
+                _run(pool, FailingTask(poison_seed=entry.chunk_seed),
+                     total=40, seed=7)
+        error = excinfo.value
+        assert error.chunk_index == entry.index
+        assert error.chunk_seed == entry.chunk_seed
+        assert error.count == entry.count
+
+    def test_dead_worker_is_reported_and_replaced(self):
+        plan = ChunkPlan.build(7, 40, 10)
+        poison = plan.entries[1].chunk_seed
+        with PersistentProcessExecutor(2) as pool:
+            with pytest.raises(ChunkExecutionError) as excinfo:
+                _run(pool, DyingTask(poison_seed=poison), total=40,
+                     seed=7)
+            assert "worker process died" in str(excinfo.value)
+            # The next call replaces the dead worker (cold cache) and
+            # the pool is whole again.
+            assert _run(pool, TrialTask()) == _serial(TrialTask())
+            assert pool.alive_workers == 2
+
+
+class TestWarmBitIdentity:
+    """Acceptance invariant: warm results are bit-identical to serial
+    for 1/2/4 workers, on a fresh pool and on a reused one."""
+
+    def test_trial_task_fresh_and_reused_pools(self):
+        reference = _serial(TrialTask(), total=200, seed=99, chunk=13)
+        for workers in WORKER_COUNTS:
+            with PersistentProcessExecutor(workers) as pool:
+                fresh = _run(pool, TrialTask(), total=200, seed=99,
+                             chunk=13)
+                reused = _run(pool, TrialTask(), total=200, seed=99,
+                              chunk=13)
+            assert fresh == reference, workers
+            assert reused == reference, workers
+
+    @pytest.mark.parametrize("mode", ("scalar", "batched", "array"))
+    def test_sampler_modes_fresh_and_reused_pools(self, mode):
+        if mode == "array":
+            pytest.importorskip("numpy")
+        task = _sampler_task(mode)
+        reference = _serial(task, total=12, seed=20100308, chunk=4)
+        assert reference.stats.num_sequences == 12
+        for workers in (1, 2):
+            with PersistentProcessExecutor(workers) as pool:
+                fresh = _run(pool, task, total=12, seed=20100308,
+                             chunk=4)
+                reused = _run(pool, task, total=12, seed=20100308,
+                              chunk=4)
+            assert fresh == reference, (mode, workers)
+            assert reused == reference, (mode, workers)
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_thread_warm_matches_serial(self, workers):
+        task = _sampler_task("scalar")
+        reference = _serial(task, total=12, seed=20100308, chunk=4)
+        with PersistentThreadExecutor(workers) as pool:
+            fresh = _run(pool, task, total=12, seed=20100308, chunk=4)
+            reused = _run(pool, task, total=12, seed=20100308, chunk=4)
+        assert fresh == reference
+        assert reused == reference
+
+
+class TestResolveWarmSpecs:
+    def test_warm_kind_strings(self):
+        for spec in ("process-warm", "warm-process"):
+            pool = resolve_executor(spec, 3)
+            assert isinstance(pool, PersistentProcessExecutor)
+            assert pool.num_workers == 3
+            pool.close()
+        for spec in ("thread-warm", "warm-thread"):
+            pool = resolve_executor(spec, 3)
+            assert isinstance(pool, PersistentThreadExecutor)
+            assert pool.num_workers == 3
+            pool.close()
+
+    def test_warm_kinds_are_advertised(self):
+        assert "process-warm" in EXECUTOR_KINDS
+        assert "thread-warm" in EXECUTOR_KINDS
+        with pytest.raises(ValueError, match="process-warm"):
+            resolve_executor("gpu", 2)
+
+    def test_prebuilt_instances_pass_through(self):
+        pool = PersistentProcessExecutor(2)
+        try:
+            assert resolve_executor(pool) is pool
+        finally:
+            pool.close()
+
+
+class TestRunnerIntegration:
+    def test_runner_with_warm_spec_closes_its_pool(self):
+        result = ShardedCampaignRunner(
+            TrialTask(), 200, seed=99, chunk_size=13, num_workers=2,
+            executor="process-warm").run()
+        assert result == _serial(TrialTask(), total=200, seed=99,
+                                 chunk=13)
+        # The runner resolved the spec, so the runner closed the pool.
+        assert _warm_children() == []
+
+    def test_runner_leaves_prebuilt_pool_warm(self):
+        with PersistentProcessExecutor(2) as pool:
+            for seed in (1, 2):
+                result = ShardedCampaignRunner(
+                    TrialTask(), 60, seed=seed, chunk_size=10,
+                    executor=pool).run()
+                assert result == _serial(TrialTask(), seed=seed)
+            # Caller-owned pool: still warm after both runs.
+            assert pool.alive_workers == 2
+        assert _warm_children() == []
+
+    def test_progress_carries_the_setup_compute_split(self):
+        task = _sampler_task("scalar")
+        snapshots = []
+        ShardedCampaignRunner(
+            task, 12, seed=5, chunk_size=4, num_workers=1,
+            executor="process-warm",
+            progress_callback=snapshots.append).run()
+        final = snapshots[-1]
+        # One worker built the workspace once (setup), then computed
+        # every chunk: both halves of the split are visible.
+        assert final.setup_seconds > 0.0
+        assert final.compute_seconds > 0.0
+        assert final.sequences_completed == 12
+
+
+class TestSchedulerIntegration:
+    def test_one_warm_pool_serves_many_jobs(self):
+        with CampaignScheduler(executor="process-warm",
+                               num_workers=2) as scheduler:
+            jobs = [scheduler.submit(TrialTask(), 60, seed=seed,
+                                     chunk_size=10)
+                    for seed in (31, 32, 33)]
+            scheduler.run()
+            for seed, job in zip((31, 32, 33), jobs):
+                assert job.result == _serial(TrialTask(), seed=seed)
+            pool = scheduler.executor
+            assert pool.alive_workers == 2  # run() keeps the pool hot
+            # A repeated identical campaign is served from the memo
+            # without touching the pool.
+            repeat = scheduler.submit(TrialTask(), 60, seed=31,
+                                      chunk_size=10)
+            assert repeat.from_cache
+            assert repeat.result == jobs[0].result
+        assert _warm_children() == []
+
+    def test_back_to_back_rounds_reuse_the_pool(self):
+        with CampaignScheduler(executor="process-warm",
+                               num_workers=1) as scheduler:
+            scheduler.submit(TrialTask(), 60, seed=41, chunk_size=10)
+            scheduler.run()
+            pids = sorted(r.process.pid for r in
+                          scheduler.executor._workers.values())
+            scheduler.submit(TrialTask(), 60, seed=42, chunk_size=10)
+            scheduler.run()
+            assert sorted(
+                r.process.pid for r in
+                scheduler.executor._workers.values()) == pids
+
+    def test_prebuilt_pool_is_left_to_its_owner(self):
+        with PersistentProcessExecutor(1) as pool:
+            with CampaignScheduler(executor=pool) as scheduler:
+                scheduler.submit(TrialTask(), 60, seed=51,
+                                 chunk_size=10)
+                scheduler.run()
+            # Scheduler closed; the caller's pool is untouched.
+            assert pool.alive_workers == 1
+        assert _warm_children() == []
+
+    def test_jobs_accumulate_their_timing_split(self):
+        task = _sampler_task("scalar")
+        with CampaignScheduler(executor="process-warm",
+                               num_workers=1) as scheduler:
+            job = scheduler.submit(task, 12, seed=6, chunk_size=4)
+            scheduler.run()
+        assert job.setup_seconds > 0.0
+        assert job.compute_seconds > 0.0

@@ -71,6 +71,55 @@ class TestSelfAssignmentHazards:
         assert findings == []
 
 
+class TestWorkerCacheScope:
+    """In the worker-cache module *every* class is in scope.
+
+    Cached worker-side state outlives chunks inside warm persistent
+    workers, so the pickle/handle hazards apply to any class defined
+    there -- not only CampaignTask subclasses.
+    """
+
+    FIXTURE = textwrap.dedent("""\
+        class ChunkWorkspace:
+            def __init__(self, task):
+                self.transform = lambda x: x
+
+        class TraceSink:
+            def attach(self, path):
+                self.handle = open(path, "a")
+        """)
+
+    def test_plain_classes_fire_in_worker_cache_module(self, run_rule):
+        findings = run_rule(RULE, self.FIXTURE,
+                            "repro/campaigns/worker_cache.py")
+        assert len(findings) == 2
+        assert any("ChunkWorkspace" in f.message and "lambda" in f.message
+                   for f in findings)
+        assert any("TraceSink" in f.message and "open" in f.message
+                   for f in findings)
+
+    def test_same_classes_quiet_elsewhere(self, run_rule):
+        # Outside the worker-cache module only CampaignTask
+        # subclasses are checked; these plain classes never cross a
+        # process boundary there.
+        findings = run_rule(RULE, self.FIXTURE,
+                            "repro/campaigns/fixture.py")
+        assert findings == []
+
+    def test_shipped_worker_cache_module_is_clean(self):
+        """The real module must satisfy its own widened rule."""
+        from pathlib import Path
+
+        import repro.campaigns.worker_cache as module
+        from lint_fixtures import make_file, make_project
+
+        path = Path(module.__file__)
+        file = make_file(path.read_text(),
+                         "repro/campaigns/worker_cache.py")
+        project = make_project(file)
+        assert list(RULE.check_file(project, file)) == []
+
+
 class TestRealTaskClasses:
     def test_shipped_tasks_pickle_cleanly(self):
         """Cross-check the rule's claim against the real pickler."""
